@@ -1,0 +1,169 @@
+// Command mmt-bench regenerates the paper's evaluation: every table and
+// figure of "Efficient Distributed Secure Memory with Migratable Merkle
+// Tree" (HPCA 2023), printed as text tables with the paper's published
+// numbers alongside for comparison.
+//
+// Usage:
+//
+//	mmt-bench -exp all          # everything (minutes)
+//	mmt-bench -exp table4       # Gem5 half of Table IV
+//	mmt-bench -exp table4-intel # Intel/AES-NI half (slow: 128MB functional transfers)
+//	mmt-bench -exp fig10a,fig11 # comma-separated selection
+//	mmt-bench -list             # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mmt/internal/bench"
+	"mmt/internal/sim"
+)
+
+// experiment is one runnable table/figure.
+type experiment struct {
+	name string
+	desc string
+	run  func(opts opts) (string, error)
+}
+
+type opts struct {
+	accesses int
+}
+
+var experiments = []experiment{
+	{"table1", "interconnect throughput (Table I)", func(opts) (string, error) {
+		return bench.RenderTable1(), nil
+	}},
+	{"config", "testbed configurations (Tables II/III)", func(opts) (string, error) {
+		return bench.RenderConfigs(), nil
+	}},
+	{"table4", "secure channel vs MMT delegation, Gem5 (Table IV left)", func(opts) (string, error) {
+		rows, err := bench.Table4Gem5()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderTable4("Table IV (Gem5)", sim.Gem5Profile(), rows), nil
+	}},
+	{"table4-intel", "secure channel vs MMT delegation, Intel AES-NI (Table IV right)", func(opts) (string, error) {
+		rows, err := bench.Table4Intel()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderTable4("Table IV (Intel)", sim.IntelProfile(), rows), nil
+	}},
+	{"fig10a", "max throughput: AES-GCM vs RDMA vs MMT (Figure 10a)", func(opts) (string, error) {
+		return bench.RenderFig10a(bench.Fig10a()), nil
+	}},
+	{"fig10b", "end-to-end latency vs network latency (Figure 10b)", func(opts) (string, error) {
+		rows, err := bench.Fig10b()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig10b(rows), nil
+	}},
+	{"fig11", "SPEC-like overhead by tree level (Figure 11)", func(o opts) (string, error) {
+		res, err := bench.Fig11(o.accesses)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig11(res), nil
+	}},
+	{"table5", "tree-level trade-offs (Table V)", func(o opts) (string, error) {
+		_, rows, err := bench.Table5(nil)
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderTable5(rows), nil
+	}},
+	{"fig12", "WordCount end-to-end by transferred size (Figure 12)", func(opts) (string, error) {
+		rows, err := bench.Fig12()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig12(rows), nil
+	}},
+	{"fig13a", "MapReduce normalized performance by comm share (Figure 13a)", func(opts) (string, error) {
+		rows, err := bench.Fig13a()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig13a(rows), nil
+	}},
+	{"fig13b", "MnRn scalability (Figure 13b)", func(opts) (string, error) {
+		rows, err := bench.Fig13b()
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig13b(rows), nil
+	}},
+	{"fig14", "PageRank under the GAS model (Figure 14)", func(opts) (string, error) {
+		rows, cross, err := bench.Fig14(bench.DefaultFig14Config())
+		if err != nil {
+			return "", err
+		}
+		return bench.RenderFig14(rows, cross), nil
+	}},
+	{"ablation", "tree geometry and cache-size ablations (beyond the paper)", func(o opts) (string, error) {
+		return bench.RenderAblations(o.accesses)
+	}},
+	{"extension", "counter-width and packet-loss extensions (beyond the paper)", func(o opts) (string, error) {
+		return bench.RenderExtendedAblations()
+	}},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment(s) to run, comma separated, or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	accesses := flag.Int("accesses", 0, "trace length for fig11/ablation (default 200000)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-13s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	runAll := *exp == "all"
+	for _, name := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	var unknown []string
+	for name := range selected {
+		if !runAll && !known[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiment(s): %s (use -list)\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	o := opts{accesses: *accesses}
+	failed := false
+	for _, e := range experiments {
+		if !runAll && !selected[e.name] {
+			continue
+		}
+		out, err := e.run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		fmt.Println(out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

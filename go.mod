@@ -1,0 +1,3 @@
+module mmt
+
+go 1.22

@@ -1,0 +1,226 @@
+// Package attest implements the global attestation of §IV-A1 (Figure 3).
+// A node joining the distributed computation runs three phases against the
+// authority node:
+//
+//  1. Key agreement: an ECDH exchange yields a session key protecting the
+//     rest of the conversation on the untrusted network.
+//  2. Certificate check: the node presents its manufacturer certificate
+//     (its machine public key signed by the manufacturer) and proves
+//     possession of the machine key by signing the session transcript; the
+//     authority verifies both and answers with a CA report.
+//  3. Node registration: the node sends its software measurement and
+//     metadata under the session key; the authority checks the measurement
+//     against its policy and issues the global-unique node id that seeds
+//     the integrity forest.
+//
+// The paper's machine keys live in efuses and its certificates come from
+// the CPU vendor; here the Manufacturer type plays the vendor, ECDSA P-256
+// plays the efuse key, and X25519 plays the key agreement.
+package attest
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+
+	"mmt/internal/forest"
+)
+
+// Measurement is the SHA-256 digest of a node's trusted software stack
+// (monitor + TEEOS image).
+type Measurement [32]byte
+
+// MeasureSoftware hashes a software image into a Measurement.
+func MeasureSoftware(image []byte) Measurement { return sha256.Sum256(image) }
+
+// Certificate is a manufacturer-signed binding of a machine name to its
+// machine public key.
+type Certificate struct {
+	Subject   string
+	PublicKey []byte // PKIX-marshaled ECDSA public key
+	Signature []byte // manufacturer's ASN.1 ECDSA signature over digest()
+}
+
+func (c *Certificate) digest() []byte {
+	h := sha256.New()
+	h.Write([]byte("mmt-cert-v1\x00"))
+	h.Write([]byte(c.Subject))
+	h.Write([]byte{0})
+	h.Write(c.PublicKey)
+	return h.Sum(nil)
+}
+
+// Manufacturer is the hardware vendor: the root of trust whose public key
+// every authority knows.
+type Manufacturer struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewManufacturer generates a vendor signing key.
+func NewManufacturer() (*Manufacturer, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Manufacturer{priv: priv}, nil
+}
+
+// PublicKey returns the vendor verification key (distributed to
+// authorities out of band).
+func (m *Manufacturer) PublicKey() *ecdsa.PublicKey { return &m.priv.PublicKey }
+
+// Machine is one provisioned machine: its sealed machine key and the
+// manufacturer certificate for it.
+type Machine struct {
+	Name string
+	priv *ecdsa.PrivateKey
+	Cert Certificate
+}
+
+// Provision creates a machine identity: a fresh machine key whose public
+// half the manufacturer certifies.
+func (m *Manufacturer) Provision(name string) (*Machine, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := x509.MarshalPKIXPublicKey(&priv.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	cert := Certificate{Subject: name, PublicKey: pub}
+	sig, err := ecdsa.SignASN1(rand.Reader, m.priv, cert.digest())
+	if err != nil {
+		return nil, err
+	}
+	cert.Signature = sig
+	return &Machine{Name: name, priv: priv, Cert: cert}, nil
+}
+
+// VerifyCertificate checks a certificate against a manufacturer public key
+// and returns the machine public key it certifies.
+func VerifyCertificate(manufacturer *ecdsa.PublicKey, c *Certificate) (*ecdsa.PublicKey, error) {
+	if !ecdsa.VerifyASN1(manufacturer, c.digest(), c.Signature) {
+		return nil, errors.New("attest: certificate signature invalid")
+	}
+	pub, err := x509.ParsePKIXPublicKey(c.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("attest: certificate key: %w", err)
+	}
+	ek, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("attest: certificate key is not ECDSA")
+	}
+	return ek, nil
+}
+
+// Report is the authority-signed outcome of a successful attestation: the
+// binding of node id, machine certificate subject and software
+// measurement. Nodes exchange reports to establish mutual trust before
+// opening delegation connections (§IV-A2 "an attested node can send its
+// attestation report to others").
+type Report struct {
+	NodeID      forest.NodeID
+	Subject     string
+	Measurement Measurement
+	// MachinePublicKey is the PKIX-encoded machine key the authority
+	// verified during attestation. Peers use it to authenticate key
+	// exchanges: a signature under this key proves the share came from
+	// the attested machine, closing the man-in-the-middle hole of an
+	// unauthenticated Diffie-Hellman.
+	MachinePublicKey []byte
+	Signature        []byte // authority's signature
+}
+
+func (r *Report) digest() []byte {
+	h := sha256.New()
+	h.Write([]byte("mmt-report-v1\x00"))
+	h.Write([]byte{byte(r.NodeID >> 8), byte(r.NodeID)})
+	h.Write([]byte(r.Subject))
+	h.Write([]byte{0})
+	h.Write(r.Measurement[:])
+	h.Write(r.MachinePublicKey)
+	return h.Sum(nil)
+}
+
+// MachineKey parses the report's attested machine public key.
+func (r *Report) MachineKey() (*ecdsa.PublicKey, error) {
+	pub, err := x509.ParsePKIXPublicKey(r.MachinePublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("attest: report machine key: %w", err)
+	}
+	ek, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("attest: report machine key is not ECDSA")
+	}
+	return ek, nil
+}
+
+// VerifyReport checks a report against the authority public key.
+func VerifyReport(authority *ecdsa.PublicKey, r *Report) error {
+	if !ecdsa.VerifyASN1(authority, r.digest(), r.Signature) {
+		return errors.New("attest: report signature invalid")
+	}
+	return nil
+}
+
+// Authority is the global attestation server: it knows the manufacturer's
+// public key, enforces a software-measurement policy, and issues
+// global-unique node ids.
+type Authority struct {
+	manufacturer *ecdsa.PublicKey
+	signing      *ecdsa.PrivateKey
+	policy       map[Measurement]bool
+	nextID       forest.NodeID
+}
+
+// NewAuthority builds an authority trusting the given manufacturer. Node
+// ids are issued from 1 (0 is reserved as "unattested").
+func NewAuthority(manufacturer *ecdsa.PublicKey) (*Authority, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{
+		manufacturer: manufacturer,
+		signing:      priv,
+		policy:       make(map[Measurement]bool),
+		nextID:       1,
+	}, nil
+}
+
+// PublicKey returns the authority's report-verification key.
+func (a *Authority) PublicKey() *ecdsa.PublicKey { return &a.signing.PublicKey }
+
+// AllowMeasurement whitelists a software measurement.
+func (a *Authority) AllowMeasurement(m Measurement) { a.policy[m] = true }
+
+// newSessionKeys generates an X25519 key pair.
+func newSessionKeys() (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().GenerateKey(rand.Reader)
+}
+
+// sessionKey derives the 32-byte session key from an ECDH shared secret
+// and the two public keys (transcript binding).
+func sessionKey(shared, pubA, pubB []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("mmt-session-v1\x00"))
+	h.Write(shared)
+	h.Write(pubA)
+	h.Write(pubB)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Sign signs a digest with the machine key (sealed in efuses on real
+// hardware; only the monitor may invoke it). Peers verify against the
+// machine public key carried in the authority-signed report.
+func (m *Machine) Sign(digest []byte) ([]byte, error) {
+	return ecdsa.SignASN1(rand.Reader, m.priv, digest)
+}

@@ -1,0 +1,303 @@
+package attest
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"mmt/internal/forest"
+)
+
+// The attestation runs as four messages, each a JSON envelope, so that the
+// exchange can cross the untrusted interconnect (netsim) unmodified:
+//
+//	node -> authority: Hello        {node ECDH public}
+//	authority -> node: ServerHello  {authority ECDH public}
+//	node -> authority: Evidence     {certificate, transcript signature,
+//	                                 encrypted measurement+metadata}
+//	authority -> node: Grant        {encrypted node id + signed report}
+//
+// Phase 2 and 3 of Figure 3 are folded into Evidence/Grant: the transcript
+// signature proves machine-key possession (certificate check) and the
+// encrypted payload carries the node-related messages.
+
+type helloMsg struct {
+	Type   string `json:"type"`
+	Public []byte `json:"public"`
+}
+
+type evidenceMsg struct {
+	Type       string      `json:"type"`
+	Cert       Certificate `json:"cert"`
+	Transcript []byte      `json:"transcript_sig"` // machine-key signature
+	Sealed     []byte      `json:"sealed"`         // session-encrypted nodeInfo
+}
+
+type nodeInfo struct {
+	Measurement Measurement `json:"measurement"`
+	Meta        string      `json:"meta"`
+}
+
+type grantMsg struct {
+	Type   string `json:"type"`
+	Sealed []byte `json:"sealed"` // session-encrypted grantInfo
+}
+
+type grantInfo struct {
+	NodeID forest.NodeID `json:"node_id"`
+	Report Report        `json:"report"`
+}
+
+// Attestation errors.
+var (
+	ErrBadMessage  = errors.New("attest: malformed protocol message")
+	ErrRejected    = errors.New("attest: authority rejected the node")
+	ErrMeasurement = errors.New("attest: software measurement not in policy")
+)
+
+// seal encrypts a JSON payload under the session key with a random nonce.
+func seal(key [32]byte, v any) ([]byte, error) {
+	pt, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, aead.Seal(nil, nonce, pt, nil)...), nil
+}
+
+// unseal reverses seal into v.
+func unseal(key [32]byte, box []byte, v any) error {
+	block, err := aes.NewCipher(key[:16])
+	if err != nil {
+		return err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return err
+	}
+	if len(box) < aead.NonceSize() {
+		return ErrBadMessage
+	}
+	pt, err := aead.Open(nil, box[:aead.NonceSize()], box[aead.NonceSize():], nil)
+	if err != nil {
+		return fmt.Errorf("%w: session decryption failed", ErrBadMessage)
+	}
+	return json.Unmarshal(pt, v)
+}
+
+// transcriptDigest binds the key agreement into the machine-key signature
+// so evidence cannot be cut-and-pasted between sessions.
+func transcriptDigest(nodePub, authPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("mmt-transcript-v1\x00"))
+	h.Write(nodePub)
+	h.Write(authPub)
+	return h.Sum(nil)
+}
+
+// NodeSession is the attested node's side of the protocol.
+type NodeSession struct {
+	machine     *Machine
+	measurement Measurement
+	meta        string
+	ecdhPriv    *ecdh.PrivateKey
+	authority   *ecdsa.PublicKey // for report verification
+	session     [32]byte
+	established bool
+}
+
+// NewNodeSession prepares a node to attest with its machine identity,
+// software measurement and the authority's public key.
+func NewNodeSession(m *Machine, meas Measurement, meta string, authority *ecdsa.PublicKey) (*NodeSession, error) {
+	priv, err := newSessionKeys()
+	if err != nil {
+		return nil, err
+	}
+	return &NodeSession{machine: m, measurement: meas, meta: meta, ecdhPriv: priv, authority: authority}, nil
+}
+
+// Hello emits the first message.
+func (s *NodeSession) Hello() ([]byte, error) {
+	return json.Marshal(helloMsg{Type: "hello", Public: s.ecdhPriv.PublicKey().Bytes()})
+}
+
+// OnServerHello consumes the authority's key share and emits the evidence
+// message.
+func (s *NodeSession) OnServerHello(msg []byte) ([]byte, error) {
+	var sh helloMsg
+	if err := json.Unmarshal(msg, &sh); err != nil || sh.Type != "server-hello" {
+		return nil, ErrBadMessage
+	}
+	authPub, err := ecdh.X25519().NewPublicKey(sh.Public)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	shared, err := s.ecdhPriv.ECDH(authPub)
+	if err != nil {
+		return nil, err
+	}
+	nodePub := s.ecdhPriv.PublicKey().Bytes()
+	s.session = sessionKey(shared, nodePub, sh.Public)
+	s.established = true
+
+	sig, err := ecdsa.SignASN1(rand.Reader, s.machine.priv, transcriptDigest(nodePub, sh.Public))
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := seal(s.session, nodeInfo{Measurement: s.measurement, Meta: s.meta})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(evidenceMsg{
+		Type:       "evidence",
+		Cert:       s.machine.Cert,
+		Transcript: sig,
+		Sealed:     sealed,
+	})
+}
+
+// OnGrant consumes the authority's final message and returns the assigned
+// node id and the signed attestation report (verified against the
+// authority key).
+func (s *NodeSession) OnGrant(msg []byte) (forest.NodeID, *Report, error) {
+	if !s.established {
+		return 0, nil, fmt.Errorf("%w: grant before key agreement", ErrBadMessage)
+	}
+	var g grantMsg
+	if err := json.Unmarshal(msg, &g); err != nil || g.Type != "grant" {
+		return 0, nil, ErrBadMessage
+	}
+	var info grantInfo
+	if err := unseal(s.session, g.Sealed, &info); err != nil {
+		return 0, nil, err
+	}
+	if err := VerifyReport(s.authority, &info.Report); err != nil {
+		return 0, nil, err
+	}
+	if info.Report.NodeID != info.NodeID || info.Report.Measurement != s.measurement {
+		return 0, nil, fmt.Errorf("%w: report does not match grant", ErrBadMessage)
+	}
+	return info.NodeID, &info.Report, nil
+}
+
+// SessionKey exposes the negotiated session key (tests only).
+func (s *NodeSession) SessionKey() [32]byte { return s.session }
+
+// AuthSession is the authority's per-connection state.
+type AuthSession struct {
+	a        *Authority
+	ecdhPriv *ecdh.PrivateKey
+	nodePub  []byte
+	session  [32]byte
+}
+
+// NewSession starts serving one attestation connection.
+func (a *Authority) NewSession() (*AuthSession, error) {
+	priv, err := newSessionKeys()
+	if err != nil {
+		return nil, err
+	}
+	return &AuthSession{a: a, ecdhPriv: priv}, nil
+}
+
+// OnHello consumes the node's hello and emits the server hello.
+func (s *AuthSession) OnHello(msg []byte) ([]byte, error) {
+	var h helloMsg
+	if err := json.Unmarshal(msg, &h); err != nil || h.Type != "hello" {
+		return nil, ErrBadMessage
+	}
+	nodePub, err := ecdh.X25519().NewPublicKey(h.Public)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	shared, err := s.ecdhPriv.ECDH(nodePub)
+	if err != nil {
+		return nil, err
+	}
+	s.nodePub = h.Public
+	s.session = sessionKey(shared, h.Public, s.ecdhPriv.PublicKey().Bytes())
+	return json.Marshal(helloMsg{Type: "server-hello", Public: s.ecdhPriv.PublicKey().Bytes()})
+}
+
+// OnEvidence verifies the certificate chain and measurement policy, then
+// issues the node id and signed report.
+func (s *AuthSession) OnEvidence(msg []byte) ([]byte, error) {
+	var ev evidenceMsg
+	if err := json.Unmarshal(msg, &ev); err != nil || ev.Type != "evidence" {
+		return nil, ErrBadMessage
+	}
+	machinePub, err := VerifyCertificate(s.a.manufacturer, &ev.Cert)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	digest := transcriptDigest(s.nodePub, s.ecdhPriv.PublicKey().Bytes())
+	if !ecdsa.VerifyASN1(machinePub, digest, ev.Transcript) {
+		return nil, fmt.Errorf("%w: transcript signature invalid", ErrRejected)
+	}
+	var info nodeInfo
+	if err := unseal(s.session, ev.Sealed, &info); err != nil {
+		return nil, err
+	}
+	if !s.a.policy[info.Measurement] {
+		return nil, ErrMeasurement
+	}
+
+	id := s.a.nextID
+	s.a.nextID++
+	report := Report{NodeID: id, Subject: ev.Cert.Subject, Measurement: info.Measurement,
+		MachinePublicKey: ev.Cert.PublicKey}
+	sig, err := ecdsa.SignASN1(rand.Reader, s.a.signing, report.digest())
+	if err != nil {
+		return nil, err
+	}
+	report.Signature = sig
+	sealed, err := seal(s.session, grantInfo{NodeID: id, Report: report})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(grantMsg{Type: "grant", Sealed: sealed})
+}
+
+// Run drives the whole protocol in memory (no network), returning the node
+// id and report. The monitor uses this for local setups; distributed
+// setups push the same four messages through netsim.
+func Run(node *NodeSession, authority *Authority) (forest.NodeID, *Report, error) {
+	as, err := authority.NewSession()
+	if err != nil {
+		return 0, nil, err
+	}
+	hello, err := node.Hello()
+	if err != nil {
+		return 0, nil, err
+	}
+	sh, err := as.OnHello(hello)
+	if err != nil {
+		return 0, nil, err
+	}
+	ev, err := node.OnServerHello(sh)
+	if err != nil {
+		return 0, nil, err
+	}
+	grant, err := as.OnEvidence(ev)
+	if err != nil {
+		return 0, nil, err
+	}
+	return node.OnGrant(grant)
+}

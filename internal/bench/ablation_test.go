@@ -1,0 +1,93 @@
+package bench
+
+import "testing"
+
+func TestCacheSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace sweep in -short mode")
+	}
+	rows, err := CacheSweep(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Overhead > rows[i-1].Overhead {
+			t.Errorf("bigger cache (%d) increased overhead: %.3f > %.3f",
+				rows[i].CacheBytes, rows[i].Overhead, rows[i-1].Overhead)
+		}
+		if rows[i].MissRate > rows[i-1].MissRate {
+			t.Errorf("bigger cache (%d) increased miss rate", rows[i].CacheBytes)
+		}
+	}
+}
+
+func TestArityAblationStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace sweep in -short mode")
+	}
+	rows, err := ArityAblation(50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Wider leaves -> bigger granule, slightly less metadata.
+	if rows[0].MMTSize >= rows[1].MMTSize || rows[1].MMTSize >= rows[2].MMTSize {
+		t.Error("MMT size not increasing with leaf arity")
+	}
+	if rows[0].MetaFraction < rows[2].MetaFraction {
+		t.Error("metadata fraction should shrink with wider leaves")
+	}
+	if rows[1].MMTSize != 2<<20 {
+		t.Errorf("paper layout granule %d, want 2M", rows[1].MMTSize)
+	}
+}
+
+func TestCounterWidthAblationShape(t *testing.T) {
+	rows, err := CounterWidthAblation(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrower counters overflow more and cost more per write.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.LocalBits >= last.LocalBits {
+		t.Fatal("rows not ordered by width")
+	}
+	if first.Overflows <= last.Overflows {
+		t.Errorf("4-bit counters overflowed %d times vs %d for 16-bit", first.Overflows, last.Overflows)
+	}
+	if first.CyclesPerWrite <= last.CyclesPerWrite {
+		t.Error("overflow storms should cost cycles")
+	}
+	if last.Overflows != 0 {
+		t.Errorf("16-bit counters overflowed %d times in a 10k write storm", last.Overflows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Overflows > rows[i-1].Overflows {
+			t.Errorf("overflows not monotone at %d bits", rows[i].LocalBits)
+		}
+	}
+}
+
+func TestLossSweepDeliversEverything(t *testing.T) {
+	rows, err := LossSweep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Delivered != 10 {
+			t.Errorf("loss %d%%: delivered %d of 10", r.LossPercent, r.Delivered)
+		}
+	}
+	clean, lossy := rows[0], rows[len(rows)-1]
+	if clean.Retries != 0 {
+		t.Errorf("clean fabric needed %d retries", clean.Retries)
+	}
+	if lossy.Retries == 0 {
+		t.Error("20% loss needed no retries; dropper inactive?")
+	}
+	if lossy.GoodputGBps >= clean.GoodputGBps {
+		t.Error("goodput should drop with loss")
+	}
+}

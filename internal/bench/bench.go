@@ -1,0 +1,138 @@
+// Package bench implements the paper's evaluation (§VI): one experiment
+// per table and figure, each returning structured rows that the mmt-bench
+// command and the testing.B harness render. Every experiment runs the real
+// functional stack (actual encryption, actual tree verification, actual
+// closures over the simulated interconnect) and reads timings off the
+// simulated clocks — see DESIGN.md for the calibration and the
+// per-experiment index.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"mmt/internal/channel"
+	"mmt/internal/core"
+	"mmt/internal/crypt"
+	"mmt/internal/engine"
+	"mmt/internal/forest"
+	"mmt/internal/mem"
+	"mmt/internal/netsim"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// testbed is a pair of MMT nodes joined by an untrusted network, with all
+// three channel types available — the standing microbenchmark rig.
+type testbed struct {
+	net  *netsim.Network
+	prof *sim.Profile
+
+	sender, receiver *core.Node
+	epS, epR         *netsim.Endpoint
+
+	nonsec *channel.NonSecure
+	secure *channel.Secure
+	deleg  *channel.Delegation // sender side
+	delegR *channel.Delegation // receiver side
+}
+
+// newTestbed builds the rig with `regions` buffer regions per node.
+func newTestbed(prof *sim.Profile, geo tree.Geometry, regions int) (*testbed, error) {
+	tb := &testbed{net: netsim.NewNetwork(prof.NetLatency), prof: prof}
+	mk := func(name string, id int) (*core.Node, *netsim.Endpoint, error) {
+		pm := mem.New(mem.Config{
+			Size:          regions * geo.DataSize(),
+			RegionSize:    geo.DataSize(),
+			MetaPerRegion: geo.MetaSize(),
+		})
+		ctl, err := engine.New(pm, geo, nil, prof)
+		if err != nil {
+			return nil, nil, err
+		}
+		ep, err := tb.net.Attach(name, ctl.Clock())
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewNode(forest.NodeID(id), ctl), ep, nil
+	}
+	var err error
+	if tb.sender, tb.epS, err = mk("sender", 1); err != nil {
+		return nil, err
+	}
+	if tb.receiver, tb.epR, err = mk("receiver", 2); err != nil {
+		return nil, err
+	}
+	key := crypt.KeyFromBytes([]byte("bench-key"))
+	pool := make([]int, regions)
+	for i := range pool {
+		pool[i] = i
+	}
+	tb.nonsec = channel.NewNonSecure(tb.epS, "receiver", prof)
+	tb.secure = channel.NewSecure(tb.epS, "receiver", prof, key)
+	tb.deleg = channel.NewDelegation(tb.epS, "receiver", prof, tb.sender, core.NewConn(key, 0), pool)
+	tb.delegR = channel.NewDelegation(tb.epR, "sender", prof, tb.receiver, core.NewConn(key, 0), append([]int(nil), pool...))
+	return tb, nil
+}
+
+// secureReceiver builds the matching receive side of the secure channel.
+func (tb *testbed) secureReceiver() *channel.Secure {
+	return channel.NewSecure(tb.epR, "sender", tb.prof, crypt.KeyFromBytes([]byte("bench-key")))
+}
+
+// payload builds a deterministic test payload.
+func payload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*131 + 17)
+	}
+	return p
+}
+
+// renderTable pretty-prints rows with a header.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// fmtSize prints a byte count the way the paper does (2K, 2M, ...).
+func fmtSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// RenderTable1 prints the interconnect table (Table I).
+func RenderTable1() string {
+	header := []string{"Method", "Throughput", "Connection"}
+	var out [][]string
+	for _, l := range sim.TableILinks() {
+		out = append(out, []string{l.Method, l.Throughput, l.Connection})
+	}
+	return renderTable("Table I: interconnect throughput", header, out)
+}
+
+// RenderConfigs prints the simulated testbed configurations (Tables II and
+// III) as derived from the cost profiles and tree geometry in use.
+func RenderConfigs() string {
+	geo := tree.ForLevels(3)
+	row := func(p *sim.Profile) []string {
+		return []string{
+			p.Name,
+			fmt.Sprintf("%.1fGHz", p.FreqHz/1e9),
+			fmtSize(p.MMTCacheBytes),
+			fmtSize(p.RootTableSoC),
+			fmtSize(p.SecureMemory),
+			fmt.Sprintf("%d levels / %s closures", geo.Levels(), fmtSize(geo.DataSize())),
+			fmt.Sprintf("%v cycles", float64(p.AESLatency)),
+		}
+	}
+	header := []string{"Profile", "Clock", "MMT cache", "Roots in SoC", "Secure memory", "Tree", "Encrypt latency"}
+	return renderTable("Tables II/III: testbed configurations", header,
+		[][]string{row(sim.Gem5Profile()), row(sim.IntelProfile())})
+}

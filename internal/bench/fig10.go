@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// Fig10aRow is one block size of Figure 10(a): achievable throughput of
+// AES-128-GCM (AES-NI), raw RDMA, and MMT closure delegation on the Intel
+// testbed, in GB/s.
+type Fig10aRow struct {
+	BlockSize  int
+	AESGCMGBps float64
+	RDMAGBps   float64
+	MMTGBps    float64
+}
+
+// Fig10a reproduces Figure 10(a). The paper's headline points: AES-GCM
+// plateaus at ~2.2 GB/s, the 100 Gbps NIC delivers ~11 GB/s, and MMT
+// delegation reaches 9.68 GB/s (the NIC rate divided by the closure's
+// metadata overhead).
+func Fig10a() []Fig10aRow {
+	prof := sim.IntelProfile()
+	geo := tree.ForLevels(3)
+	// Goodput of delegation: data bytes over the cycles to push
+	// data+metadata through the NIC plus the fixed protocol cost.
+	delegGoodput := func(n int) float64 {
+		closures := (n + geo.DataSize() - 1) / geo.DataSize()
+		wire := n + closures*(geo.MetaSize()+64) // tree nodes + MACs + sealed root
+		cy := prof.RemoteWriteCost(wire) + sim.Cycles(closures)*prof.DelegationFixed
+		return float64(n) / float64(prof.ToTime(cy))
+	}
+	var rows []Fig10aRow
+	for n := 1 << 10; n <= 32<<20; n <<= 2 {
+		rows = append(rows, Fig10aRow{
+			BlockSize:  n,
+			AESGCMGBps: float64(n) / float64(prof.ToTime(prof.EncryptCost(n))) / 1e9,
+			RDMAGBps:   float64(n) / float64(prof.ToTime(prof.RemoteWriteCost(n))) / 1e9,
+			MMTGBps:    delegGoodput(n) / 1e9,
+		})
+	}
+	return rows
+}
+
+// RenderFig10a prints the throughput series.
+func RenderFig10a(rows []Fig10aRow) string {
+	header := []string{"Block", "AES-GCM GB/s", "RDMA GB/s", "MMT GB/s"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmtSize(r.BlockSize),
+			fmt.Sprintf("%.2f", r.AESGCMGBps),
+			fmt.Sprintf("%.2f", r.RDMAGBps),
+			fmt.Sprintf("%.2f", r.MMTGBps),
+		})
+	}
+	return renderTable("Figure 10a: max throughput (paper: AES-GCM ~2.2, RDMA ~11, MMT 9.68 GB/s)", header, out)
+}
+
+// Fig10bRow is one network-latency point of Figure 10(b): end-to-end time
+// to move 2 MB via the CPU-only secure channel versus MMT delegation on
+// the Gem5 testbed, and the resulting speedup.
+type Fig10bRow struct {
+	NetLatency    sim.Time
+	SecureChannel sim.Time
+	MMT           sim.Time
+	Speedup       float64
+}
+
+// Fig10b reproduces Figure 10(b) by re-running the 2 MB transfer of Table
+// IV at increasing pci-connector delays. The paper: 169x at zero latency
+// falling to ~4.5x at 10 ms.
+func Fig10b() ([]Fig10bRow, error) {
+	latencies := []sim.Time{0, 1e-6, 10e-6, 100e-6, 1e-3, 10e-3}
+	var rows []Fig10bRow
+	for _, lat := range latencies {
+		prof := sim.Gem5Profile()
+		prof.NetLatency = lat
+		row, err := table4Measure(prof, 2<<20)
+		if err != nil {
+			return nil, err
+		}
+		// End-to-end = processing cycles + one-way propagation (both
+		// schemes send one logical message).
+		sc := prof.ToTime(row.SecureChannel) + lat
+		mmt := prof.ToTime(row.MMT) + lat
+		rows = append(rows, Fig10bRow{
+			NetLatency:    lat,
+			SecureChannel: sc,
+			MMT:           mmt,
+			Speedup:       float64(sc) / float64(mmt),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig10b prints the latency series.
+func RenderFig10b(rows []Fig10bRow) string {
+	header := []string{"NetLatency", "SecureChannel", "MMT", "Speedup"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.NetLatency.String(), r.SecureChannel.String(), r.MMT.String(),
+			fmt.Sprintf("%.1fx", r.Speedup),
+		})
+	}
+	return renderTable("Figure 10b: 2M end-to-end vs network latency (paper: 169x -> 4.5x at 10ms)", header, out)
+}

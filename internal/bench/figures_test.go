@@ -1,0 +1,239 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig10aShape(t *testing.T) {
+	rows := Fig10a()
+	if len(rows) < 6 {
+		t.Fatalf("only %d points", len(rows))
+	}
+	last := rows[len(rows)-1]
+	// Paper: AES-GCM plateaus ~2.2 GB/s, RDMA ~11 GB/s, MMT ~9.68 GB/s.
+	if last.AESGCMGBps < 1.5 || last.AESGCMGBps > 3 {
+		t.Errorf("AES-GCM plateau %.2f GB/s, want ~2.2", last.AESGCMGBps)
+	}
+	if last.RDMAGBps < 9 || last.RDMAGBps > 13 {
+		t.Errorf("RDMA plateau %.2f GB/s, want ~11", last.RDMAGBps)
+	}
+	if last.MMTGBps < 8 || last.MMTGBps > 11 {
+		t.Errorf("MMT goodput %.2f GB/s, want ~9.68", last.MMTGBps)
+	}
+	if last.MMTGBps >= last.RDMAGBps {
+		t.Error("MMT goodput should be below raw RDMA (metadata overhead)")
+	}
+	// An order of magnitude between AES and MMT at large blocks.
+	if last.MMTGBps/last.AESGCMGBps < 3 {
+		t.Errorf("MMT/AES ratio %.1f, want >3", last.MMTGBps/last.AESGCMGBps)
+	}
+	// Throughputs grow with block size (setup amortization).
+	if rows[0].AESGCMGBps >= last.AESGCMGBps {
+		t.Error("AES-GCM throughput not increasing with block size")
+	}
+	t.Log("\n" + RenderFig10a(rows))
+}
+
+func TestFig10bShape(t *testing.T) {
+	rows, err := Fig10b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.NetLatency != 0 || last.NetLatency != 10e-3 {
+		t.Fatalf("latency sweep endpoints wrong: %v..%v", first.NetLatency, last.NetLatency)
+	}
+	// Paper: 169x at zero latency, ~4.5x at 10ms.
+	if first.Speedup < 100 || first.Speedup > 260 {
+		t.Errorf("zero-latency speedup %.1fx, want ~169x", first.Speedup)
+	}
+	if last.Speedup < 2 || last.Speedup > 8 {
+		t.Errorf("10ms speedup %.1fx, want ~4.5x", last.Speedup)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup > rows[i-1].Speedup {
+			t.Errorf("speedup not shrinking with latency at %v", rows[i].NetLatency)
+		}
+	}
+	t.Log("\n" + RenderFig10b(rows))
+}
+
+func TestFig11AndTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace simulation in -short mode")
+	}
+	res, err := Fig11(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 10 {
+		t.Fatalf("only %d benchmarks", len(res.Rows))
+	}
+	// Paper averages: 1.07 / 1.12 / 1.21. Our model reproduces the first
+	// two closely; the 4-level penalty is smaller (see EXPERIMENTS.md), so
+	// assert ordering plus bands.
+	a2, a3, a4 := res.Average[2], res.Average[3], res.Average[4]
+	if a2 < 1.03 || a2 > 1.12 {
+		t.Errorf("2-level average %.3f, want ~1.07", a2)
+	}
+	if a3 < 1.08 || a3 > 1.17 {
+		t.Errorf("3-level average %.3f, want ~1.12", a3)
+	}
+	if !(a2 < a3 && a3 < a4) {
+		t.Errorf("averages not ordered: %.3f %.3f %.3f", a2, a3, a4)
+	}
+	// Every benchmark's overhead is at least 1 (protection never speeds
+	// memory up).
+	for _, r := range res.Rows {
+		for l, o := range r.Overhead {
+			if o < 1 {
+				t.Errorf("%s level %d overhead %.3f < 1", r.Benchmark, l, o)
+			}
+		}
+	}
+	t.Log("\n" + RenderFig11(res))
+
+	_, rows, err := Table5(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ root, mmt int }{
+		{256 << 10, 64 << 10},
+		{8 << 10, 2 << 20},
+		{256, 64 << 20},
+	}
+	for i, r := range rows {
+		if r.RootSize != want[i].root || r.MMTSize != want[i].mmt {
+			t.Errorf("level %d: root %d mmt %d, want %d %d",
+				r.Levels, r.RootSize, r.MMTSize, want[i].root, want[i].mmt)
+		}
+	}
+	t.Log("\n" + RenderTable5(rows))
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wordcount sweeps in -short mode")
+	}
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rows[0], rows[len(rows)-1]
+	// Paper: secure channel wins for tiny transfers (crossover < 8K)...
+	if small.Speedup >= 1 {
+		t.Errorf("smallest size speedup %.2fx, want <1 (secure channel wins)", small.Speedup)
+	}
+	// ...and MMT wins by up to ~10x once past a closure.
+	if large.Speedup < 4 || large.Speedup > 20 {
+		t.Errorf("largest size speedup %.2fx, want ~10x", large.Speedup)
+	}
+	// Speedup grows with size until it plateaus (allow 5% jitter).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup < 0.95*rows[i-1].Speedup {
+			t.Errorf("speedup shrinking at %s", fmtSize(rows[i].InputBytes))
+		}
+	}
+	t.Log("\n" + RenderFig12(rows))
+}
+
+func TestFig13aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comm-ratio sweep in -short mode")
+	}
+	rows, err := Fig13a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// MMT stays near the baseline (paper: ~1.5% overhead at comm-10%;
+		// our closure-granularity rounding costs more at extreme comm
+		// shares — see EXPERIMENTS.md).
+		if r.MMT < 0.75 {
+			t.Errorf("comm-%d%%: MMT normalized %.3f, want ~1.0", r.CommPercent, r.MMT)
+		}
+		if r.CommPercent <= 10 && r.MMT < 0.93 {
+			t.Errorf("comm-%d%%: MMT normalized %.3f, want >0.93", r.CommPercent, r.MMT)
+		}
+		// Secure channel is strictly worse than MMT.
+		if r.SecureChannel >= r.MMT {
+			t.Errorf("comm-%d%%: secure channel %.3f not below MMT %.3f",
+				r.CommPercent, r.SecureChannel, r.MMT)
+		}
+		if r.MMTImprovement <= 0 {
+			t.Errorf("comm-%d%%: no improvement over secure channel", r.CommPercent)
+		}
+	}
+	// Secure channel deteriorates as communication share grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SecureChannel > rows[i-1].SecureChannel {
+			t.Errorf("secure channel improves with more comm?!")
+		}
+	}
+	t.Log("\n" + RenderFig13a(rows))
+}
+
+func TestFig13bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep in -short mode")
+	}
+	rows, err := Fig13b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	// Both modes keep scaling as workers double; MMT tracks the baseline
+	// within a factor.
+	if last.SpeedupVsM1MMT < 2 {
+		t.Errorf("M8R8 MMT scaling %.2fx, want >2x", last.SpeedupVsM1MMT)
+	}
+	ratio := last.SpeedupVsM1MMT / last.SpeedupVsM1Baseline
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("MMT scaling diverges from baseline: ratio %.2f", ratio)
+	}
+	t.Log("\n" + RenderFig13b(rows))
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pagerank in -short mode")
+	}
+	rows, cross, err := Fig14(DefaultFig14Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross < 30_000 {
+		t.Fatalf("only %d cross edges; want the paper's ~60k regime", cross)
+	}
+	byMode := map[string]Fig14Row{}
+	for _, r := range rows {
+		byMode[r.Mode.String()] = r
+	}
+	mmt, sec, non := byMode["mmt"], byMode["secure-channel"], byMode["non-secure"]
+	// Paper: remote-transfer is ~5% of the iteration under MMT and ~37.5%
+	// under the secure channel.
+	if mmt.RemoteTransferShare > 0.15 {
+		t.Errorf("MMT remote-transfer share %.1f%%, want ~5%%", 100*mmt.RemoteTransferShare)
+	}
+	if sec.RemoteTransferShare < 0.2 || sec.RemoteTransferShare > 0.6 {
+		t.Errorf("secure-channel remote-transfer share %.1f%%, want ~37.5%%", 100*sec.RemoteTransferShare)
+	}
+	// Paper: MMT end-to-end ~35% better than the secure channel.
+	if mmt.VsSecureChannel < 0.15 || mmt.VsSecureChannel > 0.60 {
+		t.Errorf("MMT vs secure channel %+.0f%%, want ~+35%%", 100*mmt.VsSecureChannel)
+	}
+	if math.Abs(float64(mmt.Elapsed-non.Elapsed))/float64(non.Elapsed) > 0.25 {
+		t.Errorf("MMT (%v) far from non-secure (%v)", mmt.Elapsed, non.Elapsed)
+	}
+	t.Log("\n" + RenderFig14(rows, cross))
+}
+
+func TestRenderConfigsAndTable1(t *testing.T) {
+	if s := RenderTable1(); len(s) == 0 {
+		t.Fatal("empty Table I")
+	}
+	if s := RenderConfigs(); len(s) == 0 {
+		t.Fatal("empty configs")
+	}
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// Table4Row is one column of the paper's Table IV: the cost breakdown of
+// the software secure channel versus MMT closure delegation for one
+// transferred memory size. All costs are in cycles on the row's profile;
+// rendering converts to the paper's units (10^3 cycles for Gem5,
+// milliseconds for the Intel testbed).
+type Table4Row struct {
+	Size int
+
+	Memcpy2     sim.Cycles // two copies across the enclave boundary
+	RemoteWrite sim.Cycles
+	Encrypt     sim.Cycles
+	Decrypt     sim.Cycles
+
+	SecureChannel sim.Cycles // sum of the four above
+	MMT           sim.Cycles // closure delegation, wire + fixed + ack
+
+	Speedup      float64
+	PaperSpeedup float64
+}
+
+// table4Measure runs both transfer schemes for one size on a fresh testbed
+// and reads the breakdown off the channel stats.
+func table4Measure(prof *sim.Profile, size int) (Table4Row, error) {
+	geo := tree.ForLevels(3)
+	closures := (size + geo.DataSize() - 1) / geo.DataSize()
+	if closures < 1 {
+		closures = 1
+	}
+	tb, err := newTestbed(prof, geo, closures+1)
+	if err != nil {
+		return Table4Row{}, err
+	}
+	p := payload(size)
+	// The paper transfers `size` bytes of secure memory; our channel frames
+	// each closure with a 16-byte header, so shave the headers off the
+	// payload to keep the closure count (and hence the transferred region
+	// bytes) equal to the paper's.
+	mmtPayload := p[:size-16*closures]
+
+	// Secure channel: send + receive, then read the per-phase stats.
+	secR := tb.secureReceiver()
+	if err := tb.secure.Send(p); err != nil {
+		return Table4Row{}, err
+	}
+	if _, err := secR.Recv(); err != nil {
+		return Table4Row{}, err
+	}
+	ss, rs := tb.secure.Stats(), secR.Stats()
+
+	// MMT closure delegation of the same payload.
+	if err := tb.deleg.Send(mmtPayload); err != nil {
+		return Table4Row{}, err
+	}
+	if _, err := tb.delegR.RecvMessage(); err != nil {
+		return Table4Row{}, err
+	}
+	if err := tb.deleg.DrainAcks(); err != nil {
+		return Table4Row{}, err
+	}
+	ds, dr := tb.deleg.Stats(), tb.delegR.Stats()
+
+	row := Table4Row{
+		Size:          size,
+		Memcpy2:       ss.Memcpy + rs.Memcpy,
+		RemoteWrite:   ss.RemoteWrite + rs.RemoteWrite,
+		Encrypt:       ss.Encrypt,
+		Decrypt:       rs.Decrypt,
+		SecureChannel: ss.Total() + rs.Total(),
+		MMT:           ds.Total() + dr.Total(),
+	}
+	row.Speedup = float64(row.SecureChannel) / float64(row.MMT)
+	return row, nil
+}
+
+// paperTable4 holds the published speedups for the comparison column.
+var paperTable4 = map[string]map[int]float64{
+	"gem5": {
+		2 << 20: 169.1, 512 << 10: 41.77, 128 << 10: 10.43,
+		32 << 10: 2.77, 8 << 10: 0.92, 2 << 10: 0.45,
+	},
+	"intel-e5-2650": {
+		32 << 20: 13.1, 64 << 20: 12.7, 128 << 20: 12.7,
+	},
+}
+
+// Table4Gem5 reproduces the Gem5 half of Table IV (sizes 2K..2M).
+func Table4Gem5() ([]Table4Row, error) {
+	return table4(sim.Gem5Profile(), []int{2 << 20, 512 << 10, 128 << 10, 32 << 10, 8 << 10, 2 << 10})
+}
+
+// Table4Intel reproduces the Intel/AES-NI half of Table IV (32M..128M).
+func Table4Intel() ([]Table4Row, error) {
+	return table4(sim.IntelProfile(), []int{32 << 20, 64 << 20, 128 << 20})
+}
+
+func table4(prof *sim.Profile, sizes []int) ([]Table4Row, error) {
+	rows := make([]Table4Row, 0, len(sizes))
+	for _, size := range sizes {
+		row, err := table4Measure(prof, size)
+		if err != nil {
+			return nil, fmt.Errorf("table4 size %d: %w", size, err)
+		}
+		row.PaperSpeedup = paperTable4[prof.Name][size]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable4 prints rows in the paper's layout.
+func RenderTable4(title string, prof *sim.Profile, rows []Table4Row) string {
+	ms := prof.Name != "gem5"
+	unit := "10^3 cycles"
+	conv := func(c sim.Cycles) string { return fmt.Sprintf("%.1f", float64(c)/1e3) }
+	if ms {
+		unit = "ms"
+		conv = func(c sim.Cycles) string { return fmt.Sprintf("%.2f", prof.ToTime(c).Milliseconds()) }
+	}
+	header := []string{"Size", "Memcpy*2", "Remote_W", "Encrypt", "Decrypt",
+		"SecureChannel", "MMT", "Speedup", "PaperSpeedup"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmtSize(r.Size), conv(r.Memcpy2), conv(r.RemoteWrite), conv(r.Encrypt), conv(r.Decrypt),
+			conv(r.SecureChannel), conv(r.MMT),
+			fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprintf("%.2fx", r.PaperSpeedup),
+		})
+	}
+	return renderTable(fmt.Sprintf("%s (%s)", title, unit), header, out)
+}

@@ -1,0 +1,362 @@
+package channel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmt/internal/core"
+	"mmt/internal/netsim"
+	"mmt/internal/sim"
+)
+
+// Delegation is the MMT closure delegation channel: message passing where
+// the payload travels as whole MMT closures — ciphertext, tree nodes, MACs
+// and sealed root — with no re-encryption and no extra copies (§IV-B2).
+//
+// Each side owns a pool of protection regions used as send and receive
+// buffers (the paper's pinned sPMO pool). A message larger than one MMT's
+// granularity is split across several closures; a smaller one still costs
+// a whole closure — the constant-below-2M behaviour of Table IV.
+type Delegation struct {
+	common
+	node *core.Node
+	conn *core.Conn
+	pool []int
+	// inflight are MMTs in sending state awaiting acks, oldest first.
+	inflight []*core.MMT
+	// stash holds messages popped while looking for a different kind.
+	stash []netsim.Message
+}
+
+// msgHeader frames one chunk inside a region's plaintext.
+const (
+	msgMagic      = 0x4753534D // "MSSG"
+	msgHeaderSize = 16
+)
+
+// NewDelegation builds one side of a delegation channel. regions is the
+// pool of free protection regions this side may use for buffers; it must
+// be disjoint from regions used elsewhere on the node.
+func NewDelegation(ep *netsim.Endpoint, peer string, prof *sim.Profile, node *core.Node, conn *core.Conn, regions []int) *Delegation {
+	return &Delegation{
+		common: common{ep: ep, peer: peer, prof: prof},
+		node:   node,
+		conn:   conn,
+		pool:   append([]int(nil), regions...),
+	}
+}
+
+// Capacity reports the payload bytes one closure carries.
+func (c *Delegation) Capacity() int {
+	return c.node.Controller().Geometry().DataSize() - msgHeaderSize
+}
+
+// PoolFree reports the free buffer regions (tests).
+func (c *Delegation) PoolFree() int { return len(c.pool) }
+
+// popRegion takes a free region.
+func (c *Delegation) popRegion() (int, error) {
+	if len(c.pool) == 0 {
+		return 0, fmt.Errorf("channel: delegation buffer pool exhausted")
+	}
+	r := c.pool[0]
+	c.pool = c.pool[1:]
+	return r, nil
+}
+
+// popKind returns the next pending message of the wanted kind, stashing
+// others (acks and closures interleave on a bidirectional endpoint).
+func (c *Delegation) popKind(kind netsim.Kind) (netsim.Message, bool) {
+	for i, m := range c.stash {
+		if m.Kind == kind {
+			c.stash = append(c.stash[:i], c.stash[i+1:]...)
+			return m, true
+		}
+	}
+	for {
+		m, ok := c.ep.Recv()
+		if !ok {
+			return netsim.Message{}, false
+		}
+		if m.Kind == kind {
+			return m, true
+		}
+		c.stash = append(c.stash, m)
+	}
+}
+
+// ack frames are 9 bytes: a status byte plus the global-unique address of
+// the delegated MMT, so acks and in-flight delegations match even when an
+// adversary re-orders traffic.
+func encodeAck(ok bool, guaddr uint64) []byte {
+	out := make([]byte, 9)
+	if ok {
+		out[0] = 1
+	}
+	binary.LittleEndian.PutUint64(out[1:], guaddr)
+	return out
+}
+
+func decodeAck(b []byte) (ok bool, guaddr uint64, err error) {
+	if len(b) != 9 {
+		return false, 0, fmt.Errorf("channel: malformed ack (%d bytes)", len(b))
+	}
+	return b[0] == 1, binary.LittleEndian.Uint64(b[1:]), nil
+}
+
+// errUnknownAck reports an ack naming no in-flight delegation — stale, or
+// its closure's address hint was destroyed in transit.
+var errUnknownAck = errors.New("channel: ack for unknown delegation")
+
+// drainAcks processes pending acks, completing in-flight delegations and
+// recycling their regions. Acks are matched to in-flight MMTs by
+// global-unique address; an ack that matches nothing (e.g. a nack for a
+// closure whose header an attacker destroyed) is dropped like a lost
+// packet.
+func (c *Delegation) drainAcks() error {
+	// A nack for one of our in-flight delegations (ErrClosed) outranks a
+	// stale or unknown ack: the latter is delivery noise an adversary can
+	// always inject, the former means our transfer definitively failed.
+	var closedErr, otherErr error
+	for {
+		m, ok := c.popKind(netsim.KindControl)
+		if !ok {
+			if closedErr != nil {
+				return closedErr
+			}
+			return otherErr
+		}
+		okByte, guaddr, err := decodeAck(m.Payload)
+		if err != nil {
+			if otherErr == nil {
+				otherErr = err
+			}
+			continue
+		}
+		matched := false
+		for i, mmt := range c.inflight {
+			if mmt.GUAddr() != guaddr {
+				continue
+			}
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			region := mmt.Region()
+			if err := mmt.CompleteSend(okByte); err != nil {
+				return err
+			}
+			if mmt.State() == core.StateInvalid {
+				c.pool = append(c.pool, region)
+			}
+			if !okByte && closedErr == nil {
+				closedErr = ErrClosed
+			}
+			matched = true
+			break
+		}
+		if !matched && otherErr == nil {
+			otherErr = fmt.Errorf("%w: %#x", errUnknownAck, guaddr)
+		}
+	}
+}
+
+// Send transfers payload to the peer as one or more ownership-transfer
+// closures. The per-chunk cost is a remote write of the whole closure
+// (data + metadata) plus the fixed seal/ack cost — never encryption.
+func (c *Delegation) Send(payload []byte) error {
+	if err := c.drainAcks(); err != nil {
+		return err
+	}
+	capacity := c.Capacity()
+	total := (len(payload) + capacity - 1) / capacity
+	if total == 0 {
+		total = 1
+	}
+	for i := 0; i < total; i++ {
+		lo := i * capacity
+		hi := lo + capacity
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		if err := c.sendChunk(payload[lo:hi], i, total); err != nil {
+			return err
+		}
+	}
+	c.stats.Messages++
+	c.stats.Bytes += len(payload)
+	return nil
+}
+
+func (c *Delegation) sendChunk(chunk []byte, idx, total int) error {
+	region, err := c.popRegion()
+	if err != nil {
+		return err
+	}
+	// The application produces its message directly into the secure buffer;
+	// that production is not part of the transfer cost (unlike the secure
+	// channel's extra copies, which exist only to cross the enclave
+	// boundary).
+	ctl := c.node.Controller()
+	base := ctl.Memory().RegionBase(region)
+	header := make([]byte, msgHeaderSize)
+	binary.LittleEndian.PutUint32(header[0:], msgMagic)
+	binary.LittleEndian.PutUint32(header[4:], uint32(idx))
+	binary.LittleEndian.PutUint32(header[8:], uint32(total))
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(chunk)))
+	ctl.Memory().Write(base, header)
+	ctl.Memory().Write(base+msgHeaderSize, chunk)
+
+	mmt, err := c.node.Acquire(region, c.conn.Key(), c.conn.NextCounter())
+	if err != nil {
+		return err
+	}
+	closure, err := mmt.BeginSend(c.conn, core.OwnershipTransfer)
+	if err != nil {
+		return err
+	}
+	wire := closure.Encode()
+	c.charge(&c.stats.RemoteWrite, c.prof.RemoteWriteCost(len(wire)))
+	c.charge(&c.stats.Delegation, c.prof.DelegationFixed)
+	c.inflight = append(c.inflight, mmt)
+	c.ep.Send(c.peer, netsim.KindClosure, wire)
+	return nil
+}
+
+// Received is one accepted closure, still resident in secure memory.
+type Received struct {
+	ch     *Delegation
+	mmt    *core.MMT
+	Index  int
+	Total  int
+	Length int
+}
+
+// MMT exposes the received tree (the data stays in secure memory; reads
+// verify and decrypt on demand).
+func (r *Received) MMT() *core.MMT { return r.mmt }
+
+// Payload reads the chunk's bytes out of secure memory. The reads verify
+// and decrypt as usual but are not charged to the simulated clock: payload
+// consumption is application work that every transfer mode performs and
+// none of the channels accounts for.
+func (r *Received) Payload() ([]byte, error) {
+	ctl := r.ch.node.Controller()
+	ctl.SetQuiet(true)
+	defer ctl.SetQuiet(false)
+	raw, err := r.mmt.ReadBytes(0, msgHeaderSize+r.Length)
+	if err != nil {
+		return nil, err
+	}
+	return raw[msgHeaderSize:], nil
+}
+
+// Release reclaims the buffer region for future receives.
+func (r *Received) Release() error {
+	region := r.mmt.Region()
+	if err := r.mmt.Reclaim(); err != nil {
+		return err
+	}
+	r.ch.pool = append(r.ch.pool, region)
+	return nil
+}
+
+// Recv accepts the next inbound closure: unseal, freshness and order
+// checks, full verification, install — then acks the sender. A rejected
+// closure (tampered, replayed, re-ordered) returns the protocol error and
+// nacks the sender, whose buffer returns to valid for retry.
+func (c *Delegation) Recv() (*Received, error) {
+	m, ok := c.popKind(netsim.KindClosure)
+	if !ok {
+		return nil, ErrEmpty
+	}
+	region, err := c.popRegion()
+	if err != nil {
+		return nil, err
+	}
+	mmt, err := c.node.Expect(region, c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := mmt.Accept(c.conn, m.Payload); err != nil {
+		// Free the waiting buffer and nack the specific delegation (its
+		// cleartext address hint survives even when verification fails).
+		if cerr := mmt.Cancel(); cerr != nil {
+			return nil, cerr
+		}
+		c.pool = append(c.pool, region)
+		if decoded, derr := core.DecodeClosure(m.Payload); derr == nil {
+			c.ep.Send(c.peer, netsim.KindControl, encodeAck(false, decoded.GUAddrHint))
+		}
+		return nil, err
+	}
+	// Ack (Figure 6 step 4): a tiny control message naming the delegation.
+	c.charge(&c.stats.Delegation, c.prof.RemoteWriteCost(9))
+	c.ep.Send(c.peer, netsim.KindControl, encodeAck(true, mmt.GUAddr()))
+
+	c.node.Controller().SetQuiet(true)
+	hdr, err := mmt.ReadBytes(0, msgHeaderSize)
+	c.node.Controller().SetQuiet(false)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr) != msgMagic {
+		return nil, fmt.Errorf("channel: received closure is not a framed message")
+	}
+	return &Received{
+		ch:     c,
+		mmt:    mmt,
+		Index:  int(binary.LittleEndian.Uint32(hdr[4:])),
+		Total:  int(binary.LittleEndian.Uint32(hdr[8:])),
+		Length: int(binary.LittleEndian.Uint32(hdr[12:])),
+	}, nil
+}
+
+// RecvMessage assembles a whole multi-chunk message, releasing the buffer
+// regions as it goes.
+func (c *Delegation) RecvMessage() ([]byte, error) {
+	var out []byte
+	for {
+		r, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.Payload()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+		done := r.Index == r.Total-1
+		if err := r.Release(); err != nil {
+			return nil, err
+		}
+		if done {
+			return out, nil
+		}
+	}
+}
+
+// InFlight reports delegations awaiting acks (tests).
+func (c *Delegation) InFlight() int { return len(c.inflight) }
+
+// AbandonInFlight gives up on every delegation still awaiting an ack: the
+// local timeout path of a reliable sender. Each sending MMT returns to
+// valid and is then reclaimed, freeing its buffer for the retry. The data
+// lives on in the caller's retry payload; the abandoned closures, if they
+// ever arrive, fail the receiver's freshness check.
+func (c *Delegation) AbandonInFlight() error {
+	for _, mmt := range c.inflight {
+		region := mmt.Region()
+		if err := mmt.CompleteSend(false); err != nil {
+			return err
+		}
+		if err := mmt.Reclaim(); err != nil {
+			return err
+		}
+		c.pool = append(c.pool, region)
+	}
+	c.inflight = nil
+	return nil
+}
+
+// DrainAcks exposes ack processing for callers that interleave sends and
+// receives manually.
+func (c *Delegation) DrainAcks() error { return c.drainAcks() }

@@ -1,0 +1,28 @@
+package channel
+
+// Transport is the message-passing face the distributed applications
+// (MapReduce, GAS) program against, keeping them agnostic of which of the
+// three protection schemes carries their traffic — the compatibility goal
+// of §III-A.
+type Transport interface {
+	// Send delivers one whole message to the peer.
+	Send(payload []byte) error
+	// Recv returns the next whole message.
+	Recv() ([]byte, error)
+}
+
+// delegationTransport adapts Delegation's chunked API to Transport.
+type delegationTransport struct{ d *Delegation }
+
+// AsTransport wraps a delegation channel as a whole-message Transport.
+func AsTransport(d *Delegation) Transport { return delegationTransport{d} }
+
+func (t delegationTransport) Send(p []byte) error   { return t.d.Send(p) }
+func (t delegationTransport) Recv() ([]byte, error) { return t.d.RecvMessage() }
+func (t delegationTransport) Stats() Stats          { return t.d.Stats() }
+
+// Interface conformance for the two flat channels.
+var (
+	_ Transport = (*NonSecure)(nil)
+	_ Transport = (*Secure)(nil)
+)

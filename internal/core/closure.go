@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmt/internal/crypt"
+)
+
+// TransferMode selects the delegation semantics of §V-B2.
+type TransferMode uint8
+
+const (
+	// OwnershipTransfer moves the MMT: the receiver gets a writable tree
+	// and the sender invalidates its copy on ack. The DAG programming
+	// model.
+	OwnershipTransfer TransferMode = 1
+	// OwnershipCopy sends a read-only snapshot: the receiver may only
+	// read; the sender keeps ownership and may keep writing after the ack.
+	// The send/receive programming model.
+	OwnershipCopy TransferMode = 2
+)
+
+func (m TransferMode) String() string {
+	switch m {
+	case OwnershipTransfer:
+		return "ownership-transfer"
+	case OwnershipCopy:
+		return "ownership-copy"
+	default:
+		return fmt.Sprintf("TransferMode(%d)", uint8(m))
+	}
+}
+
+// Closure is the MMT transfer unit (§IV-B2): "all data and metadata (i.e.,
+// tree nodes, root and data MACs) used in decryption and authentication".
+// The root travels sealed under the MMT key; tree nodes and ciphertext
+// travel in the clear ("there is no need to encrypt intermediate tree
+// nodes, as they are stored in memory as plaintext").
+type Closure struct {
+	Mode TransferMode
+	// GUAddrHint and CounterHint are cleartext copies of the sealed root
+	// fields. The receiver needs CounterHint to derive the unseal nonce;
+	// both are authenticated because the whole header is the seal's
+	// additional data, and they are cross-checked against the sealed
+	// values after unsealing.
+	GUAddrHint  uint64
+	CounterHint uint64
+	SealedRoot  []byte
+	TreeNodes   []byte
+	LineMACs    []uint64
+	Data        []byte
+}
+
+const (
+	closureMagic   = "MMTC"
+	closureVersion = 1
+	headerSize     = 4 + 1 + 1 + 8 + 8 // magic, version, mode, guaddr, counter
+)
+
+// WireSize reports the encoded size in bytes — what actually crosses the
+// interconnect, and therefore what the cost model charges for.
+func (c *Closure) WireSize() int {
+	return headerSize + 4 + len(c.SealedRoot) + 4 + len(c.TreeNodes) +
+		4 + 8*len(c.LineMACs) + 4 + len(c.Data)
+}
+
+// MetadataSize reports the non-data bytes of the closure (root, tree
+// nodes, MACs): the delegation's bandwidth overhead versus a raw write.
+func (c *Closure) MetadataSize() int { return c.WireSize() - len(c.Data) }
+
+// header encodes the authenticated header.
+func (c *Closure) header() []byte {
+	h := make([]byte, headerSize)
+	copy(h, closureMagic)
+	h[4] = closureVersion
+	h[5] = byte(c.Mode)
+	binary.LittleEndian.PutUint64(h[6:], c.GUAddrHint)
+	binary.LittleEndian.PutUint64(h[14:], c.CounterHint)
+	return h
+}
+
+// Encode serializes the closure for the wire.
+func (c *Closure) Encode() []byte {
+	out := make([]byte, 0, c.WireSize())
+	out = append(out, c.header()...)
+	out = appendChunk(out, c.SealedRoot)
+	out = appendChunk(out, c.TreeNodes)
+	macs := make([]byte, 8*len(c.LineMACs))
+	for i, m := range c.LineMACs {
+		binary.LittleEndian.PutUint64(macs[i*8:], m)
+	}
+	out = appendChunk(out, macs)
+	out = appendChunk(out, c.Data)
+	return out
+}
+
+func appendChunk(dst, chunk []byte) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(chunk)))
+	dst = append(dst, n[:]...)
+	return append(dst, chunk...)
+}
+
+// ErrBadClosure reports a structurally invalid wire closure.
+var ErrBadClosure = errors.New("core: malformed MMT closure")
+
+// DecodeClosure parses a wire closure. Structural validation only — the
+// cryptographic checks happen in Accept.
+func DecodeClosure(wire []byte) (*Closure, error) {
+	if len(wire) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadClosure, len(wire))
+	}
+	if string(wire[:4]) != closureMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadClosure)
+	}
+	if wire[4] != closureVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadClosure, wire[4])
+	}
+	c := &Closure{
+		Mode:        TransferMode(wire[5]),
+		GUAddrHint:  binary.LittleEndian.Uint64(wire[6:]),
+		CounterHint: binary.LittleEndian.Uint64(wire[14:]),
+	}
+	if c.Mode != OwnershipTransfer && c.Mode != OwnershipCopy {
+		return nil, fmt.Errorf("%w: mode %d", ErrBadClosure, wire[5])
+	}
+	rest := wire[headerSize:]
+	var err error
+	if c.SealedRoot, rest, err = readChunk(rest); err != nil {
+		return nil, err
+	}
+	var macs []byte
+	if c.TreeNodes, rest, err = readChunk(rest); err != nil {
+		return nil, err
+	}
+	if macs, rest, err = readChunk(rest); err != nil {
+		return nil, err
+	}
+	if len(macs)%8 != 0 {
+		return nil, fmt.Errorf("%w: MAC chunk %d bytes", ErrBadClosure, len(macs))
+	}
+	c.LineMACs = make([]uint64, len(macs)/8)
+	for i := range c.LineMACs {
+		c.LineMACs[i] = binary.LittleEndian.Uint64(macs[i*8:])
+	}
+	if c.Data, rest, err = readChunk(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadClosure, len(rest))
+	}
+	return c, nil
+}
+
+func readChunk(b []byte) (chunk, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated length", ErrBadClosure)
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n < 0 || n > len(b) {
+		return nil, nil, fmt.Errorf("%w: chunk length %d exceeds %d", ErrBadClosure, n, len(b))
+	}
+	return b[:n], b[n:], nil
+}
+
+// rootPlain is the sealed root payload: the fields of the extended MMT
+// root (§IV-B1) that must not be forgeable in flight.
+type rootPlain struct {
+	GUAddr  uint64
+	Counter uint64
+	Mode    TransferMode
+}
+
+const rootPlainSize = 8 + 8 + 1
+
+func (r rootPlain) encode() []byte {
+	out := make([]byte, rootPlainSize)
+	binary.LittleEndian.PutUint64(out[0:], r.GUAddr)
+	binary.LittleEndian.PutUint64(out[8:], r.Counter)
+	out[16] = byte(r.Mode)
+	return out
+}
+
+func decodeRootPlain(b []byte) (rootPlain, error) {
+	if len(b) != rootPlainSize {
+		return rootPlain{}, fmt.Errorf("%w: root payload %d bytes", ErrBadClosure, len(b))
+	}
+	return rootPlain{
+		GUAddr:  binary.LittleEndian.Uint64(b[0:]),
+		Counter: binary.LittleEndian.Uint64(b[8:]),
+		Mode:    TransferMode(b[16]),
+	}, nil
+}
+
+// sealRoot seals the root fields under the MMT key, binding the cleartext
+// header as additional data and deriving the nonce from the root counter
+// (unique per key by protocol construction).
+func sealRoot(e *crypt.Engine, c *Closure, r rootPlain) {
+	c.SealedRoot = e.Seal(r.Counter, c.header(), r.encode())
+}
+
+// unsealRoot reverses sealRoot and cross-checks the cleartext hints.
+func unsealRoot(e *crypt.Engine, c *Closure) (rootPlain, error) {
+	pt, err := e.Unseal(c.CounterHint, c.header(), c.SealedRoot)
+	if err != nil {
+		return rootPlain{}, err
+	}
+	r, err := decodeRootPlain(pt)
+	if err != nil {
+		return rootPlain{}, err
+	}
+	if r.GUAddr != c.GUAddrHint || r.Counter != c.CounterHint || r.Mode != c.Mode {
+		return rootPlain{}, fmt.Errorf("%w: sealed root disagrees with header", ErrBadClosure)
+	}
+	return r, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mmt/internal/crypt"
+)
+
+func sampleClosure() *Closure {
+	return &Closure{
+		Mode:        OwnershipTransfer,
+		GUAddrHint:  0xABCDEF,
+		CounterHint: 42,
+		SealedRoot:  []byte{1, 2, 3, 4},
+		TreeNodes:   bytes.Repeat([]byte{9}, 100),
+		LineMACs:    []uint64{11, 22, 33},
+		Data:        bytes.Repeat([]byte{7}, 256),
+	}
+}
+
+func TestClosureEncodeDecodeRoundTrip(t *testing.T) {
+	c := sampleClosure()
+	wire := c.Encode()
+	if len(wire) != c.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(wire), c.WireSize())
+	}
+	got, err := DecodeClosure(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != c.Mode || got.GUAddrHint != c.GUAddrHint || got.CounterHint != c.CounterHint {
+		t.Fatal("header fields corrupted")
+	}
+	if !bytes.Equal(got.SealedRoot, c.SealedRoot) || !bytes.Equal(got.TreeNodes, c.TreeNodes) || !bytes.Equal(got.Data, c.Data) {
+		t.Fatal("chunks corrupted")
+	}
+	if len(got.LineMACs) != 3 || got.LineMACs[1] != 22 {
+		t.Fatal("line MACs corrupted")
+	}
+}
+
+func TestMetadataSize(t *testing.T) {
+	c := sampleClosure()
+	if got := c.MetadataSize(); got != c.WireSize()-len(c.Data) {
+		t.Fatalf("MetadataSize = %d", got)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     []byte("MM"),
+		"bad magic": append([]byte("XXXX"), make([]byte, 40)...),
+	}
+	for name, wire := range cases {
+		if _, err := DecodeClosure(wire); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	good := sampleClosure().Encode()
+	mut := append([]byte(nil), good...)
+	mut[4] = 99 // version
+	if _, err := DecodeClosure(mut); err == nil {
+		t.Error("bad version accepted")
+	}
+	mut = append([]byte(nil), good...)
+	mut[5] = 77 // mode
+	if _, err := DecodeClosure(mut); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := DecodeClosure(good[:len(good)-1]); err == nil {
+		t.Error("truncated closure accepted")
+	}
+	if _, err := DecodeClosure(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestDecodeRejectsOversizedChunkLength(t *testing.T) {
+	wire := sampleClosure().Encode()
+	// Corrupt the first chunk length (sealed root) to exceed the buffer.
+	wire[headerSize] = 0xFF
+	wire[headerSize+1] = 0xFF
+	wire[headerSize+2] = 0xFF
+	wire[headerSize+3] = 0x7F
+	if _, err := DecodeClosure(wire); err == nil {
+		t.Fatal("oversized chunk length accepted")
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(wire []byte) bool {
+		_, _ = DecodeClosure(wire) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Also fuzz mutations of a valid closure.
+	good := sampleClosure().Encode()
+	g := func(pos uint16, val byte) bool {
+		mut := append([]byte(nil), good...)
+		mut[int(pos)%len(mut)] = val
+		_, _ = DecodeClosure(mut)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealUnsealRootRoundTrip(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("root-key")))
+	c := sampleClosure()
+	r := rootPlain{GUAddr: c.GUAddrHint, Counter: c.CounterHint, Mode: c.Mode}
+	sealRoot(e, c, r)
+	got, err := unsealRoot(e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("unsealed %+v, want %+v", got, r)
+	}
+}
+
+func TestUnsealRootRejectsHintMismatch(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("root-key")))
+	c := sampleClosure()
+	sealRoot(e, c, rootPlain{GUAddr: c.GUAddrHint, Counter: c.CounterHint, Mode: c.Mode})
+	// An attacker who could somehow re-seal with mismatching hints would
+	// still be caught; here we simulate by changing the hint after sealing
+	// (which also breaks the AAD, so ErrAuth fires first — both paths are
+	// rejections).
+	c.GUAddrHint++
+	if _, err := unsealRoot(e, c); err == nil {
+		t.Fatal("hint mismatch accepted")
+	}
+}
+
+func TestUnsealRootWrongEngine(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("root-key")))
+	c := sampleClosure()
+	sealRoot(e, c, rootPlain{GUAddr: c.GUAddrHint, Counter: c.CounterHint, Mode: c.Mode})
+	e2 := crypt.NewEngine(crypt.KeyFromBytes([]byte("other")))
+	if _, err := unsealRoot(e2, c); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestCheckTransitionTable(t *testing.T) {
+	allowed := []struct{ from, to State }{
+		{StateInvalid, StateValid},
+		{StateInvalid, StateWaiting},
+		{StateValid, StateSending},
+		{StateValid, StateInvalid},
+		{StateSending, StateInvalid},
+		{StateSending, StateValid},
+		{StateWaiting, StateValid},
+		{StateWaiting, StateInvalid},
+	}
+	for _, tr := range allowed {
+		if err := checkTransition(tr.from, tr.to); err != nil {
+			t.Errorf("%v -> %v rejected: %v", tr.from, tr.to, err)
+		}
+	}
+	forbidden := []struct{ from, to State }{
+		{StateInvalid, StateSending},
+		{StateValid, StateWaiting},
+		{StateWaiting, StateSending},
+		{StateSending, StateWaiting},
+	}
+	for _, tr := range forbidden {
+		if err := checkTransition(tr.from, tr.to); err == nil {
+			t.Errorf("%v -> %v allowed", tr.from, tr.to)
+		}
+	}
+}

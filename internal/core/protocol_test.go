@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mmt/internal/crypt"
+	"mmt/internal/engine"
+)
+
+// TestMultiHopDelegation chains ownership transfers A -> B -> C: the DAG
+// programming model of §V-B2. Each hop uses its own connection/key; the
+// payload must survive both hops and exactly one writable copy must exist
+// at every instant.
+func TestMultiHopDelegation(t *testing.T) {
+	a := newTestNode(t, 1)
+	b := newTestNode(t, 2)
+	c := newTestNode(t, 3)
+	payload := bytes.Repeat([]byte("travels two hops without software re-encryption! "), 3) // > 2 lines
+
+	keyAB := crypt.KeyFromBytes([]byte("ab"))
+	keyBC := crypt.KeyFromBytes([]byte("bc"))
+	sAB, rAB := NewConn(keyAB, 0), NewConn(keyAB, 0)
+	sBC, rBC := NewConn(keyBC, 0), NewConn(keyBC, 0)
+
+	// A -> B.
+	ma, err := a.Acquire(0, keyAB, sAB.NextCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.WriteBytes(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Expect(0, rAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := ma.BeginSend(sAB, OwnershipTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Accept(rAB, cl.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.CompleteSend(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// B modifies the data in place — it owns it now.
+	if err := mb.Write(0, bytes.Repeat([]byte{0xBB}, engine.LineSize)); err != nil {
+		t.Fatal(err)
+	}
+
+	// B -> C needs the BC key: B re-keys by copying into a BC-keyed buffer
+	// (keys are per-connection; the hardware re-encrypts locally, which is
+	// a memory-speed operation, not a network crypto one).
+	got, err := mb.ReadBytes(0, testGeo.DataSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb2, err := b.Acquire(1, keyBC, sBC.NextCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb2.WriteBytes(0, got); err != nil {
+		t.Fatal(err)
+	}
+	mc, err := c.Expect(0, rBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := mb2.BeginSend(sBC, OwnershipTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Accept(rBC, cl2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mb2.CompleteSend(true); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := mc.ReadBytes(0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 0 was overwritten by B; the rest is the original payload.
+	want := append(bytes.Repeat([]byte{0xBB}, engine.LineSize), payload[engine.LineSize:]...)
+	if !bytes.Equal(final, want[:len(payload)]) {
+		t.Fatal("payload corrupted across two hops")
+	}
+}
+
+// TestProtocolFuzz drives random sequences of protocol operations against
+// a sender/receiver pair and checks global invariants after every step:
+// the state machine never wedges, regions never leak, and a message is
+// delivered at most once per send.
+func TestProtocolFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		snd := newTestNode(t, 1)
+		rcv := newTestNode(t, 2)
+		sconn := NewConn(connKey, 0)
+		rconn := NewConn(connKey, 0)
+
+		type pending struct {
+			mmt  *MMT
+			wire []byte
+		}
+		var inflight []pending
+		var waiting []*MMT
+		freeS := []int{0, 1, 2, 3}
+		freeR := []int{0, 1, 2, 3}
+		sent, accepted := 0, 0
+
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0: // sender: acquire + begin send
+				if len(freeS) == 0 {
+					continue
+				}
+				region := freeS[0]
+				freeS = freeS[1:]
+				m, err := snd.Acquire(region, connKey, sconn.NextCounter())
+				if err != nil {
+					t.Fatalf("trial %d step %d acquire: %v", trial, step, err)
+				}
+				if err := m.WriteBytes(0, []byte{byte(step)}); err != nil {
+					t.Fatal(err)
+				}
+				cl, err := m.BeginSend(sconn, OwnershipTransfer)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inflight = append(inflight, pending{mmt: m, wire: cl.Encode()})
+				sent++
+			case 1: // receiver: arm a waiting buffer
+				if len(freeR) == 0 {
+					continue
+				}
+				region := freeR[0]
+				freeR = freeR[1:]
+				m, err := rcv.Expect(region, rconn)
+				if err != nil {
+					t.Fatalf("trial %d step %d expect: %v", trial, step, err)
+				}
+				waiting = append(waiting, m)
+			case 2: // deliver oldest closure to oldest waiting buffer
+				if len(inflight) == 0 || len(waiting) == 0 {
+					continue
+				}
+				p := inflight[0]
+				inflight = inflight[1:]
+				w := waiting[0]
+				waiting = waiting[1:]
+				if err := w.Accept(rconn, p.wire); err != nil {
+					t.Fatalf("trial %d step %d accept: %v", trial, step, err)
+				}
+				accepted++
+				if err := p.mmt.CompleteSend(true); err != nil {
+					t.Fatal(err)
+				}
+				freeS = append(freeS, p.mmt.Region())
+				// Consume and free the receiver region.
+				if err := w.Reclaim(); err != nil {
+					t.Fatal(err)
+				}
+				freeR = append(freeR, w.Region())
+			case 3: // adversary: replay the oldest wire copy if any was accepted
+				if accepted == 0 || len(waiting) == 0 {
+					continue
+				}
+				// Re-deliver a stale wire: must be rejected, buffer stays.
+				stale := pendingWire(t, snd, sconn)
+				_ = stale
+				w := waiting[0]
+				err := w.Accept(rconn, staleWire)
+				if err == nil {
+					t.Fatalf("trial %d step %d: stale closure accepted", trial, step)
+				}
+				if w.State() != StateWaiting {
+					t.Fatalf("trial %d: rejected accept changed state to %v", trial, w.State())
+				}
+			}
+		}
+		if accepted > sent {
+			t.Fatalf("trial %d: accepted %d > sent %d", trial, accepted, sent)
+		}
+	}
+}
+
+// staleWire is a closure recorded once and replayed by the fuzzer.
+var staleWire []byte
+
+// pendingWire lazily records one legitimate closure to replay later.
+func pendingWire(t *testing.T, snd *Node, sconn *Conn) []byte {
+	t.Helper()
+	if staleWire != nil {
+		return staleWire
+	}
+	// Build a standalone stale closure from a scratch node pair sharing
+	// the key but an old counter.
+	n := newTestNode(t, 7)
+	old := NewConn(connKey, 0)
+	m, err := n.Acquire(0, connKey, old.NextCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := m.BeginSend(old, OwnershipTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleWire = cl.Encode()
+	return staleWire
+}
+
+// TestConnCounterProperties checks the Conn invariants the protocol rests
+// on: NextCounter is strictly above everything previously seen, and a
+// successful send always raises the floor.
+func TestConnCounterProperties(t *testing.T) {
+	snd := newTestNode(t, 1)
+	conn := NewConn(connKey, 5)
+	prevFloor := uint64(5)
+	for i := 0; i < 6; i++ {
+		init := conn.NextCounter()
+		if init <= prevFloor {
+			t.Fatalf("NextCounter %d not above floor %d", init, prevFloor)
+		}
+		m, err := snd.Acquire(i%2, connKey, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A few writes bump the root counter further.
+		for w := 0; w < i; w++ {
+			if err := m.Write(0, make([]byte, engine.LineSize)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.BeginSend(conn, OwnershipCopy); err != nil {
+			t.Fatal(err)
+		}
+		if conn.lastCounter <= prevFloor {
+			t.Fatalf("send did not raise the counter floor: %d <= %d", conn.lastCounter, prevFloor)
+		}
+		prevFloor = conn.lastCounter
+		if err := m.CompleteSend(true); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Reclaim(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCancelPaths covers the waiting-buffer cancellation added for the
+// channel rejection path.
+func TestCancelPaths(t *testing.T) {
+	n := newTestNode(t, 1)
+	conn := NewConn(connKey, 0)
+	m, err := n.Expect(0, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if m.State() != StateInvalid {
+		t.Fatal("cancel did not invalidate")
+	}
+	// Region is reusable.
+	if _, err := n.Expect(0, conn); err != nil {
+		t.Fatalf("re-expect after cancel: %v", err)
+	}
+	// Cancel only applies to waiting buffers.
+	v, err := n.Acquire(1, connKey, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Cancel(); !errors.Is(err, ErrState) {
+		t.Fatalf("cancel of valid MMT: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package core implements the paper's primary contribution: the Migratable
+// Merkle Tree scheme (§IV-B). It owns the MMT root state machine
+// (valid / invalid / sending / waiting), the MMT closure — the transfer
+// unit bundling sealed root, tree nodes, data MACs and ciphertext — and
+// the MMT closure delegation protocol with its freshness (counter) and
+// ordering (global-unique address monotonicity) checks that defeat replay
+// and re-order attacks on the untrusted interconnect.
+//
+// The single-node protection machinery it builds on lives in package
+// engine; the wire and its adversaries live in package netsim. This
+// package is where the two meet.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// State is an MMT root state (§IV-B1).
+type State uint8
+
+const (
+	// StateInvalid: the MMT is un-allocated or reclaimed; the memory is
+	// regarded as non-secure.
+	StateInvalid State = iota
+	// StateValid: the MMT is active and checks every access.
+	StateValid
+	// StateSending: a delegation is in flight; the region is read-only
+	// until the protocol completes.
+	StateSending
+	// StateWaiting: the region is registered to receive a transferred MMT.
+	StateWaiting
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInvalid:
+		return "invalid"
+	case StateValid:
+		return "valid"
+	case StateSending:
+		return "sending"
+	case StateWaiting:
+		return "waiting"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// validTransitions is the MMT root state machine. Acquire: invalid->valid;
+// BeginSend: valid->sending; CompleteSend: sending->invalid (ownership
+// transfer) or sending->valid (ownership copy); Expect: invalid->waiting;
+// Accept: waiting->valid; Reclaim: valid->invalid.
+var validTransitions = map[State][]State{
+	StateInvalid: {StateValid, StateWaiting},
+	StateValid:   {StateSending, StateInvalid},
+	StateSending: {StateInvalid, StateValid},
+	StateWaiting: {StateValid, StateInvalid},
+}
+
+// ErrState reports a forbidden state transition or an operation applied in
+// the wrong state.
+var ErrState = errors.New("core: invalid MMT state transition")
+
+// checkTransition returns an error unless from -> to is permitted.
+func checkTransition(from, to State) error {
+	for _, ok := range validTransitions[from] {
+		if ok == to {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %v -> %v", ErrState, from, to)
+}

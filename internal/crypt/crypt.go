@@ -1,0 +1,250 @@
+// Package crypt implements the cryptographic machinery of the MMT memory
+// protection engine in software: counter-mode line encryption with one-time
+// pads, Carter–Wegman MACs for data lines and integrity-tree nodes, and
+// AES-GCM sealing for MMT roots in flight.
+//
+// The hardware engine of the paper (§II-A) derives a one-time pad from
+// (address, counter) with an on-chip AES unit, XORs it with the cache line,
+// and authenticates tree nodes with "the OTP and a Galois Field dot product
+// result". This package is a faithful software rendition: the OTP is
+// AES-128 of a tweak built from the global-unique address, line index and
+// counter; MACs are GF(2^64) polynomial hashes masked by an AES-derived
+// pad so that every (address, counter) pair gets an independent MAC mask.
+//
+// Unlike the hardware, whose key lives in efuses, the MMT key is
+// user-supplied (§IV-B1): two enclaves that agree on a key can both decrypt
+// and authenticate the same secure memory. Key is therefore a plain value
+// type here.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmt/internal/gf"
+)
+
+// KeySize is the MMT key size in bytes (§V-A2: 128-bit key in the root).
+const KeySize = 16
+
+// LineSize is the protected cache-line granularity in bytes (Table II:
+// 64 B lines).
+const LineSize = 64
+
+// Key is a 128-bit MMT key. The zero Key is valid input everywhere but
+// offers no secrecy; callers use NewRandomKey or a negotiated key.
+type Key [KeySize]byte
+
+// NewRandomKey returns a fresh random key.
+func NewRandomKey() Key {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; treat
+		// failure as unrecoverable rather than silently weakening keys.
+		panic("crypt: reading random key: " + err.Error())
+	}
+	return k
+}
+
+// KeyFromBytes builds a key from arbitrary bytes by hashing, so tests and
+// examples can use readable seeds.
+func KeyFromBytes(seed []byte) Key {
+	sum := sha256.Sum256(seed)
+	var k Key
+	copy(k[:], sum[:KeySize])
+	return k
+}
+
+func (k Key) String() string { return fmt.Sprintf("mmtkey:%x…", k[:4]) }
+
+// Engine holds the per-key derived state of the protection engine: the AES
+// pad cipher, the secret GF evaluation point and the sealing AEAD. Engines
+// are cheap to construct and safe for concurrent use.
+type Engine struct {
+	key   Key
+	block cipher.Block // AES-128 for OTP/MAC masks
+	seal  cipher.AEAD  // AES-GCM for root sealing
+	point uint64       // secret GF(2^64) evaluation point for CW MACs
+	mulx  *gf.Mulx     // precomputed multiply-by-point tables
+}
+
+// NewEngine derives an engine from an MMT key.
+func NewEngine(key Key) *Engine {
+	padKey := deriveKey(key, "mmt/otp")
+	sealKey := deriveKey(key, "mmt/seal")
+	block, err := aes.NewCipher(padKey[:])
+	if err != nil {
+		panic("crypt: aes.NewCipher: " + err.Error())
+	}
+	sblock, err := aes.NewCipher(sealKey[:])
+	if err != nil {
+		panic("crypt: aes.NewCipher(seal): " + err.Error())
+	}
+	aead, err := cipher.NewGCM(sblock)
+	if err != nil {
+		panic("crypt: cipher.NewGCM: " + err.Error())
+	}
+	pt := deriveKey(key, "mmt/point")
+	point := binary.LittleEndian.Uint64(pt[:8])
+	if point == 0 {
+		point = 1 // the zero point would collapse the polynomial hash
+	}
+	return &Engine{key: key, block: block, seal: aead, point: point, mulx: gf.NewMulx(point)}
+}
+
+// Key reports the MMT key this engine was derived from.
+func (e *Engine) Key() Key { return e.key }
+
+func deriveKey(key Key, label string) Key {
+	mac := hmac.New(sha256.New, key[:])
+	mac.Write([]byte(label))
+	var out Key
+	copy(out[:], mac.Sum(nil)[:KeySize])
+	return out
+}
+
+// Tweak identifies one protected cache line at one logical version. Every
+// distinct (GUAddr, Line, Counter) triple yields an independent pad, which
+// is exactly the uniqueness invariant the integrity forest maintains
+// across nodes (§IV-A2).
+type Tweak struct {
+	GUAddr  uint64 // global-unique address of the MMT region
+	Line    uint32 // line index within the region
+	Counter uint64 // per-line counter from the integrity tree
+}
+
+// tweakBase encrypts the location half of a tweak: (address, line index,
+// domain). The full tweak space (address, line, counter, lane) exceeds one
+// AES block, so the pad PRF chains two AES calls, CBC-MAC style — a PRF
+// for fixed two-block inputs.
+func (e *Engine) tweakBase(guaddr uint64, line uint32, domain byte) [aes.BlockSize]byte {
+	var in, out [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(in[0:8], guaddr)
+	binary.LittleEndian.PutUint32(in[8:12], line)
+	in[12] = domain
+	e.block.Encrypt(out[:], in[:])
+	return out
+}
+
+// prf finishes the two-block PRF: AES(base XOR (counter, lane)).
+func (e *Engine) prf(base [aes.BlockSize]byte, counter uint64, lane uint32) [aes.BlockSize]byte {
+	var in, out [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(in[0:8], counter)
+	binary.LittleEndian.PutUint32(in[8:12], lane)
+	for i := range in {
+		in[i] ^= base[i]
+	}
+	e.block.Encrypt(out[:], in[:])
+	return out
+}
+
+// pad fills dst (up to LineSize bytes) with the OTP keystream for tw.
+func (e *Engine) pad(tw Tweak, dst []byte) {
+	base := e.tweakBase(tw.GUAddr, tw.Line, 0x01)
+	for off := 0; off < len(dst); off += aes.BlockSize {
+		out := e.prf(base, tw.Counter, uint32(off/aes.BlockSize))
+		copy(dst[off:], out[:])
+	}
+}
+
+// EncryptLine XORs line with the OTP for tw, in place over a copy, and
+// returns the ciphertext. len(line) must be LineSize.
+func (e *Engine) EncryptLine(tw Tweak, line []byte) []byte {
+	if len(line) != LineSize {
+		panic(fmt.Sprintf("crypt: EncryptLine with %d bytes, want %d", len(line), LineSize))
+	}
+	var pad [LineSize]byte
+	e.pad(tw, pad[:])
+	out := make([]byte, LineSize)
+	for i := range out {
+		out[i] = line[i] ^ pad[i]
+	}
+	return out
+}
+
+// DecryptLine is the inverse of EncryptLine (XOR is symmetric).
+func (e *Engine) DecryptLine(tw Tweak, ct []byte) []byte { return e.EncryptLine(tw, ct) }
+
+// XORPad applies the OTP for tw to buf in place: encrypt and decrypt
+// without allocating. The bulk region paths (enable, release) use it.
+func (e *Engine) XORPad(tw Tweak, buf []byte) {
+	if len(buf) != LineSize {
+		panic(fmt.Sprintf("crypt: XORPad with %d bytes, want %d", len(buf), LineSize))
+	}
+	var pad [LineSize]byte
+	e.pad(tw, pad[:])
+	for i := range buf {
+		buf[i] ^= pad[i]
+	}
+}
+
+// LineMAC authenticates one encrypted line at version tw. The MAC is the
+// GF(2^64) polynomial hash of the ciphertext words evaluated at the secret
+// point, masked with an AES-derived pad bound to the tweak — a classic
+// Carter–Wegman construction, replay-sensitive because the counter is in
+// the mask.
+func (e *Engine) LineMAC(tw Tweak, ct []byte) uint64 {
+	words := make([]uint64, 0, LineSize/8+1)
+	for off := 0; off+8 <= len(ct); off += 8 {
+		words = append(words, binary.LittleEndian.Uint64(ct[off:]))
+	}
+	words = append(words, uint64(len(ct))) // length binding
+	h := e.mulx.Eval(words)
+	return h ^ e.macMask(tw, 0xA5)
+}
+
+// NodeMAC authenticates one integrity-tree node: its counters hashed
+// together with the parent counter that covers it (§II-A: "the hash value
+// is calculated with the counter in the parent node and all counters in
+// the current node").
+func (e *Engine) NodeMAC(guaddr uint64, nodeID uint32, parentCounter uint64, counters []uint64) uint64 {
+	words := make([]uint64, 0, len(counters)+2)
+	words = append(words, parentCounter, uint64(len(counters)))
+	words = append(words, counters...)
+	h := e.mulx.Eval(words)
+	return h ^ e.macMask(Tweak{GUAddr: guaddr, Line: nodeID, Counter: parentCounter}, 0x5A)
+}
+
+// macMask derives the one-time MAC mask for a tweak. domain separates data
+// line MACs from tree node MACs; the lane constant separates masks from
+// pad keystream blocks.
+func (e *Engine) macMask(tw Tweak, domain byte) uint64 {
+	base := e.tweakBase(tw.GUAddr, tw.Line, domain)
+	out := e.prf(base, tw.Counter, 0xFFFFFFFF)
+	return binary.LittleEndian.Uint64(out[:8])
+}
+
+// Seal encrypts-and-authenticates plaintext with additional data aad,
+// deriving the GCM nonce from the caller-supplied unique value. The MMT
+// delegation protocol uses the root counter as the unique value; the
+// protocol guarantees it increases on every delegation, so nonces never
+// repeat under one key.
+func (e *Engine) Seal(unique uint64, aad, plaintext []byte) []byte {
+	nonce := make([]byte, e.seal.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, unique)
+	return e.seal.Seal(nil, nonce, plaintext, aad)
+}
+
+// ErrAuth is returned when unsealing fails authentication.
+var ErrAuth = errors.New("crypt: authentication failed")
+
+// Unseal reverses Seal; it returns ErrAuth if the ciphertext or aad was
+// tampered with or the wrong key/unique value is used.
+func (e *Engine) Unseal(unique uint64, aad, box []byte) ([]byte, error) {
+	nonce := make([]byte, e.seal.NonceSize())
+	binary.LittleEndian.PutUint64(nonce, unique)
+	pt, err := e.seal.Open(nil, nonce, box, aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// SealOverhead is the ciphertext expansion of Seal in bytes (GCM tag).
+const SealOverhead = 16

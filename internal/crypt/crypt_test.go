@@ -1,0 +1,252 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testEngine() *Engine { return NewEngine(KeyFromBytes([]byte("test-key"))) }
+
+func line(fill byte) []byte {
+	b := make([]byte, LineSize)
+	for i := range b {
+		b[i] = fill + byte(i)
+	}
+	return b
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := testEngine()
+	tw := Tweak{GUAddr: 0x1234, Line: 7, Counter: 42}
+	pt := line(3)
+	ct := e.EncryptLine(tw, pt)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	back := e.DecryptLine(tw, ct)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestEncryptRoundTripProperty(t *testing.T) {
+	e := testEngine()
+	f := func(guaddr, counter uint64, lineIdx uint32, seed byte) bool {
+		tw := Tweak{GUAddr: guaddr, Line: lineIdx, Counter: counter}
+		pt := line(seed)
+		return bytes.Equal(e.DecryptLine(tw, e.EncryptLine(tw, pt)), pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctTweaksGiveDistinctPads(t *testing.T) {
+	e := testEngine()
+	zero := make([]byte, LineSize) // ciphertext of zero plaintext IS the pad
+	base := Tweak{GUAddr: 10, Line: 2, Counter: 5}
+	pads := map[string]Tweak{}
+	variants := []Tweak{
+		base,
+		{GUAddr: 11, Line: 2, Counter: 5},
+		{GUAddr: 10, Line: 3, Counter: 5},
+		{GUAddr: 10, Line: 2, Counter: 6},
+		{GUAddr: 10, Line: 2, Counter: 5 | 1<<40},
+	}
+	for _, tw := range variants {
+		p := string(e.EncryptLine(tw, zero))
+		if prev, dup := pads[p]; dup {
+			t.Fatalf("tweaks %+v and %+v produced the same pad", prev, tw)
+		}
+		pads[p] = tw
+	}
+}
+
+func TestDifferentKeysDifferentCiphertext(t *testing.T) {
+	a := NewEngine(KeyFromBytes([]byte("a")))
+	b := NewEngine(KeyFromBytes([]byte("b")))
+	tw := Tweak{GUAddr: 1, Line: 1, Counter: 1}
+	pt := line(9)
+	if bytes.Equal(a.EncryptLine(tw, pt), b.EncryptLine(tw, pt)) {
+		t.Fatal("two keys produced identical ciphertext")
+	}
+}
+
+func TestSameKeySameEngineDeterministic(t *testing.T) {
+	k := NewRandomKey()
+	tw := Tweak{GUAddr: 77, Line: 3, Counter: 9}
+	pt := line(1)
+	c1 := NewEngine(k).EncryptLine(tw, pt)
+	c2 := NewEngine(k).EncryptLine(tw, pt)
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("same key+tweak not deterministic — remote node could not decrypt")
+	}
+}
+
+func TestEncryptLinePanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short line")
+		}
+	}()
+	testEngine().EncryptLine(Tweak{}, make([]byte, 10))
+}
+
+func TestLineMACDetectsTampering(t *testing.T) {
+	e := testEngine()
+	tw := Tweak{GUAddr: 5, Line: 1, Counter: 3}
+	ct := e.EncryptLine(tw, line(0))
+	mac := e.LineMAC(tw, ct)
+	for _, bit := range []int{0, 7, 63, 255, 511} {
+		mut := make([]byte, len(ct))
+		copy(mut, ct)
+		mut[bit/8] ^= 1 << uint(bit%8)
+		if e.LineMAC(tw, mut) == mac {
+			t.Fatalf("flipping bit %d did not change LineMAC", bit)
+		}
+	}
+}
+
+func TestLineMACBindsCounter(t *testing.T) {
+	// The replay defence: the same ciphertext at an older counter must not
+	// verify under the new counter's MAC.
+	e := testEngine()
+	ct := e.EncryptLine(Tweak{GUAddr: 5, Counter: 3}, line(0))
+	if e.LineMAC(Tweak{GUAddr: 5, Counter: 3}, ct) == e.LineMAC(Tweak{GUAddr: 5, Counter: 4}, ct) {
+		t.Fatal("LineMAC does not depend on the counter — replayable")
+	}
+}
+
+func TestLineMACBindsAddress(t *testing.T) {
+	// The splicing defence: moving a line to another address must not verify.
+	e := testEngine()
+	ct := e.EncryptLine(Tweak{GUAddr: 5, Counter: 3}, line(0))
+	if e.LineMAC(Tweak{GUAddr: 5, Counter: 3}, ct) == e.LineMAC(Tweak{GUAddr: 6, Counter: 3}, ct) {
+		t.Fatal("LineMAC does not depend on the address — spliceable")
+	}
+	if e.LineMAC(Tweak{GUAddr: 5, Line: 0, Counter: 3}, ct) == e.LineMAC(Tweak{GUAddr: 5, Line: 1, Counter: 3}, ct) {
+		t.Fatal("LineMAC does not depend on the line index")
+	}
+}
+
+func TestNodeMACDetectsCounterTampering(t *testing.T) {
+	e := testEngine()
+	counters := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	mac := e.NodeMAC(100, 2, 9, counters)
+	for i := range counters {
+		mut := make([]uint64, len(counters))
+		copy(mut, counters)
+		mut[i]++
+		if e.NodeMAC(100, 2, 9, mut) == mac {
+			t.Fatalf("bumping counter %d did not change NodeMAC", i)
+		}
+	}
+	if e.NodeMAC(100, 2, 10, counters) == mac {
+		t.Fatal("NodeMAC ignores parent counter — child replayable")
+	}
+	if e.NodeMAC(101, 2, 9, counters) == mac {
+		t.Fatal("NodeMAC ignores address")
+	}
+	if e.NodeMAC(100, 3, 9, counters) == mac {
+		t.Fatal("NodeMAC ignores node id")
+	}
+}
+
+func TestNodeMACLengthBinding(t *testing.T) {
+	e := testEngine()
+	a := e.NodeMAC(1, 1, 0, []uint64{5})
+	b := e.NodeMAC(1, 1, 0, []uint64{5, 0})
+	if a == b {
+		t.Fatal("NodeMAC does not bind counter-vector length")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	e := testEngine()
+	aad := []byte("root-metadata")
+	pt := []byte("the MMT root value")
+	box := e.Seal(7, aad, pt)
+	if len(box) != len(pt)+SealOverhead {
+		t.Fatalf("sealed size %d, want %d", len(box), len(pt)+SealOverhead)
+	}
+	got, err := e.Unseal(7, aad, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("unseal returned wrong plaintext")
+	}
+}
+
+func TestUnsealRejectsTamper(t *testing.T) {
+	e := testEngine()
+	box := e.Seal(7, []byte("aad"), []byte("secret"))
+	cases := map[string]func() ([]byte, error){
+		"flipped ciphertext bit": func() ([]byte, error) {
+			mut := append([]byte(nil), box...)
+			mut[0] ^= 1
+			return e.Unseal(7, []byte("aad"), mut)
+		},
+		"wrong aad": func() ([]byte, error) {
+			return e.Unseal(7, []byte("AAD"), box)
+		},
+		"wrong unique (replayed at other version)": func() ([]byte, error) {
+			return e.Unseal(8, []byte("aad"), box)
+		},
+		"wrong key": func() ([]byte, error) {
+			return NewEngine(KeyFromBytes([]byte("other"))).Unseal(7, []byte("aad"), box)
+		},
+		"truncated": func() ([]byte, error) {
+			return e.Unseal(7, []byte("aad"), box[:len(box)-1])
+		},
+	}
+	for name, f := range cases {
+		if _, err := f(); err != ErrAuth {
+			t.Errorf("%s: err = %v, want ErrAuth", name, err)
+		}
+	}
+}
+
+func TestKeyFromBytesDeterministic(t *testing.T) {
+	if KeyFromBytes([]byte("x")) != KeyFromBytes([]byte("x")) {
+		t.Fatal("KeyFromBytes not deterministic")
+	}
+	if KeyFromBytes([]byte("x")) == KeyFromBytes([]byte("y")) {
+		t.Fatal("KeyFromBytes collision on different seeds")
+	}
+}
+
+func TestNewRandomKeyUnique(t *testing.T) {
+	if NewRandomKey() == NewRandomKey() {
+		t.Fatal("two random keys collided")
+	}
+}
+
+func TestKeyStringDoesNotLeakWholeKey(t *testing.T) {
+	k := KeyFromBytes([]byte("secret"))
+	s := k.String()
+	if len(s) > 20 {
+		t.Fatalf("Key.String() too revealing: %q", s)
+	}
+}
+
+func BenchmarkEncryptLine(b *testing.B) {
+	e := testEngine()
+	pt := line(0)
+	tw := Tweak{GUAddr: 1, Counter: 1}
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		tw.Counter++
+		e.EncryptLine(tw, pt)
+	}
+}
+
+func BenchmarkLineMAC(b *testing.B) {
+	e := testEngine()
+	ct := e.EncryptLine(Tweak{GUAddr: 1, Counter: 1}, line(0))
+	b.SetBytes(LineSize)
+	for i := 0; i < b.N; i++ {
+		e.LineMAC(Tweak{GUAddr: 1, Counter: uint64(i)}, ct)
+	}
+}

@@ -1,0 +1,205 @@
+package enclave
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mmt/internal/attest"
+	"mmt/internal/crypt"
+	"mmt/internal/engine"
+	"mmt/internal/mem"
+	"mmt/internal/monitor"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+var testGeo = tree.Geometry{Arities: []int{2, 3, 4}} // 1536 B regions
+
+func newRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth, err := attest.NewAuthority(mfr.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := attest.MeasureSoftware([]byte("teeos"))
+	auth.AllowMeasurement(meas)
+	machine, err := mfr.Provision("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := mem.New(mem.Config{
+		Size:          8 * testGeo.DataSize(),
+		RegionSize:    testGeo.DataSize(),
+		MetaPerRegion: testGeo.MetaSize(),
+	})
+	ctl, err := engine.New(pm, testGeo, nil, sim.Gem5Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := monitor.New(machine, meas, auth.PublicKey(), ctl)
+	if err := mon.Boot(auth); err != nil {
+		t.Fatal(err)
+	}
+	return NewRuntime(mon)
+}
+
+var key = crypt.KeyFromBytes([]byte("enclave-key"))
+
+func TestAllocBufferReadWrite(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", []byte("code"))
+	if _, err := e.AllocBuffer(0x1000, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("byte-granular secure memory")
+	if err := e.Write(0x1000+5, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Read(0x1000+5, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestUnalignedWritePreservesNeighbors(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	if _, err := e.AllocBuffer(0, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	base := bytes.Repeat([]byte{0xEE}, 3*engine.LineSize)
+	if err := e.Write(0, base); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a span crossing two line boundaries.
+	if err := e.Write(uint64(engine.LineSize-10), bytes.Repeat([]byte{0x11}, engine.LineSize+20)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Read(0, 3*engine.LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0xEE)
+		if i >= engine.LineSize-10 && i < 2*engine.LineSize+10 {
+			want = 0x11
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestUnmappedAccessFails(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	if _, err := e.Read(0x5000, 4); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped read: %v", err)
+	}
+	if err := e.Write(0x5000, []byte{1}); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped write: %v", err)
+	}
+	if _, err := e.CapAt(0x5000); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped CapAt: %v", err)
+	}
+}
+
+func TestAccessBeyondMappingFails(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	if _, err := e.AllocBuffer(0, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	size := testGeo.DataSize()
+	if _, err := e.Read(uint64(size-4), 8); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("straddling read: %v", err)
+	}
+	if _, err := e.Read(uint64(size), 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("past-end read: %v", err)
+	}
+}
+
+func TestOverlappingMappingRejected(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	if _, err := e.AllocBuffer(0x1000, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AllocBuffer(0x1000+uint64(testGeo.DataSize())-1, key, 2); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("overlap: %v", err)
+	}
+	// Adjacent mapping is fine.
+	if _, err := e.AllocBuffer(0x1000+uint64(testGeo.DataSize()), key, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoBuffersIndependent(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	size := uint64(testGeo.DataSize())
+	if _, err := e.AllocBuffer(0, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AllocBuffer(size, key, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(0, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(size, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Read(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Read(size, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "first" || string(b) != "second" {
+		t.Fatalf("buffers interfered: %q %q", a, b)
+	}
+}
+
+func TestUnmapStopsAccess(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	if _, err := e.AllocBuffer(0, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unmap(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Read(0, 1); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("read after unmap: %v", err)
+	}
+	if err := e.Unmap(0); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("double unmap: %v", err)
+	}
+}
+
+func TestCapAtReturnsDelegatableCap(t *testing.T) {
+	rt := newRuntime(t)
+	e := rt.Spawn("app", nil)
+	cap1, err := e.AllocBuffer(0, key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.CapAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cap1 {
+		t.Fatalf("CapAt = %d, want %d", got, cap1)
+	}
+}

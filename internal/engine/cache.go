@@ -1,0 +1,83 @@
+package engine
+
+import "container/list"
+
+// nodeKey identifies one cached integrity-tree node.
+type nodeKey struct {
+	region int
+	level  int
+	index  int
+}
+
+// nodeCache is the MMT controller's on-chip tree-node cache (Table II:
+// 32 KB "MMT Cache"). It is an LRU over tree nodes, sized in bytes since
+// nodes at different levels have different sizes.
+type nodeCache struct {
+	capacity int // bytes; <= 0 disables caching entirely
+	used     int
+	lru      *list.List // front = most recent; values are cacheEntry
+	items    map[nodeKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  nodeKey
+	size int
+}
+
+func newNodeCache(capacityBytes int) *nodeCache {
+	return &nodeCache{
+		capacity: capacityBytes,
+		lru:      list.New(),
+		items:    make(map[nodeKey]*list.Element),
+	}
+}
+
+// touch looks up a node and reports whether it was resident, inserting it
+// (and evicting LRU victims) if it was not. This matches the hardware
+// fetch path: a miss always allocates.
+func (c *nodeCache) touch(key nodeKey, size int) (hit bool) {
+	if c.capacity <= 0 {
+		return false
+	}
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		return true
+	}
+	if size > c.capacity {
+		return false // node larger than the whole cache: uncacheable
+	}
+	for c.used+size > c.capacity {
+		victim := c.lru.Back()
+		if victim == nil {
+			break
+		}
+		ent := victim.Value.(cacheEntry)
+		c.lru.Remove(victim)
+		delete(c.items, ent.key)
+		c.used -= ent.size
+	}
+	c.items[key] = c.lru.PushFront(cacheEntry{key: key, size: size})
+	c.used += size
+	return false
+}
+
+// invalidateRegion drops all nodes belonging to a region (used when an MMT
+// is invalidated or migrated away).
+func (c *nodeCache) invalidateRegion(region int) {
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(cacheEntry)
+		if ent.key.region == region {
+			c.lru.Remove(el)
+			delete(c.items, ent.key)
+			c.used -= ent.size
+		}
+		el = next
+	}
+}
+
+// len reports the number of resident nodes (for tests).
+func (c *nodeCache) len() int { return len(c.items) }
+
+// usedBytes reports resident bytes (for tests).
+func (c *nodeCache) usedBytes() int { return c.used }

@@ -1,0 +1,541 @@
+// Package engine implements the MMT controller of §V-A2: the memory
+// controller extension that divides physical memory into normal memory,
+// secure memory and the MMT meta-zone, verifies and updates the
+// counter-based integrity tree on every secure access, caches tree nodes
+// on chip, and accounts simulated cycles against a sim.Profile.
+//
+// The controller is purely single-node; the migratable parts of the scheme
+// (root states, closures, delegation) live in package core and drive the
+// controller through Export/Install and SetMode.
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmt/internal/crypt"
+	"mmt/internal/mem"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// Mode is the access mode the controller enforces for one secure region.
+// It is the hardware-visible projection of the MMT state machine: valid ->
+// ModeReadWrite, sending/read-only -> ModeReadOnly, invalid/waiting ->
+// ModeDisabled.
+type Mode uint8
+
+const (
+	// ModeDisabled: no MMT active; the region is normal memory to the
+	// controller and secure accesses fail.
+	ModeDisabled Mode = iota
+	// ModeReadWrite: MMT valid; reads verify, writes update the tree.
+	ModeReadWrite
+	// ModeReadOnly: MMT in sending or received-read-only state; writes are
+	// rejected ("the content in this memory range cannot be modified").
+	ModeReadOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDisabled:
+		return "disabled"
+	case ModeReadWrite:
+		return "read-write"
+	case ModeReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Controller errors.
+var (
+	ErrDisabled  = errors.New("engine: region has no valid MMT")
+	ErrReadOnly  = errors.New("engine: region is read-only (MMT sending or received read-only)")
+	ErrIntegrity = tree.ErrIntegrity
+	ErrBusy      = errors.New("engine: region already has an MMT")
+)
+
+// Stats counts controller activity; the Figure 11 experiment reads these.
+type Stats struct {
+	Reads, Writes    uint64
+	NodeHits         uint64
+	NodeMisses       uint64
+	RootMounts       uint64
+	DataAccesses     uint64
+	ReencryptedLines uint64
+	Cycles           sim.Cycles
+}
+
+// regionState is the controller-side state of one protection region.
+type regionState struct {
+	mode     Mode
+	eng      *crypt.Engine
+	tr       *tree.Tree
+	guaddr   uint64
+	lineMACs []uint64
+}
+
+// Controller is one node's MMT-extended memory controller.
+type Controller struct {
+	mem     *mem.Memory
+	geo     tree.Geometry
+	clock   *sim.Clock
+	prof    *sim.Profile
+	cache   *nodeCache
+	roots   *rootTable
+	regions []regionState
+	stats   Stats
+	quiet   bool
+}
+
+// New builds a controller over m with the given tree geometry. The
+// memory's region size must equal the geometry's protected data size, and
+// its meta-zone must fit the serialized tree plus line MACs.
+func New(m *mem.Memory, geo tree.Geometry, clock *sim.Clock, prof *sim.Profile) (*Controller, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Config().RegionSize != geo.DataSize() {
+		return nil, fmt.Errorf("engine: region size %d != tree data size %d",
+			m.Config().RegionSize, geo.DataSize())
+	}
+	if m.Config().MetaPerRegion < geo.MetaSize() {
+		return nil, fmt.Errorf("engine: meta-zone %d bytes/region < required %d",
+			m.Config().MetaPerRegion, geo.MetaSize())
+	}
+	if clock == nil {
+		clock = sim.NewClock(prof.FreqHz)
+	}
+	return &Controller{
+		mem:     m,
+		geo:     geo,
+		clock:   clock,
+		prof:    prof,
+		cache:   newNodeCache(prof.MMTCacheBytes),
+		roots:   newRootTable(prof.RootTableSoC / rootEntryBytes),
+		regions: make([]regionState, m.Regions()),
+	}, nil
+}
+
+// Geometry reports the controller's tree geometry.
+func (c *Controller) Geometry() tree.Geometry { return c.geo }
+
+// Memory reports the underlying physical memory.
+func (c *Controller) Memory() *mem.Memory { return c.mem }
+
+// Clock reports the node clock the controller advances.
+func (c *Controller) Clock() *sim.Clock { return c.clock }
+
+// Profile reports the cost model in use.
+func (c *Controller) Profile() *sim.Profile { return c.prof }
+
+// Stats returns a snapshot of the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// SetQuiet suspends cycle and stats accounting while q is true. The
+// channel layer uses it when extracting received payloads: every mode's
+// application reads its received data, and none of the channels charges
+// that uniform cost, so charging only the MMT read path would bias the
+// comparison.
+func (c *Controller) SetQuiet(q bool) { c.quiet = q }
+
+// ResetStats zeroes the activity counters (cycles included).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// Mode reports region r's access mode.
+func (c *Controller) Mode(r int) Mode { return c.region(r).mode }
+
+// GUAddr reports the global-unique address of region r's MMT.
+func (c *Controller) GUAddr(r int) uint64 { return c.region(r).guaddr }
+
+// RootCounter reports region r's trusted root counter.
+func (c *Controller) RootCounter(r int) uint64 { return c.region(r).tr.RootCounter() }
+
+// Tree exposes region r's integrity tree for inspection (tests, closures).
+func (c *Controller) Tree(r int) *tree.Tree { return c.region(r).tr }
+
+func (c *Controller) region(r int) *regionState {
+	if r < 0 || r >= len(c.regions) {
+		panic(fmt.Sprintf("engine: region %d out of range [0,%d)", r, len(c.regions)))
+	}
+	return &c.regions[r]
+}
+
+// lineAddr converts (region, line) to a physical line address.
+func (c *Controller) lineAddr(r, line int) mem.Addr {
+	return c.mem.RegionBase(r) + mem.Addr(line*mem.LineSize)
+}
+
+// Enable turns region r into secure memory under key with the given
+// global-unique address and initial root counter. Existing region contents
+// are treated as plaintext and encrypted in place, line by line.
+func (c *Controller) Enable(r int, key crypt.Key, guaddr, rootCounter uint64) error {
+	st := c.region(r)
+	if st.mode != ModeDisabled {
+		return ErrBusy
+	}
+	eng := crypt.NewEngine(key)
+	tr := tree.New(c.geo, eng, guaddr)
+	tr.SetRootCounter(rootCounter)
+	tr.RehashAll(eng, guaddr)
+	macs := make([]uint64, c.geo.Lines())
+	data := c.mem.RegionData(r)
+	for line := 0; line < c.geo.Lines(); line++ {
+		buf := data[line*mem.LineSize : (line+1)*mem.LineSize]
+		tw := crypt.Tweak{GUAddr: guaddr, Line: uint32(line), Counter: tr.LeafCounter(line)}
+		eng.XORPad(tw, buf)
+		macs[line] = eng.LineMAC(tw, buf)
+	}
+	*st = regionState{mode: ModeReadWrite, eng: eng, tr: tr, guaddr: guaddr, lineMACs: macs}
+	c.mem.SetRegionKind(r, mem.KindSecure)
+	c.cache.invalidateRegion(r)
+	return nil
+}
+
+// Invalidate drops region r's MMT without decrypting: the memory reverts
+// to normal but holds ciphertext garbage. This is the sender-side
+// transition sending -> invalid after an ownership-transfer delegation.
+func (c *Controller) Invalidate(r int) {
+	st := c.region(r)
+	*st = regionState{}
+	c.mem.SetRegionKind(r, mem.KindNormal)
+	c.cache.invalidateRegion(r)
+	c.roots.evict(r)
+}
+
+// Release decrypts region r in place (restoring plaintext) and then
+// invalidates the MMT — the graceful local teardown.
+func (c *Controller) Release(r int) error {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return ErrDisabled
+	}
+	data := c.mem.RegionData(r)
+	for line := 0; line < c.geo.Lines(); line++ {
+		tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: st.tr.LeafCounter(line)}
+		st.eng.XORPad(tw, data[line*mem.LineSize:(line+1)*mem.LineSize])
+	}
+	c.Invalidate(r)
+	return nil
+}
+
+// SetMode changes region r's enforcement mode (driven by the MMT state
+// machine in package core).
+func (c *Controller) SetMode(r int, m Mode) error {
+	st := c.region(r)
+	if st.mode == ModeDisabled && m != ModeDisabled {
+		return ErrDisabled
+	}
+	st.mode = m
+	return nil
+}
+
+// chargePath advances the clock for one tree-path traversal. The cost
+// model follows §II-A and §VI-B:
+//
+//   - The data line always costs one DRAM access plus the OTP XOR (the
+//     only crypto on the critical path; OTP generation overlaps the
+//     fetch).
+//   - Every tree level issues a meta request that occupies read/write
+//     queue slots whether it hits or misses — the paper's explanation for
+//     deeper trees being slower ("extra tree node accesses ... occupy the
+//     read/write queue and tree node cache").
+//   - A node-cache hit is an already-verified on-chip copy: no MAC work.
+//   - The first (deepest) miss is issued in parallel with the data fetch,
+//     exposing only part of its latency; each further miss on the same
+//     path extends the serial verification chain and exposes most of a
+//     DRAM access plus the MAC check.
+func (c *Controller) chargePath(r, line int, extraNodes int) {
+	if c.quiet {
+		return
+	}
+	cost := c.prof.DRAMAccess + 2 // data line + OTP XOR
+	c.stats.DataAccesses++
+	if !c.roots.touch(r) {
+		// Penglai-style root mount: the region's root counter is loaded
+		// into the SoC root table, verified against the sealed copy.
+		c.stats.RootMounts++
+		cost += c.prof.DRAMAccess + c.prof.MACLatency
+	}
+	misses := 0
+	for l := 0; l < c.geo.Levels(); l++ {
+		cost += queuePerLevel
+		key := nodeKey{region: r, level: l, index: c.nodeIndexAt(line, l)}
+		if c.cache.touch(key, c.geo.NodeSize(l)) {
+			c.stats.NodeHits++
+			continue
+		}
+		c.stats.NodeMisses++
+		misses++
+		if misses == 1 {
+			cost += c.prof.DRAMAccess*firstMissExposure + c.prof.MACLatency
+		} else {
+			cost += c.prof.DRAMAccess*chainMissExposure + c.prof.MACLatency
+		}
+	}
+	cost += sim.Cycles(extraNodes) * c.prof.MACLatency
+	c.stats.Cycles += cost
+	c.clock.AdvanceCycles(cost)
+}
+
+// Timing-model constants for the tree walk (see chargePath).
+const (
+	queuePerLevel       sim.Cycles = 8
+	writeUpdatePerLevel sim.Cycles = 12
+	firstMissExposure              = 0.35 // overlapped with the data fetch
+	chainMissExposure              = 0.80 // serial extension of the chain
+)
+
+// nodeIndexAt reports the index of the level-l node covering line:
+// line / product(arities[l..L-1]).
+func (c *Controller) nodeIndexAt(line, l int) int {
+	prod := 1
+	for k := l; k < c.geo.Levels(); k++ {
+		prod *= c.geo.Arities[k]
+	}
+	return line / prod
+}
+
+// Read verifies and decrypts the given line of secure region r.
+func (c *Controller) Read(r, line int) ([]byte, error) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return nil, ErrDisabled
+	}
+	c.stats.Reads++
+	c.chargePath(r, line, 0)
+	if err := st.tr.VerifyPath(st.eng, st.guaddr, line); err != nil {
+		return nil, err
+	}
+	a := c.lineAddr(r, line)
+	ct := c.mem.ReadLine(a)
+	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: st.tr.LeafCounter(line)}
+	if st.eng.LineMAC(tw, ct) != st.lineMACs[line] {
+		return nil, fmt.Errorf("%w: data line %d", ErrIntegrity, line)
+	}
+	return st.eng.DecryptLine(tw, ct), nil
+}
+
+// Write verifies the path, advances the counters and stores the encrypted
+// line. Counter overflow triggers the re-encryption of sibling lines
+// (§V-A2's global-counter exhaustion procedure).
+func (c *Controller) Write(r, line int, plaintext []byte) error {
+	st := c.region(r)
+	switch st.mode {
+	case ModeDisabled:
+		return ErrDisabled
+	case ModeReadOnly:
+		return ErrReadOnly
+	}
+	c.stats.Writes++
+	// Verify-before-write: the tree engine "checks data integrity before
+	// writing".
+	if err := st.tr.VerifyPath(st.eng, st.guaddr, line); err != nil {
+		return err
+	}
+	res := st.tr.Update(st.eng, st.guaddr, line)
+	c.chargePath(r, line, res.NodesTouched)
+
+	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: res.LeafCounter}
+	ct := st.eng.EncryptLine(tw, plaintext)
+	c.mem.WriteLine(c.lineAddr(r, line), ct)
+	st.lineMACs[line] = st.eng.LineMAC(tw, ct)
+
+	for _, ln := range res.ReencryptLines {
+		c.reencryptLine(st, r, ln)
+	}
+	return nil
+}
+
+// reencryptLine re-encrypts sibling line ln after a leaf counter overflow
+// reset its counter. The overflow set the sibling's local counter to zero
+// and bumped the shared global, so its previous effective counter was
+// (global-1)<<bits | oldLocal for some oldLocal the tree no longer holds;
+// hardware re-encrypts in the same pass that resets the counters, before
+// the old values are gone. This software rendition recovers oldLocal by
+// checking the stored line MAC against each candidate — the local space is
+// small by construction.
+func (c *Controller) reencryptLine(st *regionState, r, ln int) {
+	a := c.lineAddr(r, ln)
+	ct := c.mem.ReadLine(a)
+	newCtr := st.tr.LeafCounter(ln)
+	var plaintext []byte
+	bits := st.tr.Geometry().LocalBits
+	if bits == 0 {
+		bits = tree.DefaultLocalBits
+	}
+	base := (newCtr >> bits) - 1 // previous global value
+	found := false
+	for local := uint64(0); local < 1<<bits; local++ {
+		old := base<<bits | local
+		tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: old}
+		if st.eng.LineMAC(tw, ct) == st.lineMACs[ln] {
+			plaintext = st.eng.DecryptLine(tw, ct)
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Integrity was already verified on the path; reaching here means
+		// the sibling was tampered with between checks.
+		panic("engine: cannot recover sibling line during overflow re-encryption")
+	}
+	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: newCtr}
+	nct := st.eng.EncryptLine(tw, plaintext)
+	c.mem.WriteLine(a, nct)
+	st.lineMACs[ln] = st.eng.LineMAC(tw, nct)
+	c.stats.ReencryptedLines++
+	c.stats.Cycles += c.prof.DRAMAccess + c.prof.AESLatency
+	c.clock.AdvanceCycles(c.prof.DRAMAccess + c.prof.AESLatency)
+}
+
+// Access is the timing-only path used by trace-driven experiments
+// (Figure 11): it moves the node cache and cycle counters exactly like a
+// real access but skips cryptography and data movement, so traces of
+// millions of accesses stay fast. Region state is not consulted.
+//
+// Writes additionally pay a per-level update charge: the write path
+// increments a counter and recomputes a MAC at every level and enqueues
+// the dirty nodes for write-back (§V-A2), so deeper trees spend more
+// write-queue occupancy per store.
+func (c *Controller) Access(r, line int, write bool) {
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.chargePath(r, line, 0)
+	if write {
+		cost := sim.Cycles(c.geo.Levels()) * writeUpdatePerLevel
+		c.stats.Cycles += cost
+		c.clock.AdvanceCycles(cost)
+	}
+}
+
+// AccessUnprotected models a baseline (no-MMT) memory access: one DRAM
+// access, no tree traffic. Used as the denominator of Figure 11.
+func (c *Controller) AccessUnprotected() {
+	c.stats.DataAccesses++
+	c.stats.Cycles += c.prof.DRAMAccess
+	c.clock.AdvanceCycles(c.prof.DRAMAccess)
+}
+
+// BumpRootCounter advances region r's root counter by one (the delegation
+// engine's pre-seal bump). The region must have a live MMT.
+func (c *Controller) BumpRootCounter(r int) error {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return ErrDisabled
+	}
+	st.tr.BumpRootCounter(st.eng, st.guaddr)
+	return nil
+}
+
+// Crypto returns region r's key-derived crypto engine so the MMT closure
+// delegation engine (package core) can seal and unseal the root.
+func (c *Controller) Crypto(r int) (*crypt.Engine, error) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return nil, ErrDisabled
+	}
+	return st.eng, nil
+}
+
+// Export captures region r's transferable state: the serialized tree
+// nodes, the raw ciphertext, the line MACs and the root counter. Package
+// core wraps this into an MMT closure. Export requires a live MMT.
+func (c *Controller) Export(r int) (treeBytes, data []byte, lineMACs []uint64, rootCounter, guaddr uint64, err error) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return nil, nil, nil, 0, 0, ErrDisabled
+	}
+	data = append([]byte(nil), c.mem.RegionData(r)...)
+	return st.tr.Serialize(), data, append([]uint64(nil), st.lineMACs...), st.tr.RootCounter(), st.guaddr, nil
+}
+
+// Install adopts a transferred MMT into region r: deserializes the tree,
+// installs the root counter, verifies every node MAC and every line MAC
+// under key/guaddr, and only then enables the region. Any integrity
+// failure leaves the region disabled. mode is the resulting enforcement
+// mode (read-write for ownership transfer, read-only for ownership copy).
+func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, treeBytes, data []byte, lineMACs []uint64, mode Mode) error {
+	st := c.region(r)
+	if st.mode != ModeDisabled {
+		return ErrBusy
+	}
+	if mode == ModeDisabled {
+		return fmt.Errorf("engine: install with disabled mode")
+	}
+	if len(data) != c.geo.DataSize() {
+		return fmt.Errorf("engine: closure data %d bytes, want %d", len(data), c.geo.DataSize())
+	}
+	if len(lineMACs) != c.geo.Lines() {
+		return fmt.Errorf("engine: closure has %d line MACs, want %d", len(lineMACs), c.geo.Lines())
+	}
+	eng := crypt.NewEngine(key)
+	tr, err := tree.Deserialize(c.geo, treeBytes)
+	if err != nil {
+		return err
+	}
+	tr.SetRootCounter(rootCounter)
+	if err := tr.VerifyAll(eng, guaddr); err != nil {
+		return err
+	}
+	for line := 0; line < c.geo.Lines(); line++ {
+		ct := data[line*mem.LineSize : (line+1)*mem.LineSize]
+		tw := crypt.Tweak{GUAddr: guaddr, Line: uint32(line), Counter: tr.LeafCounter(line)}
+		if eng.LineMAC(tw, ct) != lineMACs[line] {
+			return fmt.Errorf("%w: transferred data line %d", ErrIntegrity, line)
+		}
+	}
+	c.mem.Write(c.mem.RegionBase(r), data)
+	*st = regionState{mode: mode, eng: eng, tr: tr, guaddr: guaddr, lineMACs: append([]uint64(nil), lineMACs...)}
+	c.mem.SetRegionKind(r, mem.KindSecure)
+	c.cache.invalidateRegion(r)
+	return nil
+}
+
+// FlushMeta serializes region r's tree nodes and line MACs into the
+// memory's meta-zone, modelling the untrusted DRAM copy of the metadata.
+func (c *Controller) FlushMeta(r int) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return
+	}
+	meta := c.mem.MetaRegion(r)
+	blob := st.tr.Serialize()
+	n := copy(meta, blob)
+	for i, m := range st.lineMACs {
+		binary.LittleEndian.PutUint64(meta[n+i*8:], m)
+	}
+}
+
+// LoadMeta re-reads region r's metadata from the meta-zone, replacing the
+// controller's in-core copies. A physical attacker who rewrote the
+// meta-zone is then caught by the next Read/Write verification.
+func (c *Controller) LoadMeta(r int) error {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return ErrDisabled
+	}
+	meta := c.mem.MetaRegion(r)
+	tr, err := tree.Deserialize(c.geo, meta[:c.geo.NodesSize()])
+	if err != nil {
+		return err
+	}
+	tr.SetRootCounter(st.tr.RootCounter()) // root counter stays in SoC
+	st.tr = tr
+	off := c.geo.NodesSize()
+	for i := range st.lineMACs {
+		st.lineMACs[i] = binary.LittleEndian.Uint64(meta[off+i*8:])
+	}
+	c.cache.invalidateRegion(r)
+	return nil
+}
+
+// LineSize re-exports the protected line granularity for callers that
+// drive the controller without importing the memory model.
+const LineSize = mem.LineSize

@@ -1,0 +1,52 @@
+package engine
+
+import "container/list"
+
+// rootEntryBytes is the SoC storage per mounted MMT root (Table V's
+// root-size accounting: an 8-byte counter).
+const rootEntryBytes = 8
+
+// rootTable models the SoC root storage (Table II: "MMT Roots in SoC",
+// 8 KB on the Gem5 testbed). When more MMTs are live than the table holds,
+// roots are mounted on demand, Penglai-style [25] — the scalability path
+// §VII points to. A mount costs a meta-zone access plus a verification of
+// the sealed root copy; the charge lives in Controller.chargePath.
+type rootTable struct {
+	capacity int // entries; <= 0 means unlimited (all roots pinned)
+	lru      *list.List
+	items    map[int]*list.Element // region -> element holding region
+}
+
+func newRootTable(capacity int) *rootTable {
+	return &rootTable{capacity: capacity, lru: list.New(), items: make(map[int]*list.Element)}
+}
+
+// touch reports whether region's root was already mounted, mounting it
+// (and evicting the LRU root) if not.
+func (t *rootTable) touch(region int) (mounted bool) {
+	if t.capacity <= 0 {
+		return true
+	}
+	if el, ok := t.items[region]; ok {
+		t.lru.MoveToFront(el)
+		return true
+	}
+	for len(t.items) >= t.capacity {
+		victim := t.lru.Back()
+		if victim == nil {
+			break
+		}
+		delete(t.items, victim.Value.(int))
+		t.lru.Remove(victim)
+	}
+	t.items[region] = t.lru.PushFront(region)
+	return false
+}
+
+// evict drops a region's root (MMT invalidated or migrated away).
+func (t *rootTable) evict(region int) {
+	if el, ok := t.items[region]; ok {
+		t.lru.Remove(el)
+		delete(t.items, region)
+	}
+}

@@ -1,0 +1,139 @@
+// Package forest implements the integrity forest of §IV-A2: the
+// global-unique address space that lets integrity subtrees from many
+// machines coexist without ever reusing a one-time pad.
+//
+// A global-unique address has two parts: the node id handed out by the
+// authority during global attestation, and a monotonic number generated
+// locally. The paper reserves 58 bits in the MMT root for it; this package
+// packs a 16-bit node id above a 42-bit monotonic counter, matching that
+// budget.
+package forest
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NodeID is the global-unique node identifier assigned by the authority
+// node during global attestation (§IV-A1).
+type NodeID uint16
+
+// GUAddrBits is the width of a global-unique address (58 bits, §V-A2).
+const GUAddrBits = 58
+
+// monotonicBits is the width of the per-node monotonic component.
+const monotonicBits = GUAddrBits - 16
+
+// Compose packs a node id and a monotonic number into a global-unique
+// address. It panics if the monotonic number overflows its field, since a
+// node that exhausts 2^42 allocations has violated the engine's design
+// envelope (the hardware would halt similarly).
+func Compose(node NodeID, monotonic uint64) uint64 {
+	if monotonic >= 1<<monotonicBits {
+		panic(fmt.Sprintf("forest: monotonic number %d overflows %d bits", monotonic, monotonicBits))
+	}
+	return uint64(node)<<monotonicBits | monotonic
+}
+
+// Split unpacks a global-unique address.
+func Split(guaddr uint64) (NodeID, uint64) {
+	return NodeID(guaddr >> monotonicBits), guaddr & (1<<monotonicBits - 1)
+}
+
+// Allocator hands out strictly increasing global-unique addresses for one
+// node. It is safe for concurrent use (several enclaves on one node may
+// acquire buffers concurrently).
+type Allocator struct {
+	mu   sync.Mutex
+	node NodeID
+	next uint64
+}
+
+// NewAllocator returns an allocator for the attested node id. The first
+// address uses monotonic number 1 so that 0 can mean "unassigned".
+func NewAllocator(node NodeID) *Allocator {
+	return &Allocator{node: node, next: 1}
+}
+
+// Node reports the allocator's node id.
+func (a *Allocator) Node() NodeID { return a.node }
+
+// Next returns a fresh global-unique address. Addresses from one allocator
+// are strictly increasing — the property the delegation protocol's
+// re-order check builds on (§IV-B2).
+func (a *Allocator) Next() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g := Compose(a.node, a.next)
+	a.next++
+	return g
+}
+
+// Entry describes one tree in the integrity forest: where a live MMT with
+// a given global-unique address currently resides.
+type Entry struct {
+	GUAddr uint64
+	Node   NodeID // node currently holding the subtree
+	Region int    // protection region on that node
+}
+
+// Forest is a registry of live subtrees across the distributed system. In
+// hardware the forest is implicit (each controller knows only its own
+// roots); the registry exists for the monitor's bookkeeping and for tests
+// and tools that want a global view.
+type Forest struct {
+	mu      sync.Mutex
+	entries map[uint64]Entry
+}
+
+// NewForest returns an empty registry.
+func NewForest() *Forest {
+	return &Forest{entries: make(map[uint64]Entry)}
+}
+
+// Add registers a live subtree. Registering an address twice is an error:
+// a global-unique address names at most one live tree, ever.
+func (f *Forest) Add(e Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if old, ok := f.entries[e.GUAddr]; ok {
+		return fmt.Errorf("forest: address %#x already registered on node %d", e.GUAddr, old.Node)
+	}
+	f.entries[e.GUAddr] = e
+	return nil
+}
+
+// Remove unregisters a subtree (MMT invalidated or migrated away).
+func (f *Forest) Remove(guaddr uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.entries, guaddr)
+}
+
+// Lookup reports where the subtree with guaddr lives.
+func (f *Forest) Lookup(guaddr uint64) (Entry, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[guaddr]
+	return e, ok
+}
+
+// Size reports the number of live subtrees.
+func (f *Forest) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// OnNode lists the subtrees currently resident on a node.
+func (f *Forest) OnNode(n NodeID) []Entry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []Entry
+	for _, e := range f.entries {
+		if e.Node == n {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+// Package gf implements arithmetic in the finite field GF(2^64), used by
+// the MMT controller's Carter–Wegman MACs. The paper's integrity-tree hash
+// "xors the OTP and a Galois Field (GF) dot product result" (§II-A); this
+// package provides that dot product.
+//
+// Elements are uint64 values interpreted as polynomials over GF(2); the
+// reduction polynomial is x^64 + x^4 + x^3 + x + 1 (the lexicographically
+// smallest irreducible degree-64 pentanomial, the same one used by
+// reference GHASH-style constructions over 64-bit words).
+package gf
+
+// reduction holds the low coefficients of the irreducible polynomial
+// x^64 + x^4 + x^3 + x + 1: bits for x^4, x^3, x^1, x^0.
+const reduction uint64 = 0x1B
+
+// Add returns a + b in GF(2^64) (carry-less addition, i.e. XOR).
+func Add(a, b uint64) uint64 { return a ^ b }
+
+// Mul returns a * b in GF(2^64).
+func Mul(a, b uint64) uint64 {
+	return reduce(clmul(a, b))
+}
+
+// clmul computes the 128-bit carry-less product of a and b, returned as
+// (hi, lo).
+func clmul(a, b uint64) (hi, lo uint64) {
+	for i := 0; i < 64 && b != 0; i++ {
+		if b&1 != 0 {
+			lo ^= a << uint(i)
+			if i > 0 {
+				hi ^= a >> uint(64-i)
+			}
+		}
+		b >>= 1
+	}
+	return hi, lo
+}
+
+// reduce folds a 128-bit carry-less product back into GF(2^64).
+func reduce(hi, lo uint64) uint64 {
+	// Each bit x^(64+k) in hi reduces to x^k * (x^4 + x^3 + x + 1).
+	// Two folding rounds suffice because reduction has degree 4 < 64-4.
+	for i := 0; i < 2 && hi != 0; i++ {
+		h, l := clmul(hi, reduction)
+		hi = h
+		lo ^= l
+	}
+	return lo
+}
+
+// Dot returns the dot product sum_i a[i]*b[i] in GF(2^64). Mismatched
+// lengths use the shorter slice, mirroring a hardware engine that pads
+// missing lanes with zero.
+func Dot(a, b []uint64) uint64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc ^= Mul(a[i], b[i])
+	}
+	return acc
+}
+
+// Pow returns a^n in GF(2^64) by square-and-multiply. Pow(a, 0) is 1.
+func Pow(a uint64, n uint) uint64 {
+	result := uint64(1)
+	for n > 0 {
+		if n&1 != 0 {
+			result = Mul(result, a)
+		}
+		a = Mul(a, a)
+		n >>= 1
+	}
+	return result
+}
+
+// Eval evaluates the polynomial with coefficients coeffs (constant term
+// first) at point x, via Horner's rule. This is the universal-hash core:
+// for a fixed secret x, Eval is an almost-universal family over messages.
+func Eval(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = Mul(acc, x) ^ coeffs[i]
+	}
+	return acc
+}

@@ -1,0 +1,195 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0b1010, 0b0110) != 0b1100 {
+		t.Fatal("Add is not XOR")
+	}
+	f := func(a uint64) bool { return Add(a, a) == 0 && Add(a, 0) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	f := func(a uint64) bool {
+		return Mul(a, 1) == a && Mul(1, a) == a && Mul(a, 0) == 0 && Mul(0, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSmallKnownValues(t *testing.T) {
+	// In GF(2)[x], (x+1)*(x+1) = x^2 + 1 (cross terms cancel).
+	if got := Mul(0b11, 0b11); got != 0b101 {
+		t.Fatalf("(x+1)^2 = %#b, want 0b101", got)
+	}
+	// x^3 * x^4 = x^7, no reduction needed.
+	if got := Mul(1<<3, 1<<4); got != 1<<7 {
+		t.Fatalf("x^3*x^4 = %#x, want x^7", got)
+	}
+}
+
+func TestMulReduction(t *testing.T) {
+	// x^63 * x = x^64 ≡ x^4 + x^3 + x + 1 (mod reduction polynomial).
+	if got := Mul(1<<63, 2); got != 0x1B {
+		t.Fatalf("x^63 * x = %#x, want 0x1B", got)
+	}
+	// x^63 * x^2 = x^65 ≡ x*(x^4+x^3+x+1) = x^5+x^4+x^2+x.
+	if got := Mul(1<<63, 4); got != 0x36 {
+		t.Fatalf("x^63 * x^2 = %#x, want 0x36", got)
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint64) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c uint64) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := func(a uint64) bool {
+		return Pow(a, 0) == 1 && Pow(a, 1) == a && Pow(a, 2) == Mul(a, a) &&
+			Pow(a, 5) == Mul(Pow(a, 2), Pow(a, 3))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []uint64{1, 2, 3}
+	b := []uint64{5, 6, 7}
+	want := Mul(1, 5) ^ Mul(2, 6) ^ Mul(3, 7)
+	if got := Dot(a, b); got != want {
+		t.Fatalf("Dot = %#x, want %#x", got, want)
+	}
+	// Shorter slice truncates.
+	if got := Dot(a[:2], b); got != Mul(1, 5)^Mul(2, 6) {
+		t.Fatal("Dot does not truncate to shorter slice")
+	}
+	if got := Dot(nil, b); got != 0 {
+		t.Fatal("Dot(nil, b) != 0")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 at a random point must match the naive sum.
+	f := func(x uint64) bool {
+		naive := uint64(3) ^ Mul(2, x) ^ Mul(1, Mul(x, x))
+		return Eval([]uint64{3, 2, 1}, x) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if Eval(nil, 12345) != 0 {
+		t.Fatal("Eval of empty polynomial should be 0")
+	}
+}
+
+// TestEvalDetectsSingleCoefficientChange is the universal-hash property the
+// tree MACs rely on: changing any coefficient changes the evaluation at a
+// fixed secret point with overwhelming probability. We test it exactly:
+// Eval(c) == Eval(c') with c != c' iff x is a root of the nonzero
+// difference polynomial, which for a degree-<8 polynomial has at most 7
+// roots — vanishingly unlikely for random x, so require inequality.
+func TestEvalDetectsSingleCoefficientChange(t *testing.T) {
+	x := uint64(0x9E3779B97F4A7C15)
+	coeffs := []uint64{11, 22, 33, 44, 55, 66, 77, 88}
+	base := Eval(coeffs, x)
+	for i := range coeffs {
+		mod := make([]uint64, len(coeffs))
+		copy(mod, coeffs)
+		mod[i] ^= 0x1
+		if Eval(mod, x) == base {
+			t.Fatalf("flipping coefficient %d did not change Eval", i)
+		}
+	}
+}
+
+func TestMulAgainstSlowReference(t *testing.T) {
+	// Slow shift-and-reduce reference multiplier.
+	slow := func(a, b uint64) uint64 {
+		var acc uint64
+		for i := 0; i < 64; i++ {
+			if b&(1<<uint(i)) != 0 {
+				// acc ^= a * x^i with stepwise reduction.
+				t := a
+				for j := 0; j < i; j++ {
+					carry := t&(1<<63) != 0
+					t <<= 1
+					if carry {
+						t ^= 0x1B
+					}
+				}
+				acc ^= t
+			}
+		}
+		return acc
+	}
+	f := func(a, b uint64) bool { return Mul(a, b) == slow(a, b) }
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := uint64(0xDEADBEEFCAFEBABE), uint64(0x0123456789ABCDEF)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	sink = x
+}
+
+var sink uint64
+
+func TestMulxMatchesMul(t *testing.T) {
+	x := uint64(0x9E3779B97F4A7C15)
+	m := NewMulx(x)
+	f := func(a uint64) bool { return m.Mul(a) == Mul(a, x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mul(0) != 0 {
+		t.Fatal("Mulx.Mul(0) != 0")
+	}
+}
+
+func TestMulxEvalMatchesEval(t *testing.T) {
+	x := uint64(0xDEADBEEF12345678)
+	m := NewMulx(x)
+	f := func(coeffs []uint64) bool { return m.Eval(coeffs) == Eval(coeffs, x) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulx(b *testing.B) {
+	m := NewMulx(0x9E3779B97F4A7C15)
+	x := uint64(0x0123456789ABCDEF)
+	for i := 0; i < b.N; i++ {
+		x = m.Mul(x)
+	}
+	sink = x
+}

@@ -1,0 +1,45 @@
+package gf
+
+// Mulx multiplies by one fixed element of GF(2^64) using byte-indexed
+// precomputed tables, the classic GHASH acceleration. The Carter–Wegman
+// MACs evaluate polynomials at a single secret point via Horner's rule, so
+// every multiplication in the hot path is by that fixed point; one Mulx
+// per key turns each from a 64-iteration carry-less loop into 8 table
+// lookups.
+type Mulx struct {
+	tbl [8][256]uint64
+}
+
+// NewMulx precomputes the tables for multiplication by x.
+func NewMulx(x uint64) *Mulx {
+	m := &Mulx{}
+	for i := 0; i < 8; i++ {
+		for b := 1; b < 256; b++ {
+			m.tbl[i][b] = Mul(uint64(b)<<(8*i), x)
+		}
+	}
+	return m
+}
+
+// Mul returns a * x in GF(2^64).
+func (m *Mulx) Mul(a uint64) uint64 {
+	return m.tbl[0][byte(a)] ^
+		m.tbl[1][byte(a>>8)] ^
+		m.tbl[2][byte(a>>16)] ^
+		m.tbl[3][byte(a>>24)] ^
+		m.tbl[4][byte(a>>32)] ^
+		m.tbl[5][byte(a>>40)] ^
+		m.tbl[6][byte(a>>48)] ^
+		m.tbl[7][byte(a>>56)]
+}
+
+// Eval evaluates the polynomial with coefficients coeffs (constant term
+// first) at the fixed point, via Horner's rule. Equivalent to
+// gf.Eval(coeffs, x) for the x the Mulx was built with.
+func (m *Mulx) Eval(coeffs []uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = m.Mul(acc) ^ coeffs[i]
+	}
+	return acc
+}

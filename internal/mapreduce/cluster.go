@@ -1,0 +1,282 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"mmt/internal/channel"
+	"mmt/internal/core"
+	"mmt/internal/crypt"
+	"mmt/internal/engine"
+	"mmt/internal/forest"
+	"mmt/internal/mem"
+	"mmt/internal/netsim"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// Mode selects the shuffle protection scheme (the three configurations of
+// Figure 13).
+type Mode int
+
+const (
+	// Baseline shuffles over unprotected remote writes.
+	Baseline Mode = iota
+	// SecureChannel shuffles over software AES-GCM.
+	SecureChannel
+	// MMT shuffles over MMT closure delegation.
+	MMT
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case SecureChannel:
+		return "secure-channel"
+	case MMT:
+		return "mmt"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config sizes one MapReduce job.
+type Config struct {
+	Mappers  int
+	Reducers int
+	Mode     Mode
+	// Profile is the node cost model (cloned per machine so clocks stay
+	// independent).
+	Profile *sim.Profile
+	// Geometry is the MMT tree shape (MMT mode only).
+	Geometry tree.Geometry
+	// PoolRegions is the buffer-region pool per delegation channel (MMT
+	// mode only). It must cover the chunks of one partition in flight.
+	PoolRegions int
+	// MapCyclesPerByte and ReduceCyclesPerKV model the compute phases;
+	// Figure 13a sweeps these to set the communication fraction.
+	MapCyclesPerByte  float64
+	ReduceCyclesPerKV float64
+	// Combiner, when set, folds each mapper's partition locally before the
+	// shuffle (the classic combiner optimization): values of equal keys
+	// are pre-reduced, shrinking the intermediate transfer.
+	Combiner Reducer
+	// NetLatency is the interconnect one-way propagation delay.
+	NetLatency sim.Time
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Mappers < 1 || c.Reducers < 1:
+		return fmt.Errorf("mapreduce: need at least one mapper and one reducer")
+	case c.Profile == nil:
+		return fmt.Errorf("mapreduce: nil profile")
+	case c.Mode == MMT && c.Geometry.Validate() != nil:
+		return fmt.Errorf("mapreduce: MMT mode needs a valid geometry")
+	}
+	return nil
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Elapsed is the makespan: the latest simulated clock across machines.
+	Elapsed sim.Time
+	// Output is the final reduced key-value map.
+	Output map[string]int64
+	// ShuffleBytes counts intermediate bytes crossing machines.
+	ShuffleBytes int
+	// CommCycles aggregates channel costs across all machines.
+	CommCycles sim.Cycles
+	// MapTime and ReduceTime are per-machine finish times.
+	MapTime    []sim.Time
+	ReduceTime []sim.Time
+}
+
+// machine is one simulated host.
+type machine struct {
+	name  string
+	clock *sim.Clock
+	node  *core.Node // MMT mode only
+	// nextRegion hands out disjoint region ranges to this machine's
+	// delegation channels.
+	nextRegion int
+}
+
+func newMachine(cfg Config, name string, id int, channels int) (*machine, error) {
+	m := &machine{name: name, clock: sim.NewClock(cfg.Profile.FreqHz)}
+	if cfg.Mode != MMT {
+		return m, nil
+	}
+	regions := channels * cfg.PoolRegions
+	if regions < 1 {
+		regions = 1
+	}
+	pm := mem.New(mem.Config{
+		Size:          regions * cfg.Geometry.DataSize(),
+		RegionSize:    cfg.Geometry.DataSize(),
+		MetaPerRegion: cfg.Geometry.MetaSize(),
+	})
+	ctl, err := engine.New(pm, cfg.Geometry, m.clock, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	m.node = core.NewNode(forest.NodeID(id), ctl)
+	return m, nil
+}
+
+// takeRegions reserves n regions for one channel.
+func (m *machine) takeRegions(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = m.nextRegion
+		m.nextRegion++
+	}
+	return out
+}
+
+// link wires one direction of a mapper<->reducer pair: a dedicated
+// endpoint pair (QP-like), returning the transports for each side.
+func link(cfg Config, net *netsim.Network, a, b *machine, tag string) (channel.Transport, channel.Transport, error) {
+	nameA := a.name + "/" + tag
+	nameB := b.name + "/" + tag
+	epA, err := net.Attach(nameA, a.clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	epB, err := net.Attach(nameB, b.clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := crypt.KeyFromBytes([]byte("mr/" + tag))
+	switch cfg.Mode {
+	case Baseline:
+		return channel.NewNonSecure(epA, nameB, cfg.Profile), channel.NewNonSecure(epB, nameA, cfg.Profile), nil
+	case SecureChannel:
+		return channel.NewSecure(epA, nameB, cfg.Profile, key),
+			channel.NewSecure(epB, nameA, cfg.Profile, key), nil
+	case MMT:
+		connA := core.NewConn(key, 0)
+		connB := core.NewConn(key, 0)
+		da := channel.NewDelegation(epA, nameB, cfg.Profile, a.node, connA, a.takeRegions(cfg.PoolRegions))
+		db := channel.NewDelegation(epB, nameA, cfg.Profile, b.node, connB, b.takeRegions(cfg.PoolRegions))
+		return channel.AsTransport(da), channel.AsTransport(db), nil
+	default:
+		return nil, nil, fmt.Errorf("mapreduce: unknown mode %v", cfg.Mode)
+	}
+}
+
+// statser lets Run aggregate channel costs regardless of transport type.
+type statser interface{ Stats() channel.Stats }
+
+// Run executes a full job: split, map, shuffle, reduce.
+func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PoolRegions == 0 {
+		cfg.PoolRegions = 4
+	}
+	net := netsim.NewNetwork(cfg.NetLatency)
+
+	mappers := make([]*machine, cfg.Mappers)
+	reducers := make([]*machine, cfg.Reducers)
+	for i := range mappers {
+		m, err := newMachine(cfg, fmt.Sprintf("mapper-%d", i), 1+i, cfg.Reducers)
+		if err != nil {
+			return nil, err
+		}
+		mappers[i] = m
+	}
+	for j := range reducers {
+		r, err := newMachine(cfg, fmt.Sprintf("reducer-%d", j), 1+cfg.Mappers+j, cfg.Mappers)
+		if err != nil {
+			return nil, err
+		}
+		reducers[j] = r
+	}
+
+	// All-to-all links: sendside[m][j] on the mapper, recvside[j][m] on the
+	// reducer.
+	sendSide := make([][]channel.Transport, cfg.Mappers)
+	recvSide := make([][]channel.Transport, cfg.Reducers)
+	for j := range recvSide {
+		recvSide[j] = make([]channel.Transport, cfg.Mappers)
+	}
+	var allTransports []channel.Transport
+	for i := range mappers {
+		sendSide[i] = make([]channel.Transport, cfg.Reducers)
+		for j := range reducers {
+			a, b, err := link(cfg, net, mappers[i], reducers[j], fmt.Sprintf("m%dr%d", i, j))
+			if err != nil {
+				return nil, err
+			}
+			sendSide[i][j] = a
+			recvSide[j][i] = b
+			allTransports = append(allTransports, a, b)
+		}
+	}
+
+	res := &Result{Output: make(map[string]int64)}
+
+	// Map phase: compute, partition, shuffle out.
+	chunks := splitInput(input, cfg.Mappers)
+	for i, m := range mappers {
+		m.clock.AdvanceCycles(sim.Cycles(float64(len(chunks[i])) * cfg.MapCyclesPerByte))
+		parts := make([][]KV, cfg.Reducers)
+		mapf(chunks[i], func(k string, v int64) {
+			p := partitionOf(k, cfg.Reducers)
+			parts[p] = append(parts[p], KV{Key: k, Value: v})
+		})
+		for j := range reducers {
+			part := parts[j]
+			if cfg.Combiner != nil {
+				part = combine(part, cfg.Combiner)
+				m.clock.AdvanceCycles(sim.Cycles(float64(len(parts[j])) * cfg.ReduceCyclesPerKV / 2))
+			}
+			payload := encodeKVs(part)
+			res.ShuffleBytes += len(payload)
+			if err := sendSide[i][j].Send(payload); err != nil {
+				return nil, fmt.Errorf("mapper %d -> reducer %d: %w", i, j, err)
+			}
+		}
+		res.MapTime = append(res.MapTime, m.clock.Now())
+	}
+
+	// Reduce phase: collect, merge, fold.
+	for j, r := range reducers {
+		byKey := make(map[string][]int64)
+		pairs := 0
+		for i := range mappers {
+			payload, err := recvSide[j][i].Recv()
+			if err != nil {
+				return nil, fmt.Errorf("reducer %d <- mapper %d: %w", j, i, err)
+			}
+			kvs, err := decodeKVs(payload)
+			if err != nil {
+				return nil, err
+			}
+			for _, kv := range kvs {
+				byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+				pairs++
+			}
+		}
+		r.clock.AdvanceCycles(sim.Cycles(float64(pairs) * cfg.ReduceCyclesPerKV))
+		for _, k := range sortedKeys(byKey) {
+			res.Output[k] = redf(k, byKey[k])
+		}
+		res.ReduceTime = append(res.ReduceTime, r.clock.Now())
+	}
+
+	// Makespan and aggregate comm costs.
+	for _, m := range append(append([]*machine(nil), mappers...), reducers...) {
+		if m.clock.Now() > res.Elapsed {
+			res.Elapsed = m.clock.Now()
+		}
+	}
+	for _, tr := range allTransports {
+		if s, ok := tr.(statser); ok {
+			res.CommCycles += s.Stats().Total()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package mapreduce is the in-memory MapReduce framework of §VI-C1: a
+// coordinator, mappers and reducers on separate simulated machines that
+// shuffle intermediate key-value results through one of the three transfer
+// channels (non-secure baseline, software secure channel, MMT closure
+// delegation).
+//
+// The framework follows the RDMA-based in-memory designs the paper cites:
+// intermediate results live in memory, each mapper holds a connection
+// (QP-like) to every reducer, and the shuffle is the only cross-machine
+// traffic. End-to-end time is the makespan over all simulated node clocks.
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// KV is one intermediate or final key-value pair.
+type KV struct {
+	Key   string
+	Value int64
+}
+
+// Mapper turns an input chunk into intermediate pairs via emit.
+type Mapper func(chunk []byte, emit func(key string, value int64))
+
+// Reducer folds all values of one key into a final value.
+type Reducer func(key string, values []int64) int64
+
+// WordCountMapper emits (word, 1) per whitespace-separated token.
+func WordCountMapper(chunk []byte, emit func(string, int64)) {
+	for _, w := range strings.Fields(string(chunk)) {
+		emit(w, 1)
+	}
+}
+
+// WordCountReducer sums the counts.
+func WordCountReducer(_ string, values []int64) int64 {
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	return sum
+}
+
+// GrepMapper returns a Mapper emitting (line, 1) for lines containing the
+// pattern — the second classic VC3-style job.
+func GrepMapper(pattern string) Mapper {
+	return func(chunk []byte, emit func(string, int64)) {
+		for _, line := range strings.Split(string(chunk), "\n") {
+			if strings.Contains(line, pattern) {
+				emit(line, 1)
+			}
+		}
+	}
+}
+
+// combine pre-reduces a partition locally, preserving first-seen key
+// order for determinism.
+func combine(kvs []KV, combiner Reducer) []KV {
+	byKey := make(map[string][]int64, len(kvs))
+	var order []string
+	for _, kv := range kvs {
+		if _, seen := byKey[kv.Key]; !seen {
+			order = append(order, kv.Key)
+		}
+		byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+	}
+	out := make([]KV, 0, len(order))
+	for _, k := range order {
+		out = append(out, KV{Key: k, Value: combiner(k, byKey[k])})
+	}
+	return out
+}
+
+// partitionOf assigns a key to a reducer.
+func partitionOf(key string, reducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % reducers
+}
+
+// encodeKVs serializes a partition for the shuffle.
+func encodeKVs(kvs []KV) []byte {
+	size := 4
+	for _, kv := range kvs {
+		size += 4 + len(kv.Key) + 8
+	}
+	out := make([]byte, 0, size)
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(kvs)))
+	out = append(out, buf[:4]...)
+	for _, kv := range kvs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(kv.Key)))
+		out = append(out, buf[:4]...)
+		out = append(out, kv.Key...)
+		binary.LittleEndian.PutUint64(buf[:], uint64(kv.Value))
+		out = append(out, buf[:8]...)
+	}
+	return out
+}
+
+// decodeKVs reverses encodeKVs.
+func decodeKVs(b []byte) ([]KV, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("mapreduce: short partition (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	// Each pair needs at least 12 bytes; a count beyond that is corrupt,
+	// and pre-allocating from it would let a malformed message exhaust
+	// memory.
+	if n > len(b)/12 {
+		return nil, fmt.Errorf("mapreduce: pair count %d exceeds payload", n)
+	}
+	kvs := make([]KV, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("mapreduce: truncated key length")
+		}
+		kl := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if kl < 0 || len(b) < kl+8 {
+			return nil, fmt.Errorf("mapreduce: truncated pair")
+		}
+		key := string(b[:kl])
+		val := int64(binary.LittleEndian.Uint64(b[kl:]))
+		b = b[kl+8:]
+		kvs = append(kvs, KV{Key: key, Value: val})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("mapreduce: %d trailing bytes", len(b))
+	}
+	return kvs, nil
+}
+
+// splitInput cuts input into m chunks on whitespace boundaries.
+func splitInput(input []byte, m int) [][]byte {
+	chunks := make([][]byte, 0, m)
+	approx := len(input) / m
+	start := 0
+	for i := 0; i < m; i++ {
+		if i == m-1 {
+			chunks = append(chunks, input[start:])
+			break
+		}
+		end := start + approx
+		if end >= len(input) {
+			chunks = append(chunks, input[start:])
+			for len(chunks) < m {
+				chunks = append(chunks, nil)
+			}
+			break
+		}
+		for end < len(input) && input[end] != ' ' && input[end] != '\n' {
+			end++
+		}
+		chunks = append(chunks, input[start:end])
+		start = end
+	}
+	return chunks
+}
+
+// sortedKeys returns map keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,421 @@
+package monitor
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"mmt/internal/attest"
+	"mmt/internal/core"
+	"mmt/internal/crypt"
+	"mmt/internal/netsim"
+)
+
+// Connection is the enclave manager's record of a live channel between a
+// local and a remote enclave (§IV-C). The MMT key negotiated at connect
+// time seeds the core.Conn whose counter/address floors implement the
+// delegation protocol's replay and re-order defences.
+type Connection struct {
+	ID          string
+	Local       EnclaveID
+	PeerMonitor string // network name of the remote monitor
+	PeerEnclave EnclaveID
+	conn        *core.Conn
+	// recv is the armed waiting PMO for the next inbound delegation.
+	recv *PMO
+	// pending maps in-flight delegations (by MMT global-unique address)
+	// to their PMOs; several may be pipelined on one connection.
+	pending map[uint64]*PMO
+	// Received queues PMOs accepted from the peer, oldest first.
+	Received []*PMO
+	// Acked counts completed outbound delegations.
+	Acked int
+}
+
+// Conn exposes the underlying protocol connection (tests).
+func (c *Connection) Conn() *core.Conn { return c.conn }
+
+// connectMsg is the control message used during connection setup. The
+// report and ECDH shares establish who is on the other side; the rest
+// mirrors Figure 6 step 1 (buffer negotiation).
+type connectMsg struct {
+	Type       string         `json:"type"`
+	ConnID     string         `json:"conn_id"`
+	Report     *attest.Report `json:"report"`
+	ECDHPublic []byte         `json:"ecdh_public"`
+	// ShareSig is the machine-key signature over (type, conn id, share):
+	// the report attests the machine key, the signature binds this DH
+	// share to it, so a man in the middle cannot substitute shares.
+	ShareSig    []byte    `json:"share_sig"`
+	Enclave     EnclaveID `json:"enclave"`
+	PeerEnclave EnclaveID `json:"peer_enclave"`
+	InitCounter uint64    `json:"init_counter"`
+}
+
+// shareDigest is what ShareSig signs.
+func shareDigest(typ, connID string, share []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("mmt-connect-v1\x00"))
+	h.Write([]byte(typ))
+	h.Write([]byte{0})
+	h.Write([]byte(connID))
+	h.Write([]byte{0})
+	h.Write(share)
+	return h.Sum(nil)
+}
+
+// verifyConnectMsg checks the report against the authority and the share
+// signature against the report's attested machine key.
+func verifyConnectMsg(authority *ecdsa.PublicKey, m *connectMsg) error {
+	if err := attest.VerifyReport(authority, m.Report); err != nil {
+		return fmt.Errorf("monitor: peer attestation: %w", err)
+	}
+	mk, err := m.Report.MachineKey()
+	if err != nil {
+		return err
+	}
+	if !ecdsa.VerifyASN1(mk, shareDigest(m.Type, m.ConnID, m.ECDHPublic), m.ShareSig) {
+		return fmt.Errorf("monitor: key-exchange share not signed by the attested machine")
+	}
+	return nil
+}
+
+type ackMsg struct {
+	Type   string `json:"type"`
+	ConnID string `json:"conn_id"`
+	OK     bool   `json:"ok"`
+	// GUAddr names the delegation being acknowledged, so acks survive
+	// adversarial re-ordering without completing the wrong transfer.
+	GUAddr uint64 `json:"guaddr"`
+}
+
+// closure frames are binary, not JSON: a closure is bulk data whose bytes
+// the delegation protocol itself authenticates, and wrapping it in JSON
+// would make unrelated framing bytes (not covered by any MAC) able to
+// swallow the whole message. Layout: 2-byte conn-id length, conn id, wire.
+func encodeClosureFrame(connID string, wire []byte) []byte {
+	out := make([]byte, 2+len(connID)+len(wire))
+	out[0] = byte(len(connID))
+	out[1] = byte(len(connID) >> 8)
+	copy(out[2:], connID)
+	copy(out[2+len(connID):], wire)
+	return out
+}
+
+func decodeClosureFrame(b []byte) (connID string, wire []byte, err error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("monitor: short closure frame")
+	}
+	n := int(b[0]) | int(b[1])<<8
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("monitor: truncated closure frame")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// Connect establishes a delegation connection between a local enclave on
+// monitor a and a remote enclave on monitor b, running the attestation-
+// report exchange and MMT key agreement across the untrusted network. It
+// returns the connection id, valid on both monitors.
+//
+// The two monitors live in one process here, so the handshake pumps the
+// message queue inline; on real hardware each side runs its half in its
+// own firmware.
+func Connect(a *Monitor, aEnc EnclaveID, b *Monitor, bEnc EnclaveID, initCounter uint64) (string, error) {
+	if a.endpoint == nil || b.endpoint == nil {
+		return "", fmt.Errorf("monitor: both monitors must be attached to the network")
+	}
+	if a.report == nil || b.report == nil {
+		return "", ErrNotAttested
+	}
+	if _, ok := a.enclaves[aEnc]; !ok {
+		return "", ErrNoEnclave
+	}
+	if _, ok := b.enclaves[bEnc]; !ok {
+		return "", ErrNoEnclave
+	}
+
+	// Each side generates an ECDH share; the shared secret becomes the MMT
+	// key ("similar to the TLS handshake", §IV-B1).
+	aPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return "", err
+	}
+	bPriv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return "", err
+	}
+	connID := fmt.Sprintf("%s/%d<->%s/%d#%d", a.endpoint.Name(), aEnc, b.endpoint.Name(), bEnc, len(a.conns))
+
+	// a -> b: connect request with a's report and machine-signed ECDH share.
+	aSig, err := a.machine.Sign(shareDigest("connect", connID, aPriv.PublicKey().Bytes()))
+	if err != nil {
+		return "", err
+	}
+	req := connectMsg{
+		Type: "connect", ConnID: connID, Report: a.report,
+		ECDHPublic: aPriv.PublicKey().Bytes(), ShareSig: aSig,
+		Enclave: aEnc, PeerEnclave: bEnc,
+		InitCounter: initCounter,
+	}
+	reqBytes, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	a.endpoint.Send(b.endpoint.Name(), netsim.KindControl, reqBytes)
+	inbound, ok := b.endpoint.Recv()
+	if !ok {
+		return "", fmt.Errorf("monitor: connect request lost on the network")
+	}
+	var got connectMsg
+	if err := json.Unmarshal(inbound.Payload, &got); err != nil || got.Type != "connect" {
+		return "", fmt.Errorf("monitor: malformed connect request")
+	}
+	// b verifies a's attestation report and the binding of the DH share to
+	// a's attested machine key before accepting the connection.
+	if err := verifyConnectMsg(b.authority, &got); err != nil {
+		return "", err
+	}
+
+	// b -> a: response with b's report and machine-signed share.
+	bSig, err := b.machine.Sign(shareDigest("connect-ok", got.ConnID, bPriv.PublicKey().Bytes()))
+	if err != nil {
+		return "", err
+	}
+	resp := connectMsg{
+		Type: "connect-ok", ConnID: got.ConnID, Report: b.report,
+		ECDHPublic: bPriv.PublicKey().Bytes(), ShareSig: bSig,
+		Enclave: bEnc, PeerEnclave: got.Enclave,
+		InitCounter: got.InitCounter,
+	}
+	respBytes, err := json.Marshal(resp)
+	if err != nil {
+		return "", err
+	}
+	b.endpoint.Send(inbound.From, netsim.KindControl, respBytes)
+	back, ok := a.endpoint.Recv()
+	if !ok {
+		return "", fmt.Errorf("monitor: connect response lost on the network")
+	}
+	var gotResp connectMsg
+	if err := json.Unmarshal(back.Payload, &gotResp); err != nil || gotResp.Type != "connect-ok" {
+		return "", fmt.Errorf("monitor: malformed connect response")
+	}
+	if err := verifyConnectMsg(a.authority, &gotResp); err != nil {
+		return "", err
+	}
+
+	// Derive the MMT key on both sides, from the *verified* wire shares.
+	bPub, err := ecdh.X25519().NewPublicKey(gotResp.ECDHPublic)
+	if err != nil {
+		return "", err
+	}
+	aShared, err := aPriv.ECDH(bPub)
+	if err != nil {
+		return "", err
+	}
+	aPub, err := ecdh.X25519().NewPublicKey(got.ECDHPublic)
+	if err != nil {
+		return "", err
+	}
+	bShared, err := bPriv.ECDH(aPub)
+	if err != nil {
+		return "", err
+	}
+	key := mmtKeyFromShared(aShared)
+	if key != mmtKeyFromShared(bShared) {
+		return "", fmt.Errorf("monitor: key agreement mismatch")
+	}
+
+	// Both sides record the connection and arm a receive buffer.
+	ca := &Connection{ID: connID, Local: aEnc, PeerMonitor: b.endpoint.Name(), PeerEnclave: bEnc,
+		conn: core.NewConn(key, initCounter), pending: make(map[uint64]*PMO)}
+	cb := &Connection{ID: connID, Local: bEnc, PeerMonitor: a.endpoint.Name(), PeerEnclave: aEnc,
+		conn: core.NewConn(key, initCounter), pending: make(map[uint64]*PMO)}
+	a.conns[connID] = ca
+	b.conns[connID] = cb
+	if err := a.armReceive(ca); err != nil {
+		return "", err
+	}
+	if err := b.armReceive(cb); err != nil {
+		return "", err
+	}
+	return connID, nil
+}
+
+// mmtKeyFromShared derives the 128-bit MMT key from an ECDH secret.
+func mmtKeyFromShared(shared []byte) crypt.Key {
+	sum := sha256.Sum256(append([]byte("mmt-key-v1\x00"), shared...))
+	var k crypt.Key
+	copy(k[:], sum[:crypt.KeySize])
+	return k
+}
+
+// armReceive allocates a waiting PMO for the next inbound delegation on c
+// (Figure 6 step 2: the receiver sets the buffer's MMT state to waiting).
+// The PMO is owned by the connection's local enclave.
+func (m *Monitor) armReceive(c *Connection) error {
+	p, err := m.AllocPMO(c.Local)
+	if err != nil {
+		return err
+	}
+	mmt, err := m.node.Expect(p.Region, c.conn)
+	if err != nil {
+		return err
+	}
+	p.mmt = mmt
+	c.recv = p
+	return nil
+}
+
+// Connection looks up a connection by id.
+func (m *Monitor) Connection(id string) (*Connection, bool) {
+	c, ok := m.conns[id]
+	return c, ok
+}
+
+// SendPMO delegates the PMO's MMT closure to the connection's peer
+// (Figure 6 step 3). Owner only; the MMT must be valid. The closure goes
+// onto the untrusted network; the sender's region is read-only until the
+// peer's ack arrives (Pump processes it).
+func (m *Monitor) SendPMO(caller EnclaveID, cap CapID, connID string, mode core.TransferMode) error {
+	c, ok := m.conns[connID]
+	if !ok {
+		return ErrNoConn
+	}
+	p, err := m.checkOwner(caller, cap)
+	if err != nil {
+		return err
+	}
+	if p.mmt == nil {
+		return fmt.Errorf("monitor: PMO %d has no MMT", cap)
+	}
+	closure, err := p.mmt.BeginSend(c.conn, mode)
+	if err != nil {
+		return err
+	}
+	c.pending[p.mmt.GUAddr()] = p
+	frame := encodeClosureFrame(connID, closure.Encode())
+	// Charge the NIC/DMA serialization and the fixed delegation cost to
+	// this machine's clock, exactly as the channel layer does.
+	prof := m.ctl.Profile()
+	m.ctl.Clock().AdvanceCycles(prof.RemoteWriteCost(len(frame)) + prof.DelegationFixed)
+	m.endpoint.Send(c.PeerMonitor, netsim.KindClosure, frame)
+	return nil
+}
+
+// Pump processes one pending network message: an inbound closure is
+// verified and accepted into the armed waiting buffer (then acked), and an
+// inbound ack completes the matching outbound delegation. It reports
+// whether a message was processed. Delegation-protocol rejections
+// (replay, re-order, tamper) are returned as errors but leave the monitor
+// consistent: the waiting buffer stays armed.
+func (m *Monitor) Pump() (bool, error) {
+	msg, ok := m.endpoint.Recv()
+	if !ok {
+		return false, nil
+	}
+	switch msg.Kind {
+	case netsim.KindClosure:
+		connID, wire, err := decodeClosureFrame(msg.Payload)
+		if err != nil {
+			return true, err
+		}
+		c, ok := m.conns[connID]
+		if !ok {
+			return true, ErrNoConn
+		}
+		if c.recv == nil || c.recv.mmt == nil {
+			return true, fmt.Errorf("monitor: no armed receive buffer on %s", connID)
+		}
+		if err := c.recv.mmt.Accept(c.conn, wire); err != nil {
+			// Rejected: nack the specific delegation (its cleartext address
+			// hint is readable even when verification fails) and keep the
+			// buffer armed.
+			if decoded, derr := core.DecodeClosure(wire); derr == nil {
+				m.sendAck(c, false, decoded.GUAddrHint)
+			}
+			return true, err
+		}
+		c.Received = append(c.Received, c.recv)
+		accepted := c.recv.mmt.GUAddr()
+		c.recv = nil
+		m.sendAck(c, true, accepted)
+		// Re-arm for the next delegation if the pool allows it.
+		if len(m.pool) > 0 {
+			if err := m.armReceive(c); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+
+	case netsim.KindControl:
+		var am ackMsg
+		if err := json.Unmarshal(msg.Payload, &am); err != nil || am.Type != "ack" {
+			return true, fmt.Errorf("monitor: malformed control message")
+		}
+		c, ok := m.conns[am.ConnID]
+		if !ok {
+			return true, ErrNoConn
+		}
+		p, ok := c.pending[am.GUAddr]
+		if !ok {
+			return true, fmt.Errorf("monitor: ack for unknown delegation %#x on %s", am.GUAddr, am.ConnID)
+		}
+		delete(c.pending, am.GUAddr)
+		if err := p.mmt.CompleteSend(am.OK); err != nil {
+			return true, err
+		}
+		if am.OK {
+			c.Acked++
+			if !p.mmt.ReadOnly() && p.mmt.State() == core.StateInvalid {
+				// Ownership moved to the peer: free the local region.
+				delete(m.enclaves[p.Owner].caps, p.Cap)
+				delete(m.pmos, p.Cap)
+				m.pool = append(m.pool, p.Region)
+			}
+		}
+		return true, nil
+
+	default:
+		return true, fmt.Errorf("monitor: unexpected message kind %v", msg.Kind)
+	}
+}
+
+func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) {
+	body, err := json.Marshal(ackMsg{Type: "ack", ConnID: c.ID, OK: ok, GUAddr: guaddr})
+	if err != nil {
+		return
+	}
+	m.ctl.Clock().AdvanceCycles(m.ctl.Profile().RemoteWriteCost(len(body)))
+	m.endpoint.Send(c.PeerMonitor, netsim.KindControl, body)
+}
+
+// PumpAll drains the inbox, returning the first error but continuing to
+// drain (a rejected closure must not wedge later traffic).
+func (m *Monitor) PumpAll() error {
+	var first error
+	for {
+		processed, err := m.Pump()
+		if err != nil && first == nil {
+			first = err
+		}
+		if !processed {
+			return first
+		}
+	}
+}
+
+// TakeReceived pops the oldest received PMO on a connection, if any.
+func (m *Monitor) TakeReceived(connID string) (*PMO, bool) {
+	c, ok := m.conns[connID]
+	if !ok || len(c.Received) == 0 {
+		return nil, false
+	}
+	p := c.Received[0]
+	c.Received = c.Received[1:]
+	return p, true
+}

@@ -1,0 +1,128 @@
+package netsim
+
+// Adversaries for the §IV-B2 attack suite. Each implements Interposer and
+// performs one classic man-in-the-middle move. They are deliberately
+// simple: the point of the tests and the mmt-attack demo is that the MMT
+// delegation protocol rejects all of them, however crude.
+
+// Tamperer flips one bit at Offset in every payload of the matching kind.
+type Tamperer struct {
+	Kind   Kind
+	Offset int
+	Bit    uint
+}
+
+// Intercept implements Interposer.
+func (t *Tamperer) Intercept(m Message) []Message {
+	if m.Kind == t.Kind && len(m.Payload) > 0 {
+		p := append([]byte(nil), m.Payload...)
+		off := t.Offset % len(p)
+		if off < 0 {
+			off += len(p)
+		}
+		p[off] ^= 1 << (t.Bit % 8)
+		m.Payload = p
+	}
+	return []Message{m}
+}
+
+// Replayer delivers every matching message and, once armed, re-injects a
+// recorded copy of the first one it saw after every subsequent delivery.
+type Replayer struct {
+	Kind     Kind
+	recorded *Message
+}
+
+// Intercept implements Interposer.
+func (r *Replayer) Intercept(m Message) []Message {
+	if m.Kind != r.Kind {
+		return []Message{m}
+	}
+	if r.recorded == nil {
+		cp := m
+		cp.Payload = append([]byte(nil), m.Payload...)
+		r.recorded = &cp
+		return []Message{m}
+	}
+	replay := *r.recorded
+	replay.ArriveAt = m.ArriveAt
+	return []Message{m, replay}
+}
+
+// Recorded reports whether the replayer has captured a packet yet.
+func (r *Replayer) Recorded() bool { return r.recorded != nil }
+
+// Reorderer buffers matching messages in pairs and delivers each pair
+// swapped — the re-order attack.
+type Reorderer struct {
+	Kind Kind
+	held *Message
+}
+
+// Intercept implements Interposer.
+func (r *Reorderer) Intercept(m Message) []Message {
+	if m.Kind != r.Kind {
+		return []Message{m}
+	}
+	if r.held == nil {
+		cp := m
+		r.held = &cp
+		return nil
+	}
+	first := *r.held
+	r.held = nil
+	first.ArriveAt = m.ArriveAt
+	return []Message{m, first}
+}
+
+// Dropper drops every n-th matching message (n=1 drops all).
+type Dropper struct {
+	Kind  Kind
+	Every int
+	seen  int
+}
+
+// Intercept implements Interposer.
+func (d *Dropper) Intercept(m Message) []Message {
+	if m.Kind != d.Kind {
+		return []Message{m}
+	}
+	d.seen++
+	every := d.Every
+	if every <= 0 {
+		every = 1
+	}
+	if d.seen%every == 0 {
+		return nil
+	}
+	return []Message{m}
+}
+
+// Spy copies every payload it sees into Captured without modifying
+// anything — the passive eavesdropper. Confidentiality tests assert the
+// captured bytes reveal nothing about the plaintext.
+type Spy struct {
+	Captured [][]byte
+}
+
+// Intercept implements Interposer.
+func (s *Spy) Intercept(m Message) []Message {
+	s.Captured = append(s.Captured, append([]byte(nil), m.Payload...))
+	return []Message{m}
+}
+
+// Chain composes interposers left to right.
+type Chain []Interposer
+
+// Intercept implements Interposer.
+func (c Chain) Intercept(m Message) []Message {
+	msgs := []Message{m}
+	for _, i := range c {
+		var next []Message
+		for _, cur := range msgs {
+			next = append(next, i.Intercept(cur)...)
+		}
+		msgs = next
+	}
+	return msgs
+}

@@ -1,0 +1,175 @@
+// Package netsim models the untrusted interconnect between MMT nodes and
+// the pci-connector device of §V-A1: point-to-point message delivery with
+// configurable propagation delay, plus interposers that let tests and the
+// attack demos act as the man-in-the-middle the threat model assumes
+// (spying, tampering, replaying and re-ordering packets).
+//
+// Timing: the sender's NIC/DMA serialization cost is charged by the
+// channel layer from the sim.Profile; the network itself adds only the
+// propagation delay. A receiver cannot observe a message before its
+// simulated arrival instant (Clock.SyncTo).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"mmt/internal/sim"
+)
+
+// Kind tags the payload type of a message.
+type Kind uint8
+
+const (
+	// KindData is a raw remote write (non-secure or secure-channel bytes).
+	KindData Kind = iota
+	// KindClosure is an encoded MMT closure delegation.
+	KindClosure
+	// KindControl is protocol control traffic (acks, key exchange).
+	KindControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindClosure:
+		return "closure"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message is one packet on the interconnect.
+type Message struct {
+	From, To string
+	Kind     Kind
+	Payload  []byte
+	// ArriveAt is the simulated instant the message becomes visible at the
+	// destination.
+	ArriveAt sim.Time
+}
+
+// Interposer sits on the wire. For each sent message it returns the
+// messages actually delivered: unchanged (pass-through), modified
+// (tampering), duplicated (replay), reordered, or none (drop). The network
+// is untrusted, so interposers receive the real payload bytes.
+type Interposer interface {
+	Intercept(m Message) []Message
+}
+
+// PassThrough delivers every message unchanged.
+type PassThrough struct{}
+
+// Intercept implements Interposer.
+func (PassThrough) Intercept(m Message) []Message { return []Message{m} }
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	name  string
+	clock *sim.Clock
+	net   *Network
+	inbox []Message
+}
+
+// Network is the shared untrusted interconnect.
+type Network struct {
+	mu         sync.Mutex
+	endpoints  map[string]*Endpoint
+	interposer Interposer
+	// Latency is the one-way propagation delay (Figure 10b sweeps this).
+	Latency sim.Time
+	// delivered counts messages placed into inboxes (stats for tests).
+	delivered int
+}
+
+// NewNetwork builds a network with the given propagation latency.
+func NewNetwork(latency sim.Time) *Network {
+	return &Network{endpoints: make(map[string]*Endpoint), interposer: PassThrough{}, Latency: latency}
+}
+
+// SetInterposer installs the man-in-the-middle. A nil interposer restores
+// pass-through delivery.
+func (n *Network) SetInterposer(i Interposer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if i == nil {
+		i = PassThrough{}
+	}
+	n.interposer = i
+}
+
+// Attach registers a named endpoint whose receive times follow clock.
+func (n *Network) Attach(name string, clock *sim.Clock) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[name]; dup {
+		return nil, fmt.Errorf("netsim: endpoint %q already attached", name)
+	}
+	if clock == nil {
+		clock = sim.NewClock(0)
+	}
+	ep := &Endpoint{name: name, clock: clock, net: n}
+	n.endpoints[name] = ep
+	return ep, nil
+}
+
+// Name reports the endpoint's network name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Clock reports the endpoint's clock.
+func (e *Endpoint) Clock() *sim.Clock { return e.clock }
+
+// Send puts a message on the wire. The payload is copied, the interposer
+// transforms the delivery, and each resulting message lands in its
+// destination inbox stamped with sender-time + propagation latency.
+// Unknown destinations are silently dropped, as on a real fabric.
+func (e *Endpoint) Send(to string, kind Kind, payload []byte) {
+	m := Message{
+		From:     e.name,
+		To:       to,
+		Kind:     kind,
+		Payload:  append([]byte(nil), payload...),
+		ArriveAt: e.clock.Now() + e.net.Latency,
+	}
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, out := range n.interposer.Intercept(m) {
+		if dst, ok := n.endpoints[out.To]; ok {
+			dst.inbox = append(dst.inbox, out)
+			n.delivered++
+		}
+	}
+}
+
+// Recv pops the oldest pending message, advancing the receiver's clock to
+// the arrival instant. ok is false when the inbox is empty.
+func (e *Endpoint) Recv() (Message, bool) {
+	n := e.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(e.inbox) == 0 {
+		return Message{}, false
+	}
+	m := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	e.clock.SyncTo(m.ArriveAt)
+	return m, true
+}
+
+// Pending reports the number of undelivered messages in the inbox.
+func (e *Endpoint) Pending() int {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	return len(e.inbox)
+}
+
+// Delivered reports the total messages delivered on the network.
+func (n *Network) Delivered() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurveAnchorsExact(t *testing.T) {
+	c := NewCurve(
+		CurvePoint{Size: 1024, PerByte: 0.5},
+		CurvePoint{Size: 1 << 20, PerByte: 2.0},
+	)
+	if got := c.PerByte(1024); got != 0.5 {
+		t.Fatalf("PerByte(1024) = %v, want 0.5", got)
+	}
+	if got := c.PerByte(1 << 20); got != 2.0 {
+		t.Fatalf("PerByte(1M) = %v, want 2.0", got)
+	}
+}
+
+func TestCurveClampsOutsideRange(t *testing.T) {
+	c := NewCurve(
+		CurvePoint{Size: 1024, PerByte: 0.5},
+		CurvePoint{Size: 1 << 20, PerByte: 2.0},
+	)
+	if got := c.PerByte(1); got != 0.5 {
+		t.Fatalf("PerByte below range = %v, want clamp to 0.5", got)
+	}
+	if got := c.PerByte(1 << 30); got != 2.0 {
+		t.Fatalf("PerByte above range = %v, want clamp to 2.0", got)
+	}
+}
+
+func TestCurveLogMidpoint(t *testing.T) {
+	c := NewCurve(
+		CurvePoint{Size: 1 << 10, PerByte: 1.0},
+		CurvePoint{Size: 1 << 20, PerByte: 3.0},
+	)
+	// 1<<15 is the log2 midpoint of 1<<10 and 1<<20.
+	if got := c.PerByte(1 << 15); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("PerByte(log midpoint) = %v, want 2.0", got)
+	}
+}
+
+func TestCurveMonotoneBetweenMonotonePoints(t *testing.T) {
+	c := NewCurve(
+		CurvePoint{Size: 2 << 10, PerByte: 0.32},
+		CurvePoint{Size: 32 << 10, PerByte: 0.71},
+		CurvePoint{Size: 2 << 20, PerByte: 1.02},
+	)
+	prev := -1.0
+	for n := 1 << 10; n <= 4<<20; n *= 2 {
+		got := c.PerByte(n)
+		if got < prev {
+			t.Fatalf("PerByte not monotone at %d: %v < %v", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCurveCost(t *testing.T) {
+	c := NewCurve(CurvePoint{Size: 1, PerByte: 2.0})
+	if got := c.Cost(100); got != 200 {
+		t.Fatalf("Cost(100) = %v, want 200", got)
+	}
+	if got := c.Cost(0); got != 0 {
+		t.Fatalf("Cost(0) = %v, want 0", got)
+	}
+	if got := c.Cost(-5); got != 0 {
+		t.Fatalf("Cost(-5) = %v, want 0", got)
+	}
+}
+
+func TestCurvePanicsOnBadInput(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty", func() { NewCurve() })
+	mustPanic("zero size", func() { NewCurve(CurvePoint{Size: 0, PerByte: 1}) })
+	mustPanic("duplicate", func() {
+		NewCurve(CurvePoint{Size: 8, PerByte: 1}, CurvePoint{Size: 8, PerByte: 2})
+	})
+}
+
+func TestCurveUnsortedInputIsSorted(t *testing.T) {
+	c := NewCurve(
+		CurvePoint{Size: 1 << 20, PerByte: 2.0},
+		CurvePoint{Size: 1024, PerByte: 0.5},
+	)
+	if got := c.PerByte(512); got != 0.5 {
+		t.Fatalf("unsorted curve: PerByte(512) = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,20 @@
+// Package sim provides the simulated-time substrate for the MMT
+// reproduction: per-node clocks, cycle accounting, and cost profiles
+// calibrated from the paper's published measurements (Table II/III/IV and
+// Figure 10 of "Efficient Distributed Secure Memory with Migratable Merkle
+// Tree", HPCA 2023).
+//
+// The repository is a functional simulation: all cryptographic and
+// integrity-tree work is real code, but time never comes from the host; it
+// comes from a Clock that components advance using the costs defined here.
+// Two profiles mirror the paper's two testbeds:
+//
+//   - Gem5Profile: the 8-core 2 GHz out-of-order system of Table II, where
+//     AES-GCM runs in software on the CPU (no AES-NI).
+//   - IntelProfile: the Xeon E5-2650 v4 testbed of Table III, where AES-GCM
+//     uses AES-NI and transfers ride a 100 Gbps RDMA NIC.
+//
+// Costs are affine (fixed setup + per-byte) or, where the paper's own
+// breakdown shows cache effects (memcpy), piecewise log-linear curves
+// anchored on the published points.
+package sim

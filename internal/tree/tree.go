@@ -1,0 +1,318 @@
+package tree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"mmt/internal/crypt"
+)
+
+// Node is one integrity-tree node: a shared global counter, per-slot local
+// counters, and the node MAC. The effective counter of slot s is
+// Global<<LocalBits | Local[s] (§V-A2's "global-local counter layout").
+type Node struct {
+	Global uint64
+	Local  []uint32
+	MAC    uint64
+}
+
+// Tree is one migratable Merkle tree's counter structure. It does not own
+// the protected data or the per-line data MACs — the controller (package
+// engine) does; Tree owns counters and node MACs, which together with the
+// root counter pin both down.
+//
+// The root counter lives here but is conceptually stored in the SoC
+// (trusted); everything else may live in the untrusted meta-zone.
+type Tree struct {
+	geo     Geometry
+	rootCtr uint64
+	levels  [][]Node
+}
+
+// New builds a tree with all counters zero and MACs computed for guaddr
+// under e.
+func New(geo Geometry, e *crypt.Engine, guaddr uint64) *Tree {
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Tree{geo: geo, levels: make([][]Node, geo.Levels())}
+	for l := range t.levels {
+		nodes := make([]Node, geo.NodesAtLevel(l))
+		for i := range nodes {
+			nodes[i].Local = make([]uint32, geo.Arities[l])
+		}
+		t.levels[l] = nodes
+	}
+	t.RehashAll(e, guaddr)
+	return t
+}
+
+// Geometry reports the tree's shape.
+func (t *Tree) Geometry() Geometry { return t.geo }
+
+// RootCounter reports the trusted root counter.
+func (t *Tree) RootCounter() uint64 { return t.rootCtr }
+
+// SetRootCounter initialises the root counter. Users "can initialize the
+// root counter with a given value when the MMT state is changed to valid"
+// (§IV-B2); the delegation protocol relies on it only ever increasing
+// afterwards. Callers must re-hash (RehashAll) afterwards since the top
+// node MAC is keyed by the root counter.
+func (t *Tree) SetRootCounter(v uint64) { t.rootCtr = v }
+
+// BumpRootCounter increments the root counter by one and re-hashes the top
+// level (whose MACs are keyed by it). The delegation protocol calls this
+// when sealing a closure so that "the counter value in the sender is
+// always larger than that in the receiver and is always increased during
+// the delegation" (§IV-B2), even when no data write happened in between.
+func (t *Tree) BumpRootCounter(e *crypt.Engine, guaddr uint64) {
+	t.rootCtr++
+	for i := range t.levels[0] {
+		t.rehashNode(e, guaddr, 0, i)
+	}
+}
+
+// Node returns the node at (level, index) for inspection. The returned
+// pointer aliases tree state; tests use it to simulate tampering.
+func (t *Tree) Node(level, index int) *Node { return &t.levels[level][index] }
+
+// counter reports the effective counter of slot s in node (l, i).
+func (t *Tree) counter(l, i, s int) uint64 {
+	n := &t.levels[l][i]
+	return n.Global<<t.geo.localBits() | uint64(n.Local[s])
+}
+
+// LeafCounter reports the effective counter protecting the given line;
+// this is the counter the crypto engine mixes into the line's OTP and MAC.
+func (t *Tree) LeafCounter(line int) uint64 {
+	nodeIdx, slot := t.geo.path(line)
+	L := t.geo.Levels()
+	return t.counter(L-1, nodeIdx[L-1], slot[L-1])
+}
+
+// parentCounter reports the counter covering node (l, i): the root counter
+// for level 0, otherwise the effective counter in the parent's slot.
+func (t *Tree) parentCounter(l, i int) uint64 {
+	if l == 0 {
+		return t.rootCtr
+	}
+	parent := i / t.geo.Arities[l-1]
+	slot := i % t.geo.Arities[l-1]
+	return t.counter(l-1, parent, slot)
+}
+
+// nodeID packs a node's coordinates into the 32-bit id mixed into its MAC,
+// preventing node splicing within one MMT.
+func nodeID(level, index int) uint32 { return uint32(level)<<24 | uint32(index)&0xFFFFFF }
+
+// effectiveCounters returns the effective counters of all slots in (l, i).
+func (t *Tree) effectiveCounters(l, i int) []uint64 {
+	n := &t.levels[l][i]
+	out := make([]uint64, len(n.Local))
+	hi := n.Global << t.geo.localBits()
+	for s, lc := range n.Local {
+		out[s] = hi | uint64(lc)
+	}
+	return out
+}
+
+// rehashNode recomputes the MAC of node (l, i).
+func (t *Tree) rehashNode(e *crypt.Engine, guaddr uint64, l, i int) {
+	t.levels[l][i].MAC = e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
+}
+
+// RehashAll recomputes every node MAC bottom-up. Used after bulk
+// initialisation or after SetRootCounter.
+func (t *Tree) RehashAll(e *crypt.Engine, guaddr uint64) {
+	for l := t.geo.Levels() - 1; l >= 0; l-- {
+		for i := range t.levels[l] {
+			t.rehashNode(e, guaddr, l, i)
+		}
+	}
+}
+
+// ErrIntegrity is returned when a node MAC check fails: the meta-zone or a
+// transferred closure was tampered with, replayed, or decoded under the
+// wrong key/address.
+var ErrIntegrity = errors.New("tree: integrity check failed")
+
+// verifyNode checks the MAC of node (l, i).
+func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
+	want := e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
+	if t.levels[l][i].MAC != want {
+		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
+	}
+	return nil
+}
+
+// VerifyPath checks node MACs from the leaf covering line up to the root
+// counter — the integrity-tree engine's read-path check ("checks hashes
+// stored in tree nodes recursively up to the MMT root", §V-A2).
+func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
+	nodeIdx, _ := t.geo.path(line)
+	for l := t.geo.Levels() - 1; l >= 0; l-- {
+		if err := t.verifyNode(e, guaddr, l, nodeIdx[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyAll checks every node MAC; the closure-delegation engine runs this
+// after unsealing a transferred root.
+func (t *Tree) VerifyAll(e *crypt.Engine, guaddr uint64) error {
+	for l := range t.levels {
+		for i := range t.levels[l] {
+			if err := t.verifyNode(e, guaddr, l, i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateResult describes the side effects of one write-path counter bump.
+type UpdateResult struct {
+	// LeafCounter is the new effective counter for the written line; the
+	// caller re-encrypts the line under it.
+	LeafCounter uint64
+	// ReencryptLines lists the other lines whose counters changed because a
+	// leaf-level local counter overflowed; the caller must re-encrypt and
+	// re-MAC them at their new counters (returned by LeafCounter queries).
+	ReencryptLines []int
+	// NodesTouched counts node MAC recomputations (for cost accounting).
+	NodesTouched int
+	// Overflowed reports whether any level overflowed.
+	Overflowed bool
+}
+
+// Update increments the counters along line's path — leaf slot, every
+// interior slot, and the root counter — handling local-counter overflow,
+// then recomputes the affected node MACs. This is the write path of the
+// integrity tree engine.
+func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
+	nodeIdx, slot := t.geo.path(line)
+	L := t.geo.Levels()
+	res := UpdateResult{}
+	maxLocal := uint32(1)<<t.geo.localBits() - 1
+
+	// Bump every counter on the path first (leaf to root), tracking
+	// overflow, then rehash: MACs depend on parent counters, so they must
+	// be computed against the final values.
+	overflowAt := make([]bool, L)
+	for l := L - 1; l >= 0; l-- {
+		n := &t.levels[l][nodeIdx[l]]
+		if n.Local[slot[l]] == maxLocal {
+			n.Global++
+			for s := range n.Local {
+				n.Local[s] = 0
+			}
+			overflowAt[l] = true
+			res.Overflowed = true
+		} else {
+			n.Local[slot[l]]++
+		}
+	}
+	t.rootCtr++
+
+	// Rehash. Path nodes always need it (their counters and their parent
+	// counters changed). An overflow at level l additionally invalidates
+	// the MACs of all children of the overflowed node (their parent
+	// counters were reset), and a leaf overflow forces data re-encryption.
+	for l := 0; l < L; l++ {
+		t.rehashNode(e, guaddr, l, nodeIdx[l])
+		res.NodesTouched++
+		if !overflowAt[l] {
+			continue
+		}
+		if l == L-1 {
+			// Leaf overflow: all lines under this leaf changed counters.
+			base := nodeIdx[l] * t.geo.Arities[l]
+			for s := 0; s < t.geo.Arities[l]; s++ {
+				if ln := base + s; ln != line {
+					res.ReencryptLines = append(res.ReencryptLines, ln)
+				}
+			}
+		} else {
+			// Interior overflow: all child nodes must be re-MACed.
+			childBase := nodeIdx[l] * t.geo.Arities[l]
+			for c := 0; c < t.geo.Arities[l]; c++ {
+				child := childBase + c
+				if child != nodeIdx[l+1] { // path child is rehashed anyway
+					t.rehashNode(e, guaddr, l+1, child)
+					res.NodesTouched++
+				}
+			}
+		}
+	}
+	res.LeafCounter = t.counter(L-1, nodeIdx[L-1], slot[L-1])
+	return res
+}
+
+// Serialize encodes all tree nodes (not the root counter — that travels
+// sealed inside the MMT root) in the meta-zone layout: per node, global
+// counter, locals, MAC, little endian, levels top-down.
+func (t *Tree) Serialize() []byte {
+	out := make([]byte, 0, t.geo.NodesSize())
+	var buf [8]byte
+	for l := range t.levels {
+		for i := range t.levels[l] {
+			n := &t.levels[l][i]
+			binary.LittleEndian.PutUint64(buf[:], n.Global)
+			out = append(out, buf[:]...)
+			for _, lc := range n.Local {
+				binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
+				out = append(out, buf[:2]...)
+			}
+			binary.LittleEndian.PutUint64(buf[:], n.MAC)
+			out = append(out, buf[:]...)
+		}
+	}
+	return out
+}
+
+// Deserialize decodes a serialized node set into a tree with the given
+// geometry. The root counter is zero until SetRootCounter; callers verify
+// with VerifyAll after installing the unsealed root counter.
+func Deserialize(geo Geometry, data []byte) (*Tree, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) != geo.NodesSize() {
+		return nil, fmt.Errorf("tree: serialized size %d, want %d", len(data), geo.NodesSize())
+	}
+	t := &Tree{geo: geo, levels: make([][]Node, geo.Levels())}
+	off := 0
+	for l := 0; l < geo.Levels(); l++ {
+		nodes := make([]Node, geo.NodesAtLevel(l))
+		for i := range nodes {
+			n := &nodes[i]
+			n.Global = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+			n.Local = make([]uint32, geo.Arities[l])
+			for s := range n.Local {
+				n.Local[s] = uint32(binary.LittleEndian.Uint16(data[off:]))
+				off += 2
+			}
+			n.MAC = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+		t.levels[l] = nodes
+	}
+	return t, nil
+}
+
+// Clone deep-copies the tree (used for read-only ownership-copy mode).
+func (t *Tree) Clone() *Tree {
+	c := &Tree{geo: t.geo, rootCtr: t.rootCtr, levels: make([][]Node, len(t.levels))}
+	for l := range t.levels {
+		nodes := make([]Node, len(t.levels[l]))
+		for i := range nodes {
+			src := &t.levels[l][i]
+			nodes[i] = Node{Global: src.Global, Local: append([]uint32(nil), src.Local...), MAC: src.MAC}
+		}
+		c.levels[l] = nodes
+	}
+	return c
+}

@@ -1,0 +1,333 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"mmt/internal/crypt"
+)
+
+// smallGeo is a tiny tree for fast exhaustive tests: 2*3*4 = 24 lines.
+func smallGeo() Geometry { return Geometry{Arities: []int{2, 3, 4}} }
+
+func testEngine() *crypt.Engine { return crypt.NewEngine(crypt.KeyFromBytes([]byte("tree-test"))) }
+
+const guaddr = 0xABCD0000
+
+func TestNewTreeVerifies(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	if err := tr.VerifyAll(e, guaddr); err != nil {
+		t.Fatalf("fresh tree does not verify: %v", err)
+	}
+	if tr.RootCounter() != 0 {
+		t.Fatalf("fresh root counter = %d", tr.RootCounter())
+	}
+	if tr.LeafCounter(0) != 0 {
+		t.Fatalf("fresh leaf counter = %d", tr.LeafCounter(0))
+	}
+}
+
+func TestUpdateAdvancesCounters(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	res := tr.Update(e, guaddr, 5)
+	if res.LeafCounter != 1 {
+		t.Fatalf("leaf counter after one write = %d, want 1", res.LeafCounter)
+	}
+	if tr.RootCounter() != 1 {
+		t.Fatalf("root counter = %d, want 1", tr.RootCounter())
+	}
+	if tr.LeafCounter(5) != 1 || tr.LeafCounter(6) != 0 {
+		t.Fatal("wrong leaf counters after update")
+	}
+	if res.Overflowed || len(res.ReencryptLines) != 0 {
+		t.Fatal("unexpected overflow on first write")
+	}
+	if res.NodesTouched != 3 {
+		t.Fatalf("NodesTouched = %d, want 3 (one per level)", res.NodesTouched)
+	}
+}
+
+func TestUpdateKeepsTreeVerified(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	for i := 0; i < 100; i++ {
+		line := (i * 7) % tr.Geometry().Lines()
+		tr.Update(e, guaddr, line)
+		if err := tr.VerifyAll(e, guaddr); err != nil {
+			t.Fatalf("tree invalid after update %d (line %d): %v", i, line, err)
+		}
+	}
+}
+
+func TestVerifyPathMatchesVerifyAll(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.Update(e, guaddr, 3)
+	for line := 0; line < tr.Geometry().Lines(); line++ {
+		if err := tr.VerifyPath(e, guaddr, line); err != nil {
+			t.Fatalf("VerifyPath(%d): %v", line, err)
+		}
+	}
+}
+
+func TestTamperCounterDetected(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.Update(e, guaddr, 0)
+	tr.Node(2, 0).Local[0]++ // attacker bumps a leaf counter in the meta-zone
+	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered counter not detected: %v", err)
+	}
+}
+
+func TestTamperGlobalCounterDetected(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.Node(1, 0).Global = 42
+	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered global counter not detected: %v", err)
+	}
+}
+
+func TestTamperMACDetected(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.Node(0, 0).MAC ^= 1
+	if err := tr.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tampered MAC not detected: %v", err)
+	}
+}
+
+func TestReplayedNodeDetected(t *testing.T) {
+	// An attacker records a node (counters+MAC) and restores it after a
+	// later legitimate update. The restored node is self-consistent but its
+	// parent counter has moved on, so the path check must fail.
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.Update(e, guaddr, 0)
+	saved := *tr.Node(2, 0)
+	savedLocals := append([]uint32(nil), tr.Node(2, 0).Local...)
+
+	tr.Update(e, guaddr, 0) // legitimate second write
+
+	n := tr.Node(2, 0)
+	n.Global = saved.Global
+	copy(n.Local, savedLocals)
+	n.MAC = saved.MAC
+	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("replayed stale node not detected: %v", err)
+	}
+}
+
+func TestWrongAddressDetected(t *testing.T) {
+	// The same tree bytes interpreted at a different global-unique address
+	// must not verify (anti-splicing across the integrity forest).
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	if err := tr.VerifyAll(e, guaddr+1); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tree verified at wrong address: %v", err)
+	}
+}
+
+func TestWrongKeyDetected(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	other := crypt.NewEngine(crypt.KeyFromBytes([]byte("other-key")))
+	if err := tr.VerifyAll(other, guaddr); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tree verified under wrong key: %v", err)
+	}
+}
+
+func TestLeafOverflowReencryptsSiblingLines(t *testing.T) {
+	e := testEngine()
+	geo := Geometry{Arities: []int{2, 4}, LocalBits: 2} // locals wrap at 3
+	tr := New(geo, e, guaddr)
+	var res UpdateResult
+	overflowed := false
+	for i := 0; i < 4; i++ {
+		res = tr.Update(e, guaddr, 0)
+		if res.Overflowed {
+			overflowed = true
+			break
+		}
+	}
+	if !overflowed {
+		t.Fatal("no overflow after wrapping local counter")
+	}
+	// Leaf 0 covers lines 0..3; all but the written line must be re-encrypted.
+	want := map[int]bool{1: true, 2: true, 3: true}
+	if len(res.ReencryptLines) != len(want) {
+		t.Fatalf("ReencryptLines = %v", res.ReencryptLines)
+	}
+	for _, ln := range res.ReencryptLines {
+		if !want[ln] {
+			t.Fatalf("unexpected re-encrypt line %d", ln)
+		}
+	}
+	if err := tr.VerifyAll(e, guaddr); err != nil {
+		t.Fatalf("tree invalid after overflow: %v", err)
+	}
+	// Global counter advanced: effective counter continues to grow.
+	if got := tr.LeafCounter(0); got != 4 {
+		t.Fatalf("leaf counter after overflow = %d, want 4", got)
+	}
+}
+
+func TestInteriorOverflowRehashesChildren(t *testing.T) {
+	e := testEngine()
+	geo := Geometry{Arities: []int{2, 2, 2}, LocalBits: 1} // locals wrap at 1
+	tr := New(geo, e, guaddr)
+	for i := 0; i < 8; i++ {
+		tr.Update(e, guaddr, i%geo.Lines())
+		if err := tr.VerifyAll(e, guaddr); err != nil {
+			t.Fatalf("tree invalid after update %d: %v", i, err)
+		}
+	}
+}
+
+func TestCounterMonotonicProperty(t *testing.T) {
+	e := testEngine()
+	geo := Geometry{Arities: []int{2, 3, 4}, LocalBits: 3}
+	tr := New(geo, e, guaddr)
+	f := func(lines []uint8) bool {
+		prevRoot := tr.RootCounter()
+		for _, l := range lines {
+			line := int(l) % geo.Lines()
+			before := tr.LeafCounter(line)
+			res := tr.Update(e, guaddr, line)
+			if res.LeafCounter <= before {
+				return false // per-line counter must strictly increase
+			}
+			if tr.RootCounter() <= prevRoot {
+				return false // root counter must strictly increase
+			}
+			prevRoot = tr.RootCounter()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	for i := 0; i < 10; i++ {
+		tr.Update(e, guaddr, i%tr.Geometry().Lines())
+	}
+	blob := tr.Serialize()
+	if len(blob) != tr.Geometry().NodesSize() {
+		t.Fatalf("serialized %d bytes, want %d", len(blob), tr.Geometry().NodesSize())
+	}
+	back, err := Deserialize(tr.Geometry(), blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.SetRootCounter(tr.RootCounter())
+	if err := back.VerifyAll(e, guaddr); err != nil {
+		t.Fatalf("deserialized tree does not verify: %v", err)
+	}
+	if back.LeafCounter(0) != tr.LeafCounter(0) {
+		t.Fatal("leaf counters differ after round trip")
+	}
+}
+
+func TestDeserializeRejectsWrongSize(t *testing.T) {
+	if _, err := Deserialize(smallGeo(), make([]byte, 10)); err == nil {
+		t.Fatal("wrong-size blob accepted")
+	}
+	if _, err := Deserialize(Geometry{}, nil); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestDeserializedStaleRootRejected(t *testing.T) {
+	// Replay of old tree nodes with the current root counter fails: the top
+	// node MAC is keyed by the root counter, which has since advanced.
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	stale := tr.Serialize()
+	tr.Update(e, guaddr, 0)
+
+	back, err := Deserialize(tr.Geometry(), stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.SetRootCounter(tr.RootCounter()) // current (newer) root counter
+	if err := back.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("stale nodes verified under new root counter: %v", err)
+	}
+}
+
+func TestSetRootCounterRequiresRehash(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	tr.SetRootCounter(100)
+	if err := tr.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
+		t.Fatal("root counter change without rehash still verifies")
+	}
+	tr.RehashAll(e, guaddr)
+	if err := tr.VerifyAll(e, guaddr); err != nil {
+		t.Fatalf("rehash after SetRootCounter: %v", err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	e := testEngine()
+	tr := New(smallGeo(), e, guaddr)
+	cl := tr.Clone()
+	tr.Update(e, guaddr, 0)
+	if cl.RootCounter() != 0 || cl.LeafCounter(0) != 0 {
+		t.Fatal("clone shares state with original")
+	}
+	if err := cl.VerifyAll(e, guaddr); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+}
+
+func TestPaperGeometryEndToEnd(t *testing.T) {
+	// A real 3-level (2 MB) tree: build, update a few lines, verify.
+	if testing.Short() {
+		t.Skip("2MB tree in -short mode")
+	}
+	e := testEngine()
+	tr := New(ForLevels(3), e, guaddr)
+	for _, line := range []int{0, 1, 63, 64, 2047, 2048, 32767} {
+		res := tr.Update(e, guaddr, line)
+		if res.LeafCounter != 1 {
+			t.Fatalf("line %d leaf counter = %d", line, res.LeafCounter)
+		}
+		if err := tr.VerifyPath(e, guaddr, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.RootCounter() != 7 {
+		t.Fatalf("root counter = %d, want 7", tr.RootCounter())
+	}
+}
+
+func BenchmarkUpdate3Level(b *testing.B) {
+	e := testEngine()
+	tr := New(ForLevels(3), e, guaddr)
+	lines := tr.Geometry().Lines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Update(e, guaddr, i%lines)
+	}
+}
+
+func BenchmarkVerifyPath3Level(b *testing.B) {
+	e := testEngine()
+	tr := New(ForLevels(3), e, guaddr)
+	lines := tr.Geometry().Lines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.VerifyPath(e, guaddr, i%lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSPECTracesWellFormed(t *testing.T) {
+	traces := SPECTraces()
+	if len(traces) < 10 {
+		t.Fatalf("only %d benchmark models", len(traces))
+	}
+	seen := map[string]bool{}
+	for _, c := range traces {
+		if c.Name == "" || seen[c.Name] {
+			t.Fatalf("bad/duplicate name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.FootprintLines <= 0 || c.HotFrac <= 0 || c.HotFrac > 1 ||
+			c.Locality < 0 || c.Locality > 1 || c.WriteFrac < 0 || c.WriteFrac > 1 ||
+			c.ComputeCyclesPerAccess <= 0 {
+			t.Fatalf("%s: parameters out of range: %+v", c.Name, c)
+		}
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	cfg := SPECTraces()[0]
+	a := NewTrace(cfg, 42)
+	b := NewTrace(cfg, 42)
+	for i := 0; i < 1000; i++ {
+		la, wa := a.Next()
+		lb, wb := b.Next()
+		if la != lb || wa != wb {
+			t.Fatalf("trace diverged at access %d", i)
+		}
+	}
+}
+
+func TestTraceStaysInFootprint(t *testing.T) {
+	for _, cfg := range SPECTraces() {
+		tr := NewTrace(cfg, 7)
+		for i := 0; i < 2000; i++ {
+			line, _ := tr.Next()
+			if line < 0 || line >= cfg.FootprintLines {
+				t.Fatalf("%s: access %d outside footprint", cfg.Name, line)
+			}
+		}
+	}
+}
+
+func TestTraceLocalityShapesDistribution(t *testing.T) {
+	// A high-locality trace must concentrate accesses far more than a
+	// streaming one.
+	count := func(cfg TraceConfig) float64 {
+		tr := NewTrace(cfg, 1)
+		hot := int(float64(cfg.FootprintLines) * cfg.HotFrac)
+		inHot := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			line, _ := tr.Next()
+			if line < hot {
+				inHot++
+			}
+		}
+		return float64(inHot) / n
+	}
+	local := count(TraceConfig{Name: "l", FootprintLines: 10000, HotFrac: 0.05, Locality: 0.95, WriteFrac: 0.3, ComputeCyclesPerAccess: 100})
+	stream := count(TraceConfig{Name: "s", FootprintLines: 10000, HotFrac: 0.05, Locality: 0.10, WriteFrac: 0.3, ComputeCyclesPerAccess: 100})
+	if local < 0.90 {
+		t.Fatalf("high-locality trace only %.2f in hot set", local)
+	}
+	if stream > 0.30 {
+		t.Fatalf("streaming trace %.2f in hot set", stream)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := Corpus(1, 10000)
+	if len(c) != 10000 {
+		t.Fatalf("corpus %d bytes, want 10000", len(c))
+	}
+	if !bytes.Equal(c, Corpus(1, 10000)) {
+		t.Fatal("corpus not deterministic")
+	}
+	if bytes.Equal(c, Corpus(2, 10000)) {
+		t.Fatal("different seeds gave identical corpora")
+	}
+	// Zipf skew: the most common word should dominate.
+	counts := map[string]int{}
+	for _, w := range strings.Fields(string(c)) {
+		counts[w]++
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct words", len(counts))
+	}
+	max, total := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if frac := float64(max) / float64(total); frac < 0.10 {
+		t.Fatalf("top word only %.2f of corpus; expected Zipf skew", frac)
+	}
+}
+
+func TestRandomGraph(t *testing.T) {
+	g := RandomGraph(3, 1000, 6)
+	if g.N != 1000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if len(g.Edges) < 3000 || len(g.Edges) > 12000 {
+		t.Fatalf("edge count %d not near N*avgDeg", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e[0] < 0 || int(e[0]) >= g.N || e[1] < 0 || int(e[1]) >= g.N {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			t.Fatalf("self loop %v", e)
+		}
+	}
+	// Edge-length locality: most edges are short (community structure),
+	// so a blocked 2-way partition cuts only a small fraction.
+	short := 0
+	for _, e := range g.Edges {
+		d := int(e[1]) - int(e[0])
+		if d < 0 {
+			d = -d
+		}
+		if d > g.N/2 {
+			d = g.N - d // wrap-around distance
+		}
+		if d <= g.N/10 {
+			short++
+		}
+	}
+	if frac := float64(short) / float64(len(g.Edges)); frac < 0.6 {
+		t.Fatalf("only %.2f of edges are local; generator lost locality", frac)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	g := RandomGraph(3, 1000, 6)
+	owner, cross := g.Partition(2)
+	if len(owner) != g.N {
+		t.Fatal("owner length wrong")
+	}
+	counts := map[int]int{}
+	for _, o := range owner {
+		counts[o]++
+	}
+	if counts[0] != 500 || counts[1] != 500 {
+		t.Fatalf("unbalanced partition: %v", counts)
+	}
+	// Blocked partition: cross edges are a minority on a local graph.
+	if float64(cross)/float64(len(g.Edges)) > 0.5 {
+		t.Fatalf("blocked partition cut %d of %d edges", cross, len(g.Edges))
+	}
+	if cross == 0 || cross > len(g.Edges) {
+		t.Fatalf("cross edges %d implausible", cross)
+	}
+	// One machine: no cross edges.
+	if _, c1 := g.Partition(1); c1 != 0 {
+		t.Fatalf("single machine has %d cross edges", c1)
+	}
+}
+
+func TestPaperScaleGraph(t *testing.T) {
+	// Figure 14's graph: ~100k vertices with ~60k cross-machine edges on 2
+	// machines. Verify our generator can be configured into that regime.
+	if testing.Short() {
+		t.Skip("large graph in -short mode")
+	}
+	g := RandomGraph(14, 100_000, 5)
+	_, cross := g.Partition(2)
+	// Paper: ~60k cross-machine edges on ~100k vertices / 2 machines.
+	if cross < 20_000 || cross > 150_000 {
+		t.Fatalf("%d cross edges; want the paper's ~60k regime", cross)
+	}
+}

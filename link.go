@@ -1,0 +1,220 @@
+package mmt
+
+import (
+	"errors"
+	"fmt"
+
+	"mmt/internal/engine"
+	"mmt/internal/monitor"
+)
+
+// Link is an attested, keyed connection between two enclaves on different
+// machines — the result of the Figure 6 connection setup. Buffers created
+// on a link can be delegated across it.
+type Link struct {
+	cluster *Cluster
+	id      string
+	a, b    *Enclave
+}
+
+// Connect establishes a link between two enclaves: the monitors exchange
+// attestation reports over the untrusted network, agree on an MMT key, and
+// arm receive buffers on both sides.
+func (c *Cluster) Connect(a, b *Enclave) (*Link, error) {
+	if a.machine == b.machine {
+		return nil, fmt.Errorf("mmt: both enclaves are on %q; links are cross-machine", a.machine.name)
+	}
+	id, err := monitor.Connect(a.machine.mon, a.id, b.machine.mon, b.id, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Link{cluster: c, id: id, a: a, b: b}, nil
+}
+
+// ID reports the connection id (same on both monitors).
+func (l *Link) ID() string { return l.id }
+
+// Buffer is a secure memory buffer: one PMO with a live MMT, readable and
+// writable at byte granularity through the protection engine.
+type Buffer struct {
+	machine *Machine
+	owner   monitor.EnclaveID
+	cap     monitor.CapID
+}
+
+// Link errors.
+var (
+	ErrNotOnLink = errors.New("mmt: enclave is not an endpoint of this link")
+	ErrNoPending = errors.New("mmt: no delegation pending on this link")
+)
+
+// endpointOf maps an enclave to its link connection record.
+func (l *Link) endpointOf(e *Enclave) (*monitor.Connection, error) {
+	if e != l.a && e != l.b {
+		return nil, ErrNotOnLink
+	}
+	conn, ok := e.machine.mon.Connection(l.id)
+	if !ok {
+		return nil, fmt.Errorf("mmt: link %s missing on %s", l.id, e.machine.name)
+	}
+	return conn, nil
+}
+
+// NewBuffer allocates a secure buffer owned by e, keyed to this link so it
+// can later be delegated across it. The buffer covers one MMT granule
+// (Cluster.Geometry().DataSize() bytes).
+func (l *Link) NewBuffer(e *Enclave) (*Buffer, error) {
+	conn, err := l.endpointOf(e)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.machine.mon.AllocPMO(e.id)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.machine.mon.AcquireMMT(e.id, p.Cap, conn.Conn().Key(), conn.Conn().NextCounter()); err != nil {
+		return nil, err
+	}
+	return &Buffer{machine: e.machine, owner: e.id, cap: p.Cap}, nil
+}
+
+// Size reports the buffer's capacity in bytes.
+func (b *Buffer) Size() int {
+	return b.machine.mon.Node().Controller().Geometry().DataSize()
+}
+
+// mmtOf resolves the buffer's live MMT.
+func (b *Buffer) mmtOf() (*monitor.PMO, error) {
+	return b.machine.mon.PMOOf(b.owner, b.cap)
+}
+
+// Write stores p at byte offset off, read-modify-writing partial lines
+// through the protection engine.
+func (b *Buffer) Write(off int, p []byte) error {
+	pmo, err := b.mmtOf()
+	if err != nil {
+		return err
+	}
+	m := pmo.MMT()
+	if m == nil {
+		return fmt.Errorf("mmt: buffer has no live MMT")
+	}
+	if off < 0 || off+len(p) > b.Size() {
+		return fmt.Errorf("mmt: write [%d,+%d) outside buffer of %d bytes", off, len(p), b.Size())
+	}
+	for len(p) > 0 {
+		line := off / engine.LineSize
+		lo := off % engine.LineSize
+		take := engine.LineSize - lo
+		if take > len(p) {
+			take = len(p)
+		}
+		if lo == 0 && take == engine.LineSize {
+			if err := m.Write(line, p[:take]); err != nil {
+				return err
+			}
+		} else {
+			cur, err := m.Read(line)
+			if err != nil {
+				return err
+			}
+			copy(cur[lo:], p[:take])
+			if err := m.Write(line, cur); err != nil {
+				return err
+			}
+		}
+		off += take
+		p = p[take:]
+	}
+	return nil
+}
+
+// Read loads n bytes at byte offset off.
+func (b *Buffer) Read(off, n int) ([]byte, error) {
+	pmo, err := b.mmtOf()
+	if err != nil {
+		return nil, err
+	}
+	m := pmo.MMT()
+	if m == nil {
+		return nil, fmt.Errorf("mmt: buffer has no live MMT")
+	}
+	if off < 0 || n < 0 || off+n > b.Size() {
+		return nil, fmt.Errorf("mmt: read [%d,+%d) outside buffer of %d bytes", off, n, b.Size())
+	}
+	out := make([]byte, 0, n)
+	for n > 0 {
+		line := off / engine.LineSize
+		lo := off % engine.LineSize
+		data, err := m.Read(line)
+		if err != nil {
+			return nil, err
+		}
+		take := engine.LineSize - lo
+		if take > n {
+			take = n
+		}
+		out = append(out, data[lo:lo+take]...)
+		off += take
+		n -= take
+	}
+	return out, nil
+}
+
+// ReadOnly reports whether the buffer arrived as an ownership copy.
+func (b *Buffer) ReadOnly() bool {
+	pmo, err := b.mmtOf()
+	if err != nil || pmo.MMT() == nil {
+		return false
+	}
+	return pmo.MMT().ReadOnly()
+}
+
+// Free releases the buffer's region back to its machine's pool.
+func (b *Buffer) Free() error {
+	return b.machine.mon.FreePMO(b.owner, b.cap)
+}
+
+// Delegate sends the buffer's MMT closure to the link's other endpoint and
+// pumps both monitors until the transfer completes (accept + ack). With
+// OwnershipTransfer the local buffer is consumed; with OwnershipCopy it
+// remains valid and writable after the ack. The received buffer waits on
+// the peer until Receive collects it.
+func (l *Link) Delegate(b *Buffer, mode TransferMode) error {
+	var from, to *Enclave
+	switch b.machine {
+	case l.a.machine:
+		from, to = l.a, l.b
+	case l.b.machine:
+		from, to = l.b, l.a
+	default:
+		return ErrNotOnLink
+	}
+	if b.owner != from.id {
+		return ErrNotOnLink
+	}
+	if err := from.machine.mon.SendPMO(from.id, b.cap, l.id, mode); err != nil {
+		return err
+	}
+	// Receiver verifies and acks; sender completes.
+	if err := to.machine.mon.PumpAll(); err != nil {
+		// The sender still needs the nack to recover its buffer.
+		if perr := from.machine.mon.PumpAll(); perr != nil {
+			return errors.Join(err, perr)
+		}
+		return err
+	}
+	return from.machine.mon.PumpAll()
+}
+
+// Receive collects the oldest buffer delegated to e over this link.
+func (l *Link) Receive(e *Enclave) (*Buffer, error) {
+	if _, err := l.endpointOf(e); err != nil {
+		return nil, err
+	}
+	p, ok := e.machine.mon.TakeReceived(l.id)
+	if !ok {
+		return nil, ErrNoPending
+	}
+	return &Buffer{machine: e.machine, owner: p.Owner, cap: p.Cap}, nil
+}

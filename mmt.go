@@ -1,0 +1,202 @@
+// Package mmt is the public face of this repository: a functional
+// simulation of "Efficient Distributed Secure Memory with Migratable
+// Merkle Tree" (HPCA 2023). It builds distributed secure memory out of
+// per-machine MMT controllers, a global attestation authority, trusted
+// monitors, and an untrusted interconnect, and lets enclaves move secure
+// buffers between machines with MMT closure delegation — no
+// re-encryption, with confidentiality, integrity and freshness enforced
+// end to end.
+//
+// The five-minute tour:
+//
+//	cluster, _ := mmt.NewCluster(mmt.Options{})
+//	alice, _ := cluster.AddMachine("alice")
+//	bob, _ := cluster.AddMachine("bob")
+//
+//	sender := alice.Spawn("producer", []byte("app-code"))
+//	receiver := bob.Spawn("consumer", []byte("app-code"))
+//
+//	link, _ := cluster.Connect(sender, receiver)
+//	buf, _ := link.NewBuffer(sender)
+//	buf.Write(0, []byte("secret bytes"))
+//	link.Delegate(buf, mmt.OwnershipTransfer)
+//
+//	got, _ := link.Receive(receiver)
+//	data, _ := got.Read(0, 12)
+//
+// Everything observable is real: the bytes on the simulated wire are the
+// encrypted closure (point a netsim adversary at them and the receiver
+// rejects the transfer), and all timing comes from the calibrated
+// simulated clocks, not the host.
+package mmt
+
+import (
+	"fmt"
+
+	"mmt/internal/attest"
+	"mmt/internal/core"
+	"mmt/internal/enclave"
+	"mmt/internal/engine"
+	"mmt/internal/mem"
+	"mmt/internal/monitor"
+	"mmt/internal/netsim"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// TransferMode selects delegation semantics (§V-B2 of the paper).
+type TransferMode = core.TransferMode
+
+// Re-exported transfer modes.
+const (
+	// OwnershipTransfer moves the buffer: the sender's copy is invalidated
+	// once the receiver accepts.
+	OwnershipTransfer = core.OwnershipTransfer
+	// OwnershipCopy sends a read-only snapshot; the sender keeps writing.
+	OwnershipCopy = core.OwnershipCopy
+)
+
+// Options configures a Cluster. The zero value gives the paper's default
+// system: the Gem5 cost profile, 3-level (2 MB) trees, 8 secure regions
+// per machine and a zero-latency interconnect.
+type Options struct {
+	// Profile is the timing model; sim.Gem5Profile() if nil.
+	Profile *sim.Profile
+	// TreeLevels is the MMT depth (2, 3 or 4; default 3).
+	TreeLevels int
+	// RegionsPerMachine sizes each machine's secure-memory pool.
+	RegionsPerMachine int
+	// NetLatency is the one-way interconnect propagation delay.
+	NetLatency sim.Time
+}
+
+// Cluster is a set of attested machines on a shared untrusted network,
+// rooted in one manufacturer and one attestation authority.
+type Cluster struct {
+	opts        Options
+	geometry    tree.Geometry
+	mfr         *attest.Manufacturer
+	authority   *attest.Authority
+	measurement attest.Measurement
+	net         *netsim.Network
+	machines    map[string]*Machine
+}
+
+// NewCluster builds the trust roots and the interconnect.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.Profile == nil {
+		opts.Profile = sim.Gem5Profile()
+	}
+	if opts.TreeLevels == 0 {
+		opts.TreeLevels = 3
+	}
+	if opts.RegionsPerMachine == 0 {
+		opts.RegionsPerMachine = 8
+	}
+	geo := tree.ForLevels(opts.TreeLevels)
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	mfr, err := attest.NewManufacturer()
+	if err != nil {
+		return nil, err
+	}
+	authority, err := attest.NewAuthority(mfr.PublicKey())
+	if err != nil {
+		return nil, err
+	}
+	measurement := attest.MeasureSoftware([]byte("mmt-monitor-v1"))
+	authority.AllowMeasurement(measurement)
+	return &Cluster{
+		opts:        opts,
+		geometry:    geo,
+		mfr:         mfr,
+		authority:   authority,
+		measurement: measurement,
+		net:         netsim.NewNetwork(opts.NetLatency),
+		machines:    make(map[string]*Machine),
+	}, nil
+}
+
+// Network exposes the untrusted interconnect, mainly so callers can attach
+// adversaries (netsim.Interposer) and watch the protocol reject them.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Authority exposes the attestation authority (for policy management).
+func (c *Cluster) Authority() *attest.Authority { return c.authority }
+
+// Geometry reports the cluster's tree geometry.
+func (c *Cluster) Geometry() tree.Geometry { return c.geometry }
+
+// Machine is one attested host: controller, monitor and TEEOS runtime.
+type Machine struct {
+	name    string
+	cluster *Cluster
+	mon     *monitor.Monitor
+	rt      *enclave.Runtime
+}
+
+// AddMachine provisions a machine with the cluster's manufacturer, boots
+// its monitor through global attestation, and attaches it to the network.
+func (c *Cluster) AddMachine(name string) (*Machine, error) {
+	if _, dup := c.machines[name]; dup {
+		return nil, fmt.Errorf("mmt: machine %q already exists", name)
+	}
+	machine, err := c.mfr.Provision(name)
+	if err != nil {
+		return nil, err
+	}
+	pm := mem.New(mem.Config{
+		Size:          c.opts.RegionsPerMachine * c.geometry.DataSize(),
+		RegionSize:    c.geometry.DataSize(),
+		MetaPerRegion: c.geometry.MetaSize(),
+	})
+	ctl, err := engine.New(pm, c.geometry, nil, c.opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	mon := monitor.New(machine, c.measurement, c.authority.PublicKey(), ctl)
+	if err := mon.Boot(c.authority); err != nil {
+		return nil, fmt.Errorf("mmt: attesting %q: %w", name, err)
+	}
+	if err := mon.AttachNetwork(c.net, name); err != nil {
+		return nil, err
+	}
+	m := &Machine{name: name, cluster: c, mon: mon, rt: enclave.NewRuntime(mon)}
+	c.machines[name] = m
+	return m, nil
+}
+
+// Machine looks up a machine by name.
+func (c *Cluster) Machine(name string) (*Machine, bool) {
+	m, ok := c.machines[name]
+	return m, ok
+}
+
+// Name reports the machine's network name.
+func (m *Machine) Name() string { return m.name }
+
+// NodeID reports the machine's attested integrity-forest node id.
+func (m *Machine) NodeID() uint16 { return uint16(m.mon.NodeID()) }
+
+// Monitor exposes the machine's trusted monitor (advanced use).
+func (m *Machine) Monitor() *monitor.Monitor { return m.mon }
+
+// Clock reports the machine's simulated clock.
+func (m *Machine) Clock() *sim.Clock { return m.mon.Node().Controller().Clock() }
+
+// Enclave is a running enclave on one machine.
+type Enclave struct {
+	machine *Machine
+	id      monitor.EnclaveID
+	rt      *enclave.Enclave
+}
+
+// Spawn starts an enclave on the machine, measured from its code image.
+func (m *Machine) Spawn(name string, image []byte) *Enclave {
+	e := m.rt.Spawn(name, image)
+	return &Enclave{machine: m, id: e.ID(), rt: e}
+}
+
+// Machine reports the enclave's host.
+func (e *Enclave) Machine() *Machine { return e.machine }
