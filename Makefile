@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet lint bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# First-class tier-1 target: the whole module under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# mmt-vet: the project's own analyzer suite (simclock, cryptocompare,
+# checkverify, nopanic, maporder). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/mmt-vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: build vet lint test race

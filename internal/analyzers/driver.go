@@ -1,0 +1,281 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported, unsuppressed diagnostic with its resolved
+// source position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// listedPackage is the subset of `go list -json` output the driver uses.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	Standard    bool
+	ForTest     string
+	Error       *packageError
+}
+
+// packageError mirrors go list's PackageError JSON shape.
+type packageError struct {
+	Err string
+}
+
+// Run loads the packages matching patterns (resolved relative to dir,
+// which must lie inside the module), typechecks them, applies every
+// analyzer, and returns the surviving findings sorted by position.
+//
+// Packages are enumerated and compiled with `go list -export`; imports
+// are satisfied from the resulting export data, so the driver needs no
+// dependencies beyond the go toolchain already required by tier-1.
+func Run(dir string, patterns []string, as []*Analyzer) ([]Finding, error) {
+	exports, err := exportData(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var findings []Finding
+	for _, pkg := range targets {
+		// go list -e tolerates broken patterns so ./... keeps working in a
+		// partially broken tree, but a pattern that resolves to nothing or
+		// to a load error must not pass vacuously.
+		if pkg.Error != nil {
+			return nil, fmt.Errorf("%s: %s", pkg.ImportPath, pkg.Error.Err)
+		}
+		fs, err := parsePackage(fset, pkg.Dir, append(append([]string{}, pkg.GoFiles...), pkg.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pf, err := checkAndRun(fset, fs, pkg.ImportPath, imp, as)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		findings = append(findings, pf...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// checkAndRun typechecks one parsed package and applies the analyzers,
+// returning unsorted findings. The analysistest harness shares it.
+func checkAndRun(fset *token.FileSet, files []*ast.File, pkgPath string, imp types.Importer, as []*Analyzer) ([]Finding, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck: %w", err)
+	}
+	allow := collectAllows(fset, files)
+	var findings []Finding
+	for _, a := range as {
+		a := a
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					return // invariants bind non-test code only
+				}
+				if allow.allows(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// allowSet records //mmt:allow comments: analyzer names allowed per
+// (file, line). A comment suppresses findings on its own line and, for
+// standalone comment lines, on the line below.
+type allowSet map[string]map[int]map[string]bool
+
+var allowRe = regexp.MustCompile(`mmt:allow\s+([a-z][a-z0-9_,\s]*)`)
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	add := func(file string, line int, name string) {
+		if set[file] == nil {
+			set[file] = map[int]map[string]bool{}
+		}
+		if set[file][line] == nil {
+			set[file][line] = map[string]bool{}
+		}
+		set[file][line][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := m[1]
+				if i := strings.IndexByte(names, ':'); i >= 0 {
+					names = names[:i]
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) allows(analyzer string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][analyzer]
+}
+
+func parsePackage(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// listPackages enumerates the target packages for analysis.
+func listPackages(dir string, patterns []string) ([]listedPackage, error) {
+	return goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,Error"}, patterns...))
+}
+
+// exportData compiles the patterns (with their test dependencies) and
+// returns import path -> export data file for every reachable package.
+func exportData(dir string, patterns []string) (map[string]string, error) {
+	pkgs, err := goList(dir, append([]string{"-deps", "-test", "-export", "-json=ImportPath,Export,ForTest"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		// Skip per-test package variants ("p [p.test]"): importers want
+		// the plain build of p, and test mains are not importable.
+		if p.ForTest != "" || strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+func goList(dir string, args []string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// newExportImporter returns a types.Importer backed by gc export data
+// files produced by `go list -export`.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// ModuleRoot locates the root of the enclosing module (the directory
+// holding go.mod), so mmt-vet can be invoked from any subdirectory.
+func ModuleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,38 @@
+package analyzers
+
+// Exported entry points for the analysistest harness, which drives the
+// same parse -> typecheck -> analyze -> suppress pipeline as the driver
+// but over fixture directories instead of go-list packages.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParseFiles parses the named files in dir with comments retained.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	return parsePackage(fset, dir, names)
+}
+
+// ExportData compiles patterns and returns import path -> export data
+// file. dir resolves the patterns ("" means the current directory).
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	return exportData(dir, patterns)
+}
+
+// NewExportImporter builds a types.Importer over ExportData output.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// CheckAndRun typechecks one parsed package under pkgPath and applies
+// the analyzers, returning position-sorted, unsuppressed findings.
+func CheckAndRun(fset *token.FileSet, files []*ast.File, pkgPath string, imp types.Importer, as []*Analyzer) ([]Finding, error) {
+	findings, err := checkAndRun(fset, files, pkgPath, imp, as)
+	if err != nil {
+		return nil, err
+	}
+	sortFindings(findings)
+	return findings, nil
+}

@@ -1,0 +1,100 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SimClock forbids wall-clock time and unseeded global randomness in
+// simulation code. Every cycle count, queue delay and generated workload
+// must be a pure function of the seed and the internal/sim clock, or the
+// calibrated cost model silently stops being reproducible.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/time.Sleep/etc. and unseeded math/rand globals in " +
+		"internal/ simulation code; all timing must flow through internal/sim " +
+		"and all randomness through a seeded *rand.Rand",
+	Run: runSimClock,
+}
+
+// bannedTimeFuncs are package time functions that read or wait on the
+// wall clock. Pure conversions/constructors (time.Duration arithmetic,
+// time.Unix, time.Date) stay legal: they do not observe the host.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowedRandFuncs are the math/rand package-level functions that do not
+// touch the process-global (unseeded) source.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSimClock(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !inScope(path) || path == "mmt/internal/sim" {
+		// internal/sim is the sanctioned clock abstraction; it may wrap
+		// package time (e.g. time.Duration formatting) as it sees fit.
+		return nil
+	}
+	// Walk every use of an imported function object. Iterating
+	// TypesInfo.Uses (a map) is fine here: the driver sorts diagnostics
+	// by position before anything order-sensitive happens.
+	var diags []Diagnostic
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				diags = append(diags, Diagnostic{Pos: id.Pos(), Message: "time." + fn.Name() +
+					" reads the wall clock; simulation code must derive timing from internal/sim"})
+			}
+		case "math/rand", "math/rand/v2":
+			if fn.Signature().Recv() == nil && !allowedRandFuncs[fn.Name()] {
+				diags = append(diags, Diagnostic{Pos: id.Pos(), Message: "rand." + fn.Name() +
+					" uses the process-global random source; use a seeded rand.New(rand.NewSource(seed))"})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	// Separately flag dot-imports of time/math/rand, which would let the
+	// banned names appear unqualified.
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if imp.Name != nil && imp.Name.Name == "." {
+				if p := importPath(imp); p == "time" || p == "math/rand" || p == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "dot-import of %q hides wall-clock and global-rand calls", p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func importPath(spec *ast.ImportSpec) string {
+	if spec.Path == nil {
+		return ""
+	}
+	s := spec.Path.Value
+	if len(s) >= 2 && s[0] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// Package checkverify exercises the checkverify analyzer: the verdict of
+// an authentication check must never be discarded.
+package checkverify
+
+import "crypto/cipher"
+
+// VerifySeal is a local authentication check (Verify* prefix).
+func VerifySeal(tag uint64) bool { return tag == 0 }
+
+// VerifyReport returns its verdict as an error.
+func VerifyReport(tag uint64) error { return nil }
+
+// discards drops verdicts in every statement form the analyzer covers.
+func discards(aead cipher.AEAD, nonce, box []byte) {
+	VerifySeal(1)         // want "result discarded of authentication check VerifySeal"
+	go VerifySeal(2)      // want "result discarded by go statement of authentication check VerifySeal"
+	defer VerifySeal(3)   // want "result discarded by defer statement of authentication check VerifySeal"
+	_ = VerifySeal(4)     // want "bool verdict of authentication check VerifySeal assigned to _"
+	_ = VerifyReport(5)   // want "error result of authentication check VerifyReport assigned to _"
+	pt, _ := aead.Open(nil, nonce, box, nil) // want "error result of authentication check Open assigned to _"
+	_ = pt
+}
+
+// checked handles every verdict — not flagged.
+func checked(aead cipher.AEAD, nonce, box []byte) ([]byte, error) {
+	if !VerifySeal(1) {
+		return nil, VerifyReport(1)
+	}
+	if err := VerifyReport(2); err != nil {
+		return nil, err
+	}
+	return aead.Open(nil, nonce, box, nil)
+}
+
+// suppressed demonstrates a justified exception.
+func suppressed() {
+	VerifySeal(9) //mmt:allow checkverify: fixture demonstrating suppression
+}

@@ -1,0 +1,42 @@
+// Package cryptocompare exercises the cryptocompare analyzer: MAC values
+// produced by crypt.Engine must be compared in constant time.
+package cryptocompare
+
+import (
+	"bytes"
+	"reflect"
+
+	"mmt/internal/crypt"
+)
+
+// direct compares a MAC-source call result with == — flagged.
+func direct(e *crypt.Engine, tw crypt.Tweak, ct []byte, stored uint64) bool {
+	return e.LineMAC(tw, ct) == stored // want "MAC value compared with =="
+}
+
+// tainted tracks the MAC through a local before the variable-time compare.
+func tainted(e *crypt.Engine, guaddr uint64, counters []uint64, stored uint64) bool {
+	tag := e.NodeMAC(guaddr, 0, 1, counters)
+	return tag != stored // want "MAC value compared with !="
+}
+
+// deepEqual funnels a tainted tag through reflect.DeepEqual — flagged.
+func deepEqual(e *crypt.Engine, tw crypt.Tweak, ct []byte, stored uint64) bool {
+	mac := e.LineMAC(tw, ct)
+	return reflect.DeepEqual(mac, stored) // want "MAC value compared with reflect\.DeepEqual"
+}
+
+// constantTime is the sanctioned comparison: crypt.TagEqual.
+func constantTime(e *crypt.Engine, tw crypt.Tweak, ct []byte, stored uint64) bool {
+	return crypt.TagEqual(e.LineMAC(tw, ct), stored)
+}
+
+// unrelated compares values that never touched a MAC source — not flagged.
+func unrelated(a, b uint64, x, y []byte) bool {
+	return a == b && bytes.Equal(x, y)
+}
+
+// suppressed demonstrates a justified exception.
+func suppressed(e *crypt.Engine, tw crypt.Tweak, ct []byte) bool {
+	return e.LineMAC(tw, ct) == 0 //mmt:allow cryptocompare: fixture demonstrating suppression
+}

@@ -1,0 +1,62 @@
+// Package maporder exercises the maporder analyzer: range over a map is
+// legal only when the body is order-insensitive.
+package maporder
+
+import "sort"
+
+type sink struct{ out []int }
+
+// drain appends map values to long-lived state in iteration order — the
+// result depends on Go's randomized order, so it is flagged.
+func (s *sink) drain(m map[string]int) {
+	for _, v := range m { // want "map iteration order is randomized"
+		s.out = append(s.out, v)
+	}
+}
+
+// mean accumulates floats; rounding makes the sum order-sensitive.
+func mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// keys is the sanctioned collect-then-sort idiom — not flagged.
+func keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// total accumulates into a local integer; addition commutes — not flagged.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// prune deletes zero entries; delete commutes across iterations — not
+// flagged.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// anyKey returns an arbitrary key — order-dependent, but any key is
+// acceptable here, so the finding is suppressed.
+func anyKey(m map[string]int) string {
+	for k := range m { //mmt:allow maporder: any single key is acceptable
+		return k
+	}
+	return ""
+}

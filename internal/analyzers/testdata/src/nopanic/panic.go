@@ -1,0 +1,40 @@
+// Package nopanic exercises the nopanic analyzer: library packages under
+// internal/ must return errors, not panic.
+package nopanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// explode panics on bad input — flagged.
+func explode(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x)) // want "panic in library package mmt/internal/nopanic"
+	}
+}
+
+// graceful returns an error instead — not flagged.
+func graceful(x int) error {
+	if x < 0 {
+		return errors.New("negative input")
+	}
+	return nil
+}
+
+// recoverIsFine uses recover, which is not panic — not flagged.
+func recoverIsFine() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	return nil
+}
+
+// suppressed demonstrates the justified-exception escape hatch.
+func suppressed(x int) {
+	if x < 0 {
+		panic("impossible state") //mmt:allow nopanic: fixture demonstrating suppression
+	}
+}

@@ -1,0 +1,8 @@
+package nopanic
+
+// Test helpers may panic (t.Fatal is unavailable in helpers without a
+// testing.TB); the invariant binds non-test code, so nothing here is
+// flagged.
+func testOnlyPanic() {
+	panic("test helper")
+}

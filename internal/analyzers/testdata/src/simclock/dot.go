@@ -1,0 +1,9 @@
+package simclock
+
+import . "time" // want "dot-import of \"time\" hides wall-clock and global-rand calls"
+
+// sleepy calls the dot-imported name; the use is flagged independently of
+// the import itself.
+func sleepy() {
+	Sleep(Millisecond) // want "time\.Sleep reads the wall clock"
+}

@@ -69,14 +69,16 @@ func newTestbed(prof *sim.Profile, geo tree.Geometry, regions int) (*testbed, er
 		pool[i] = i
 	}
 	tb.nonsec = channel.NewNonSecure(tb.epS, "receiver", prof)
-	tb.secure = channel.NewSecure(tb.epS, "receiver", prof, key)
+	if tb.secure, err = channel.NewSecure(tb.epS, "receiver", prof, key); err != nil {
+		return nil, err
+	}
 	tb.deleg = channel.NewDelegation(tb.epS, "receiver", prof, tb.sender, core.NewConn(key, 0), pool)
 	tb.delegR = channel.NewDelegation(tb.epR, "sender", prof, tb.receiver, core.NewConn(key, 0), append([]int(nil), pool...))
 	return tb, nil
 }
 
 // secureReceiver builds the matching receive side of the secure channel.
-func (tb *testbed) secureReceiver() *channel.Secure {
+func (tb *testbed) secureReceiver() (*channel.Secure, error) {
 	return channel.NewSecure(tb.epR, "sender", tb.prof, crypt.KeyFromBytes([]byte("bench-key")))
 }
 

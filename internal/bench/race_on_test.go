@@ -1,0 +1,11 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether this test binary was built with -race.
+// The heaviest experiments (hundreds of megabytes of functional
+// encryption and tree verification) run ~10x slower under the race
+// detector and would blow the per-package test timeout; they skip
+// themselves when this is set, while smaller configurations of the same
+// code paths still run race-instrumented.
+const raceEnabled = true

@@ -47,7 +47,10 @@ func table4Measure(prof *sim.Profile, size int) (Table4Row, error) {
 	mmtPayload := p[:size-16*closures]
 
 	// Secure channel: send + receive, then read the per-phase stats.
-	secR := tb.secureReceiver()
+	secR, err := tb.secureReceiver()
+	if err != nil {
+		return Table4Row{}, err
+	}
 	if err := tb.secure.Send(p); err != nil {
 		return Table4Row{}, err
 	}

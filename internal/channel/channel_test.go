@@ -53,10 +53,17 @@ func newRig(t testing.TB, latency sim.Time) *rig {
 	nodeA, epA := newNode("a", 1)
 	nodeB, epB := newNode("b", 2)
 	pool := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	mustSecure := func(ep *netsim.Endpoint, peer string) *Secure {
+		sc, err := NewSecure(ep, peer, prof, testKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
 	return &rig{
 		net: net,
 		nsA: NewNonSecure(epA, "b", prof), nsB: NewNonSecure(epB, "a", prof),
-		scA: NewSecure(epA, "b", prof, testKey), scB: NewSecure(epB, "a", prof, testKey),
+		scA: mustSecure(epA, "b"), scB: mustSecure(epB, "a"),
 		dgA: NewDelegation(epA, "b", prof, nodeA, core.NewConn(testKey, 0), pool),
 		dgB: NewDelegation(epB, "a", prof, nodeB, core.NewConn(testKey, 0), pool),
 	}

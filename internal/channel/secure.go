@@ -29,17 +29,18 @@ type Secure struct {
 }
 
 // NewSecure builds one side of a secure channel. Both sides must use the
-// same key (negotiated by Diffie-Hellman in a full system).
-func NewSecure(ep *netsim.Endpoint, peer string, prof *sim.Profile, key crypt.Key) *Secure {
+// same key (negotiated by Diffie-Hellman in a full system). It returns
+// an error if the AEAD cannot be constructed from the key.
+func NewSecure(ep *netsim.Endpoint, peer string, prof *sim.Profile, key crypt.Key) (*Secure, error) {
 	block, err := aes.NewCipher(key[:])
 	if err != nil {
-		panic("channel: aes.NewCipher: " + err.Error())
+		return nil, fmt.Errorf("channel: aes.NewCipher: %w", err)
 	}
 	aead, err := cipher.NewGCM(block)
 	if err != nil {
-		panic("channel: cipher.NewGCM: " + err.Error())
+		return nil, fmt.Errorf("channel: cipher.NewGCM: %w", err)
 	}
-	return &Secure{common: common{ep: ep, peer: peer, prof: prof}, aead: aead}
+	return &Secure{common: common{ep: ep, peer: peer, prof: prof}, aead: aead}, nil
 }
 
 // Send encrypts payload, copies it to the shared buffer, and remote-writes

@@ -159,6 +159,7 @@ func (c *Controller) Tree(r int) *tree.Tree { return c.region(r).tr }
 
 func (c *Controller) region(r int) *regionState {
 	if r < 0 || r >= len(c.regions) {
+		//mmt:allow nopanic: internal bounds guard, equivalent to built-in slice indexing
 		panic(fmt.Sprintf("engine: region %d out of range [0,%d)", r, len(c.regions)))
 	}
 	return &c.regions[r]
@@ -178,7 +179,10 @@ func (c *Controller) Enable(r int, key crypt.Key, guaddr, rootCounter uint64) er
 		return ErrBusy
 	}
 	eng := crypt.NewEngine(key)
-	tr := tree.New(c.geo, eng, guaddr)
+	tr, err := tree.New(c.geo, eng, guaddr)
+	if err != nil {
+		return err
+	}
 	tr.SetRootCounter(rootCounter)
 	tr.RehashAll(eng, guaddr)
 	macs := make([]uint64, c.geo.Lines())
@@ -313,7 +317,9 @@ func (c *Controller) Read(r, line int) ([]byte, error) {
 	a := c.lineAddr(r, line)
 	ct := c.mem.ReadLine(a)
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: st.tr.LeafCounter(line)}
-	if st.eng.LineMAC(tw, ct) != st.lineMACs[line] {
+	// Constant-time compare: the stored line MAC is untrusted (meta-zone)
+	// and a variable-time == would leak matching tag bytes to a prober.
+	if !crypt.TagEqual(st.eng.LineMAC(tw, ct), st.lineMACs[line]) {
 		return nil, fmt.Errorf("%w: data line %d", ErrIntegrity, line)
 	}
 	return st.eng.DecryptLine(tw, ct), nil
@@ -345,7 +351,9 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	st.lineMACs[line] = st.eng.LineMAC(tw, ct)
 
 	for _, ln := range res.ReencryptLines {
-		c.reencryptLine(st, r, ln)
+		if err := c.reencryptLine(st, r, ln); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -358,7 +366,7 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 // the old values are gone. This software rendition recovers oldLocal by
 // checking the stored line MAC against each candidate — the local space is
 // small by construction.
-func (c *Controller) reencryptLine(st *regionState, r, ln int) {
+func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	a := c.lineAddr(r, ln)
 	ct := c.mem.ReadLine(a)
 	newCtr := st.tr.LeafCounter(ln)
@@ -372,7 +380,9 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) {
 	for local := uint64(0); local < 1<<bits; local++ {
 		old := base<<bits | local
 		tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: old}
-		if st.eng.LineMAC(tw, ct) == st.lineMACs[ln] {
+		// Constant-time compare even in this recovery search: each probe
+		// tests an attacker-influenceable stored MAC.
+		if crypt.TagEqual(st.eng.LineMAC(tw, ct), st.lineMACs[ln]) {
 			plaintext = st.eng.DecryptLine(tw, ct)
 			found = true
 			break
@@ -381,7 +391,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) {
 	if !found {
 		// Integrity was already verified on the path; reaching here means
 		// the sibling was tampered with between checks.
-		panic("engine: cannot recover sibling line during overflow re-encryption")
+		return fmt.Errorf("%w: sibling line %d unrecoverable during overflow re-encryption", ErrIntegrity, ln)
 	}
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: newCtr}
 	nct := st.eng.EncryptLine(tw, plaintext)
@@ -390,6 +400,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) {
 	c.stats.ReencryptedLines++
 	c.stats.Cycles += c.prof.DRAMAccess + c.prof.AESLatency
 	c.clock.AdvanceCycles(c.prof.DRAMAccess + c.prof.AESLatency)
+	return nil
 }
 
 // Access is the timing-only path used by trace-driven experiments
@@ -487,7 +498,8 @@ func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, t
 	for line := 0; line < c.geo.Lines(); line++ {
 		ct := data[line*mem.LineSize : (line+1)*mem.LineSize]
 		tw := crypt.Tweak{GUAddr: guaddr, Line: uint32(line), Counter: tr.LeafCounter(line)}
-		if eng.LineMAC(tw, ct) != lineMACs[line] {
+		// Constant-time compare: closure MACs arrive from the network.
+		if !crypt.TagEqual(eng.LineMAC(tw, ct), lineMACs[line]) {
 			return fmt.Errorf("%w: transferred data line %d", ErrIntegrity, line)
 		}
 	}

@@ -223,8 +223,16 @@ func PageRank(cfg Config, g *workload.Graph) (*Result, error) {
 					src.sendTo[dst.id] = channel.NewNonSecure(epS, tag+"/d", cfg.Profile)
 					dst.recvFrom[src.id] = channel.NewNonSecure(epD, tag+"/s", cfg.Profile)
 				case SecureChannel:
-					src.sendTo[dst.id] = channel.NewSecure(epS, tag+"/d", cfg.Profile, key)
-					dst.recvFrom[src.id] = channel.NewSecure(epD, tag+"/s", cfg.Profile, key)
+					sc, err := channel.NewSecure(epS, tag+"/d", cfg.Profile, key)
+					if err != nil {
+						return nil, err
+					}
+					rc, err := channel.NewSecure(epD, tag+"/s", cfg.Profile, key)
+					if err != nil {
+						return nil, err
+					}
+					src.sendTo[dst.id] = sc
+					dst.recvFrom[src.id] = rc
 				case MMT:
 					src.sendTo[dst.id] = channel.AsTransport(channel.NewDelegation(
 						epS, tag+"/d", cfg.Profile, src.node, core.NewConn(key, 0), src.takeRegions(cfg.PoolRegions)))

@@ -152,8 +152,15 @@ func link(cfg Config, net *netsim.Network, a, b *machine, tag string) (channel.T
 	case Baseline:
 		return channel.NewNonSecure(epA, nameB, cfg.Profile), channel.NewNonSecure(epB, nameA, cfg.Profile), nil
 	case SecureChannel:
-		return channel.NewSecure(epA, nameB, cfg.Profile, key),
-			channel.NewSecure(epB, nameA, cfg.Profile, key), nil
+		scA, err := channel.NewSecure(epA, nameB, cfg.Profile, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		scB, err := channel.NewSecure(epB, nameA, cfg.Profile, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		return scA, scB, nil
 	case MMT:
 		connA := core.NewConn(key, 0)
 		connB := core.NewConn(key, 0)

@@ -90,7 +90,7 @@ type Memory struct {
 // configurations are static (they come from sim profiles or tests).
 func New(cfg Config) *Memory {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		panic(err) //mmt:allow nopanic: static experiment configuration; a bad Config is a programming error, not runtime input
 	}
 	n := cfg.Size / cfg.RegionSize
 	return &Memory{
@@ -126,7 +126,7 @@ func (m *Memory) Kind(a Addr) Kind {
 // monitor package.
 func (m *Memory) SetRegionKind(r int, k Kind) {
 	if r < 0 || r >= len(m.kinds) {
-		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds)))
+		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds))) //mmt:allow nopanic: internal bounds guard; models a hardware fault on an impossible region index
 	}
 	m.kinds[r] = k
 }
@@ -134,7 +134,7 @@ func (m *Memory) SetRegionKind(r int, k Kind) {
 // RegionKind reports the kind of region r.
 func (m *Memory) RegionKind(r int) Kind {
 	if r < 0 || r >= len(m.kinds) {
-		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds)))
+		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds))) //mmt:allow nopanic: internal bounds guard; models a hardware fault on an impossible region index
 	}
 	return m.kinds[r]
 }
@@ -153,14 +153,14 @@ func (m *Memory) FindFree() int {
 func (m *Memory) mustRegion(a Addr) int {
 	r := m.RegionOf(a)
 	if r < 0 || r >= len(m.kinds) {
-		panic(fmt.Sprintf("mem: address %#x out of range (size %#x)", uint64(a), m.cfg.Size))
+		panic(fmt.Sprintf("mem: address %#x out of range (size %#x)", uint64(a), m.cfg.Size)) //mmt:allow nopanic: internal bounds guard; models a hardware fault on an impossible address
 	}
 	return r
 }
 
 func (m *Memory) checkSpan(a Addr, n int) {
 	if n < 0 || uint64(a)+uint64(n) > uint64(m.cfg.Size) {
-		panic(fmt.Sprintf("mem: span [%#x,+%d) out of range (size %#x)", uint64(a), n, m.cfg.Size))
+		panic(fmt.Sprintf("mem: span [%#x,+%d) out of range (size %#x)", uint64(a), n, m.cfg.Size)) //mmt:allow nopanic: internal bounds guard; models a hardware fault on an impossible span
 	}
 }
 
@@ -176,14 +176,14 @@ func (m *Memory) ReadLine(a Addr) []byte {
 func (m *Memory) WriteLine(a Addr, line []byte) {
 	m.checkLine(a)
 	if len(line) != LineSize {
-		panic(fmt.Sprintf("mem: WriteLine with %d bytes", len(line)))
+		panic(fmt.Sprintf("mem: WriteLine with %d bytes", len(line))) //mmt:allow nopanic: internal invariant; callers always pass LineSize bytes
 	}
 	copy(m.data[a:], line)
 }
 
 func (m *Memory) checkLine(a Addr) {
 	if uint64(a)%LineSize != 0 {
-		panic(fmt.Sprintf("mem: unaligned line address %#x", uint64(a)))
+		panic(fmt.Sprintf("mem: unaligned line address %#x", uint64(a))) //mmt:allow nopanic: internal invariant; line addresses are engine-computed and always aligned
 	}
 	m.checkSpan(a, LineSize)
 }
@@ -210,7 +210,7 @@ func (m *Memory) Write(a Addr, p []byte) {
 // checks must detect.
 func (m *Memory) MetaRegion(r int) []byte {
 	if r < 0 || r >= len(m.kinds) {
-		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds)))
+		panic(fmt.Sprintf("mem: region %d out of range [0,%d)", r, len(m.kinds))) //mmt:allow nopanic: internal bounds guard; models a hardware fault on an impossible region index
 	}
 	return m.meta[r*m.cfg.MetaPerRegion : (r+1)*m.cfg.MetaPerRegion]
 }

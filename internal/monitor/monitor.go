@@ -14,6 +14,7 @@ package monitor
 import (
 	"crypto/ecdsa"
 	"errors"
+	"sort"
 
 	"mmt/internal/attest"
 	"mmt/internal/core"
@@ -158,7 +159,15 @@ func (m *Monitor) DestroyEnclave(id EnclaveID) error {
 	if !ok {
 		return ErrNoEnclave
 	}
+	// Reclaim in sorted capability order: map iteration order would make
+	// the free pool's region order (and any partial-failure state after a
+	// Reclaim error) vary from run to run.
+	caps := make([]CapID, 0, len(e.caps))
 	for cap := range e.caps {
+		caps = append(caps, cap)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
+	for _, cap := range caps {
 		p := m.pmos[cap]
 		if p.mmt != nil && p.mmt.State() == core.StateValid {
 			if err := p.mmt.Reclaim(); err != nil {

@@ -43,6 +43,7 @@ type Geometry struct {
 // node levels (2, 3 or 4 in the evaluation; 3 is the default system).
 func ForLevels(levels int) Geometry {
 	if levels < 1 {
+		//mmt:allow nopanic: static experiment configuration (2-4 levels); callers pass literals
 		panic(fmt.Sprintf("tree: invalid level count %d", levels))
 	}
 	ar := make([]int, levels)
@@ -153,6 +154,7 @@ func (g Geometry) RootSoCBytes() int { return 8 }
 // Returned slices are indexed by level (0 = top).
 func (g Geometry) path(line int) (nodeIdx, slot []int) {
 	if line < 0 || line >= g.Lines() {
+		//mmt:allow nopanic: internal bounds guard, equivalent to built-in slice indexing
 		panic(fmt.Sprintf("tree: line %d out of range [0,%d)", line, g.Lines()))
 	}
 	L := g.Levels()

@@ -31,10 +31,10 @@ type Tree struct {
 }
 
 // New builds a tree with all counters zero and MACs computed for guaddr
-// under e.
-func New(geo Geometry, e *crypt.Engine, guaddr uint64) *Tree {
+// under e. It returns an error if the geometry is invalid.
+func New(geo Geometry, e *crypt.Engine, guaddr uint64) (*Tree, error) {
 	if err := geo.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	t := &Tree{geo: geo, levels: make([][]Node, geo.Levels())}
 	for l := range t.levels {
@@ -45,7 +45,7 @@ func New(geo Geometry, e *crypt.Engine, guaddr uint64) *Tree {
 		t.levels[l] = nodes
 	}
 	t.RehashAll(e, guaddr)
-	return t
+	return t, nil
 }
 
 // Geometry reports the tree's shape.
@@ -137,10 +137,13 @@ func (t *Tree) RehashAll(e *crypt.Engine, guaddr uint64) {
 // wrong key/address.
 var ErrIntegrity = errors.New("tree: integrity check failed")
 
-// verifyNode checks the MAC of node (l, i).
+// verifyNode checks the MAC of node (l, i). The comparison goes through
+// crypt.TagEqual: the stored MAC is attacker-controlled (it lives in the
+// untrusted meta-zone or arrived in a closure), and a variable-time
+// compare would leak how many tag bytes of a forgery were right.
 func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
 	want := e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
-	if t.levels[l][i].MAC != want {
+	if !crypt.TagEqual(t.levels[l][i].MAC, want) {
 		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
 	}
 	return nil

@@ -15,9 +15,19 @@ func testEngine() *crypt.Engine { return crypt.NewEngine(crypt.KeyFromBytes([]by
 
 const guaddr = 0xABCD0000
 
+// mustNew builds a tree or panics; test geometries are valid by
+// construction.
+func mustNew(geo Geometry, e *crypt.Engine, guaddr uint64) *Tree {
+	tr, err := New(geo, e, guaddr)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
 func TestNewTreeVerifies(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	if err := tr.VerifyAll(e, guaddr); err != nil {
 		t.Fatalf("fresh tree does not verify: %v", err)
 	}
@@ -31,7 +41,7 @@ func TestNewTreeVerifies(t *testing.T) {
 
 func TestUpdateAdvancesCounters(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	res := tr.Update(e, guaddr, 5)
 	if res.LeafCounter != 1 {
 		t.Fatalf("leaf counter after one write = %d, want 1", res.LeafCounter)
@@ -52,7 +62,7 @@ func TestUpdateAdvancesCounters(t *testing.T) {
 
 func TestUpdateKeepsTreeVerified(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	for i := 0; i < 100; i++ {
 		line := (i * 7) % tr.Geometry().Lines()
 		tr.Update(e, guaddr, line)
@@ -64,7 +74,7 @@ func TestUpdateKeepsTreeVerified(t *testing.T) {
 
 func TestVerifyPathMatchesVerifyAll(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Update(e, guaddr, 3)
 	for line := 0; line < tr.Geometry().Lines(); line++ {
 		if err := tr.VerifyPath(e, guaddr, line); err != nil {
@@ -75,7 +85,7 @@ func TestVerifyPathMatchesVerifyAll(t *testing.T) {
 
 func TestTamperCounterDetected(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Update(e, guaddr, 0)
 	tr.Node(2, 0).Local[0]++ // attacker bumps a leaf counter in the meta-zone
 	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
@@ -85,7 +95,7 @@ func TestTamperCounterDetected(t *testing.T) {
 
 func TestTamperGlobalCounterDetected(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Node(1, 0).Global = 42
 	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tampered global counter not detected: %v", err)
@@ -94,7 +104,7 @@ func TestTamperGlobalCounterDetected(t *testing.T) {
 
 func TestTamperMACDetected(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Node(0, 0).MAC ^= 1
 	if err := tr.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tampered MAC not detected: %v", err)
@@ -106,7 +116,7 @@ func TestReplayedNodeDetected(t *testing.T) {
 	// later legitimate update. The restored node is self-consistent but its
 	// parent counter has moved on, so the path check must fail.
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Update(e, guaddr, 0)
 	saved := *tr.Node(2, 0)
 	savedLocals := append([]uint32(nil), tr.Node(2, 0).Local...)
@@ -126,7 +136,7 @@ func TestWrongAddressDetected(t *testing.T) {
 	// The same tree bytes interpreted at a different global-unique address
 	// must not verify (anti-splicing across the integrity forest).
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	if err := tr.VerifyAll(e, guaddr+1); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tree verified at wrong address: %v", err)
 	}
@@ -134,7 +144,7 @@ func TestWrongAddressDetected(t *testing.T) {
 
 func TestWrongKeyDetected(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	other := crypt.NewEngine(crypt.KeyFromBytes([]byte("other-key")))
 	if err := tr.VerifyAll(other, guaddr); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tree verified under wrong key: %v", err)
@@ -144,7 +154,7 @@ func TestWrongKeyDetected(t *testing.T) {
 func TestLeafOverflowReencryptsSiblingLines(t *testing.T) {
 	e := testEngine()
 	geo := Geometry{Arities: []int{2, 4}, LocalBits: 2} // locals wrap at 3
-	tr := New(geo, e, guaddr)
+	tr := mustNew(geo, e, guaddr)
 	var res UpdateResult
 	overflowed := false
 	for i := 0; i < 4; i++ {
@@ -179,7 +189,7 @@ func TestLeafOverflowReencryptsSiblingLines(t *testing.T) {
 func TestInteriorOverflowRehashesChildren(t *testing.T) {
 	e := testEngine()
 	geo := Geometry{Arities: []int{2, 2, 2}, LocalBits: 1} // locals wrap at 1
-	tr := New(geo, e, guaddr)
+	tr := mustNew(geo, e, guaddr)
 	for i := 0; i < 8; i++ {
 		tr.Update(e, guaddr, i%geo.Lines())
 		if err := tr.VerifyAll(e, guaddr); err != nil {
@@ -191,7 +201,7 @@ func TestInteriorOverflowRehashesChildren(t *testing.T) {
 func TestCounterMonotonicProperty(t *testing.T) {
 	e := testEngine()
 	geo := Geometry{Arities: []int{2, 3, 4}, LocalBits: 3}
-	tr := New(geo, e, guaddr)
+	tr := mustNew(geo, e, guaddr)
 	f := func(lines []uint8) bool {
 		prevRoot := tr.RootCounter()
 		for _, l := range lines {
@@ -215,7 +225,7 @@ func TestCounterMonotonicProperty(t *testing.T) {
 
 func TestSerializeRoundTrip(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	for i := 0; i < 10; i++ {
 		tr.Update(e, guaddr, i%tr.Geometry().Lines())
 	}
@@ -249,7 +259,7 @@ func TestDeserializedStaleRootRejected(t *testing.T) {
 	// Replay of old tree nodes with the current root counter fails: the top
 	// node MAC is keyed by the root counter, which has since advanced.
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	stale := tr.Serialize()
 	tr.Update(e, guaddr, 0)
 
@@ -265,7 +275,7 @@ func TestDeserializedStaleRootRejected(t *testing.T) {
 
 func TestSetRootCounterRequiresRehash(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	tr.SetRootCounter(100)
 	if err := tr.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
 		t.Fatal("root counter change without rehash still verifies")
@@ -278,7 +288,7 @@ func TestSetRootCounterRequiresRehash(t *testing.T) {
 
 func TestCloneIndependent(t *testing.T) {
 	e := testEngine()
-	tr := New(smallGeo(), e, guaddr)
+	tr := mustNew(smallGeo(), e, guaddr)
 	cl := tr.Clone()
 	tr.Update(e, guaddr, 0)
 	if cl.RootCounter() != 0 || cl.LeafCounter(0) != 0 {
@@ -295,7 +305,7 @@ func TestPaperGeometryEndToEnd(t *testing.T) {
 		t.Skip("2MB tree in -short mode")
 	}
 	e := testEngine()
-	tr := New(ForLevels(3), e, guaddr)
+	tr := mustNew(ForLevels(3), e, guaddr)
 	for _, line := range []int{0, 1, 63, 64, 2047, 2048, 32767} {
 		res := tr.Update(e, guaddr, line)
 		if res.LeafCounter != 1 {
@@ -312,7 +322,7 @@ func TestPaperGeometryEndToEnd(t *testing.T) {
 
 func BenchmarkUpdate3Level(b *testing.B) {
 	e := testEngine()
-	tr := New(ForLevels(3), e, guaddr)
+	tr := mustNew(ForLevels(3), e, guaddr)
 	lines := tr.Geometry().Lines()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -322,7 +332,7 @@ func BenchmarkUpdate3Level(b *testing.B) {
 
 func BenchmarkVerifyPath3Level(b *testing.B) {
 	e := testEngine()
-	tr := New(ForLevels(3), e, guaddr)
+	tr := mustNew(ForLevels(3), e, guaddr)
 	lines := tr.Geometry().Lines()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
