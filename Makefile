@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench check
+.PHONY: build test race vet lint bench check trace-demo
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,12 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# trace-demo: run the quickstart with tracing, emit the fig10 metrics
+# sidecar, and validate both artifacts against their schemas.
+trace-demo:
+	$(GO) run ./examples/quickstart -trace trace.json
+	$(GO) run ./cmd/mmt-bench -fig 10 -out .
+	$(GO) run ./cmd/mmt-tracecheck trace.json BENCH_fig10.json
 
 check: build vet lint test race

@@ -32,11 +32,12 @@ func main() {
 	}
 	failed := false
 	for _, s := range scenarios {
-		if err := run(s); err != nil {
+		wire, err := run(s)
+		if err != nil {
 			fmt.Printf("FAIL %-32s %v\n", s.name, err)
 			failed = true
 		} else {
-			fmt.Printf("ok   %s\n", s.name)
+			fmt.Printf("ok   %-32s %s\n", s.name, wire)
 		}
 	}
 	if failed {
@@ -44,28 +45,40 @@ func main() {
 	}
 	fmt.Println("\nAll adversaries defeated. The delegation protocol held: spying saw only")
 	fmt.Println("ciphertext; tampering, replay and re-ordering were all rejected, and the")
-	fmt.Println("sender recovered its buffer for retry each time.")
+	fmt.Println("sender recovered its buffer for retry each time. The wire column above is")
+	fmt.Println("everything each adversary got to see: message and byte counts per traffic")
+	fmt.Println("kind, all of it ciphertext or protocol framing.")
 }
 
-// run executes one scenario on a fresh cluster and verifies the outcome.
-func run(s scenario) error {
-	cluster, err := mmt.NewCluster(mmt.Options{TreeLevels: 2, RegionsPerMachine: 8})
+// wireView renders what a wire adversary observed: per-kind message and
+// byte counts, summed over both machines' outbound traffic.
+func wireView(m mmt.Metrics) string {
+	return fmt.Sprintf("wire: %d closure msgs / %d B, %d control msgs / %d B",
+		m.Counter(mmt.CtrWireMsgsClosure), m.Counter(mmt.CtrWireBytesClosure),
+		m.Counter(mmt.CtrWireMsgsControl), m.Counter(mmt.CtrWireBytesControl))
+}
+
+// run executes one scenario on a fresh (traced) cluster, verifies the
+// outcome, and reports the adversary-visible wire traffic.
+func run(s scenario) (string, error) {
+	sink := mmt.NewTraceSink()
+	cluster, err := mmt.New(mmt.WithTreeLevels(2), mmt.WithRegions(8), mmt.WithTracing(sink))
 	if err != nil {
-		return err
+		return "", err
 	}
 	alice, err := cluster.AddMachine("alice")
 	if err != nil {
-		return err
+		return "", err
 	}
 	bob, err := cluster.AddMachine("bob")
 	if err != nil {
-		return err
+		return "", err
 	}
 	sender := alice.Spawn("producer", nil)
 	receiver := bob.Spawn("consumer", nil)
 	link, err := cluster.Connect(sender, receiver)
 	if err != nil {
-		return err
+		return "", err
 	}
 	secret := []byte("attack-target payload: 0123456789abcdef")
 
@@ -92,43 +105,46 @@ func run(s scenario) error {
 		}
 	}
 	cluster.Network().SetInterposer(nil)
+	// Snapshot before the clean retry: this is the traffic the adversary
+	// itself was exposed to.
+	wire := wireView(cluster.Metrics())
 
 	if s.wantReject {
 		if err == nil {
-			return fmt.Errorf("attack was NOT rejected")
+			return "", fmt.Errorf("attack was NOT rejected")
 		}
 		// Recovery: a clean retry must succeed.
 		if err := send(); err != nil {
-			return fmt.Errorf("retry after rejected attack failed: %v", err)
+			return "", fmt.Errorf("retry after rejected attack failed: %v", err)
 		}
-		return nil
+		return wire, nil
 	}
 
 	// Passive case: delegation succeeds, payload arrives intact, and the
 	// spy saw no plaintext.
 	if err != nil {
-		return fmt.Errorf("delegation failed under passive adversary: %v", err)
+		return "", fmt.Errorf("delegation failed under passive adversary: %v", err)
 	}
 	got, err := link.Receive(receiver)
 	if err != nil {
-		return err
+		return "", err
 	}
 	data, err := got.Read(0, len(secret))
 	if err != nil {
-		return err
+		return "", err
 	}
 	if !bytes.Equal(data, secret) {
-		return fmt.Errorf("payload corrupted")
+		return "", fmt.Errorf("payload corrupted")
 	}
 	if spy, ok := s.interposer.(*netsim.Spy); ok {
 		for _, p := range spy.Captured {
 			if bytes.Contains(p, secret[:16]) {
-				return fmt.Errorf("plaintext leaked on the wire")
+				return "", fmt.Errorf("plaintext leaked on the wire")
 			}
 		}
 		if len(spy.Captured) == 0 {
-			return fmt.Errorf("spy captured nothing")
+			return "", fmt.Errorf("spy captured nothing")
 		}
 	}
-	return nil
+	return wire, nil
 }

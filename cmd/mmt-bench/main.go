@@ -10,12 +10,21 @@
 //	mmt-bench -exp table4-intel # Intel/AES-NI half (slow: 128MB functional transfers)
 //	mmt-bench -exp fig10a,fig11 # comma-separated selection
 //	mmt-bench -list             # list experiments
+//	mmt-bench -fig 10           # write the BENCH_fig10.json metrics sidecar
+//	mmt-bench -fig 10,11 -out . # several sidecars into a directory
+//
+// Sidecars are machine-readable companions to the rendered figures: the
+// headline numbers plus the trace-layer breakdown (per-phase simulated
+// cycles and counters) of the run that produced them. For figures that
+// report cycle totals the per-phase cycles sum to the reported total
+// exactly (check_total_cycles == phase_sum_cycles).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -119,6 +128,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment(s) to run, comma separated, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	accesses := flag.Int("accesses", 0, "trace length for fig11/ablation (default 200000)")
+	fig := flag.String("fig", "", "figure number(s): write BENCH_fig<N>.json metrics sidecar(s) and exit")
+	out := flag.String("out", ".", "output directory for -fig sidecars")
 	flag.Parse()
 
 	if *list {
@@ -128,9 +139,47 @@ func main() {
 		return
 	}
 
+	if *fig != "" {
+		if err := writeSidecars(*fig, *out, *accesses); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runExperiments(opts{accesses: *accesses}, *exp)
+}
+
+// writeSidecars emits BENCH_fig<N>.json for each requested figure.
+func writeSidecars(figs, dir string, accesses int) error {
+	for _, f := range strings.Split(figs, ",") {
+		f = strings.TrimSpace(f)
+		sc, err := bench.SidecarForFigure(f, accesses)
+		if err != nil {
+			return err
+		}
+		if err := sc.Check(); err != nil {
+			return err
+		}
+		data, err := sc.JSON()
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", f, err)
+		}
+		path := filepath.Join(dir, "BENCH_fig"+f+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d totals, %d traced procs, phase sum %.1f cycles)\n",
+			path, len(sc.Totals), len(sc.Procs), float64(sc.PhaseSumCycles))
+	}
+	return nil
+}
+
+// runExperiments runs the selected rendered tables/figures.
+func runExperiments(o opts, exp string) {
 	selected := map[string]bool{}
-	runAll := *exp == "all"
-	for _, name := range strings.Split(*exp, ",") {
+	runAll := exp == "all"
+	for _, name := range strings.Split(exp, ",") {
 		selected[strings.TrimSpace(name)] = true
 	}
 	known := map[string]bool{}
@@ -149,7 +198,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	o := opts{accesses: *accesses}
 	failed := false
 	for _, e := range experiments {
 		if !runAll && !selected[e.name] {

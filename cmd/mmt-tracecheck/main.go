@@ -1,0 +1,190 @@
+// Command mmt-tracecheck validates the repository's two JSON trace
+// artifacts against their schemas:
+//
+//   - Chrome trace-event files (from TraceSink.WriteChromeTrace or
+//     `quickstart -trace`): a JSON array of "M"/"X"/"C" events with the
+//     fields chrome://tracing and Perfetto require.
+//   - BENCH_fig<N>.json metrics sidecars (from `mmt-bench -fig`):
+//     headline totals plus the per-phase cycle breakdown, including the
+//     phase-sum invariant (phase_sum_cycles accounts for
+//     check_total_cycles when the figure reports a cycle total).
+//
+// The file kind is detected from the JSON shape (array = Chrome trace,
+// object = sidecar). Exit status 0 means every file validated.
+//
+// Usage:
+//
+//	mmt-tracecheck trace.json BENCH_fig10.json ...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mmt-tracecheck <file.json> ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := checkFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			return checkChromeTrace(data)
+		case '{':
+			return checkSidecar(data)
+		default:
+			return fmt.Errorf("neither a JSON array (Chrome trace) nor object (sidecar)")
+		}
+	}
+	return fmt.Errorf("empty file")
+}
+
+// chromeEvent is the subset of the trace-event format the exporter emits.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Ts   *float64               `json:"ts"`
+	Dur  *float64               `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func checkChromeTrace(data []byte) error {
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("not a trace-event array: %w", err)
+	}
+	pids := map[int]bool{}
+	for i, ev := range events {
+		at := func(format string, args ...interface{}) error {
+			return fmt.Errorf("event %d (%s %q): %s", i, ev.Ph, ev.Name, fmt.Sprintf(format, args...))
+		}
+		if ev.Pid < 1 || ev.Tid < 1 {
+			return at("pid/tid must be >= 1, got %d/%d", ev.Pid, ev.Tid)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" {
+				return at("metadata events must be process_name")
+			}
+			if name, ok := ev.Args["name"].(string); !ok || name == "" {
+				return at("missing args.name")
+			}
+			pids[ev.Pid] = true
+		case "X":
+			if ev.Name == "" || ev.Cat == "" {
+				return at("complete events need name and cat")
+			}
+			if ev.Ts == nil || ev.Dur == nil {
+				return at("complete events need ts and dur")
+			}
+			if *ev.Ts < 0 || *ev.Dur < 0 {
+				return at("negative ts/dur: %v/%v", *ev.Ts, *ev.Dur)
+			}
+			if !pids[ev.Pid] {
+				return at("pid %d has no process_name metadata", ev.Pid)
+			}
+		case "C":
+			if ev.Ts == nil || len(ev.Args) == 0 {
+				return at("counter events need ts and non-empty args")
+			}
+			for k, v := range ev.Args {
+				n, ok := v.(float64)
+				if !ok || n < 0 || n != math.Trunc(n) {
+					return at("counter %q must be a non-negative integer, got %v", k, v)
+				}
+			}
+			if !pids[ev.Pid] {
+				return at("pid %d has no process_name metadata", ev.Pid)
+			}
+		default:
+			return at("unknown phase type %q (want M, X or C)", ev.Ph)
+		}
+	}
+	return nil
+}
+
+// sidecar mirrors internal/bench.Sidecar (kept in sync by the CI step
+// that validates generated sidecars with this command).
+type sidecar struct {
+	Figure      string `json:"figure"`
+	Profile     string `json:"profile"`
+	Description string `json:"description"`
+	Totals      []struct {
+		Name  string   `json:"name"`
+		Value *float64 `json:"value"`
+		Unit  string   `json:"unit"`
+	} `json:"totals"`
+	PhaseCycles []struct {
+		Phase  string  `json:"phase"`
+		Cycles float64 `json:"cycles"`
+	} `json:"phase_cycles"`
+	PhaseSumCycles   float64 `json:"phase_sum_cycles"`
+	CheckTotalCycles float64 `json:"check_total_cycles"`
+}
+
+func checkSidecar(data []byte) error {
+	var sc sidecar
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("not a sidecar object: %w", err)
+	}
+	if sc.Figure == "" || sc.Profile == "" || sc.Description == "" {
+		return fmt.Errorf("figure, profile and description are required")
+	}
+	if len(sc.Totals) == 0 {
+		return fmt.Errorf("no totals")
+	}
+	for i, tot := range sc.Totals {
+		if tot.Name == "" || tot.Value == nil || tot.Unit == "" {
+			return fmt.Errorf("total %d: name, value and unit are required", i)
+		}
+		switch tot.Unit {
+		case "cycles", "seconds", "x", "bytes":
+		default:
+			return fmt.Errorf("total %q: unknown unit %q", tot.Name, tot.Unit)
+		}
+	}
+	var sum float64
+	for _, ph := range sc.PhaseCycles {
+		if ph.Phase == "" || ph.Cycles < 0 {
+			return fmt.Errorf("phase entries need a name and non-negative cycles")
+		}
+		sum += ph.Cycles
+	}
+	if math.Abs(sum-sc.PhaseSumCycles) > 1e-9*math.Max(math.Abs(sum), math.Abs(sc.PhaseSumCycles)) {
+		return fmt.Errorf("phase_cycles sum %.6f != phase_sum_cycles %.6f", sum, sc.PhaseSumCycles)
+	}
+	if sc.CheckTotalCycles != 0 {
+		a, b := sc.PhaseSumCycles, sc.CheckTotalCycles
+		if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
+			return fmt.Errorf("phase sum %.6f cycles does not account for reported total %.6f cycles", a, b)
+		}
+	}
+	return nil
+}

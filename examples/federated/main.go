@@ -44,7 +44,7 @@ func decode(b []byte) []float64 {
 }
 
 func main() {
-	cluster, err := mmt.NewCluster(mmt.Options{TreeLevels: 2, RegionsPerMachine: 12})
+	cluster, err := mmt.New(mmt.WithTreeLevels(2), mmt.WithRegions(12))
 	if err != nil {
 		log.Fatal(err)
 	}

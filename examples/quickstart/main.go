@@ -6,17 +6,33 @@
 // other as an MMT closure — no re-encryption, ownership transferred.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace trace.json   # + Chrome trace export
+//
+// With -trace, the run records cycle-stamped spans and counters from
+// every layer (all timed on the simulated clocks) and writes a Chrome
+// trace-event JSON file — open it in chrome://tracing or Perfetto.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"mmt"
 )
 
 func main() {
-	cluster, err := mmt.NewCluster(mmt.Options{})
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	flag.Parse()
+
+	var opts []mmt.Option
+	var sink *mmt.TraceSink
+	if *tracePath != "" {
+		sink = mmt.NewTraceSink()
+		opts = append(opts, mmt.WithTracing(sink))
+	}
+	cluster, err := mmt.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,5 +80,20 @@ func main() {
 
 	if _, err := buf.Read(0, 1); err != nil {
 		fmt.Println("alice's copy is gone (ownership transferred), as it should be")
+	}
+
+	if sink != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sink.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s — open in chrome://tracing or https://ui.perfetto.dev\n", *tracePath)
+		fmt.Print(sink.Summary())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"mmt/internal/mem"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 )
 
@@ -35,6 +36,26 @@ type testbed struct {
 	secure *channel.Secure
 	deleg  *channel.Delegation // sender side
 	delegR *channel.Delegation // receiver side
+
+	// prS/prR are the per-node trace probes (nil when the testbed runs
+	// untraced, which is the default).
+	prS, prR *trace.Probe
+}
+
+// attachTrace points every component of the rig at sink: the two
+// controllers, both endpoints and all channel ends record into the
+// "sender" / "receiver" processes. A nil sink is a no-op (nil probes
+// disable tracing everywhere).
+func (tb *testbed) attachTrace(sink *trace.Sink) {
+	tb.prS, tb.prR = sink.Probe("sender"), sink.Probe("receiver")
+	tb.sender.Controller().SetTrace(tb.prS)
+	tb.receiver.Controller().SetTrace(tb.prR)
+	tb.epS.SetTrace(tb.prS)
+	tb.epR.SetTrace(tb.prR)
+	tb.nonsec.SetTrace(tb.prS)
+	tb.secure.SetTrace(tb.prS)
+	tb.deleg.SetTrace(tb.prS)
+	tb.delegR.SetTrace(tb.prR)
 }
 
 // newTestbed builds the rig with `regions` buffer regions per node.
@@ -79,7 +100,12 @@ func newTestbed(prof *sim.Profile, geo tree.Geometry, regions int) (*testbed, er
 
 // secureReceiver builds the matching receive side of the secure channel.
 func (tb *testbed) secureReceiver() (*channel.Secure, error) {
-	return channel.NewSecure(tb.epR, "sender", tb.prof, crypt.KeyFromBytes([]byte("bench-key")))
+	sec, err := channel.NewSecure(tb.epR, "sender", tb.prof, crypt.KeyFromBytes([]byte("bench-key")))
+	if err != nil {
+		return nil, err
+	}
+	sec.SetTrace(tb.prR)
+	return sec, nil
 }
 
 // payload builds a deterministic test payload.

@@ -78,7 +78,7 @@ func Fig10b() ([]Fig10bRow, error) {
 	for _, lat := range latencies {
 		prof := sim.Gem5Profile()
 		prof.NetLatency = lat
-		row, err := table4Measure(prof, 2<<20)
+		row, err := table4Measure(prof, 2<<20, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"mmt/internal/engine"
 	"mmt/internal/mem"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
 )
@@ -32,33 +33,46 @@ type Fig11Result struct {
 // level and reports slowdown versus unprotected DRAM. accesses is the
 // trace length per run (0 means the default 200k).
 func Fig11(accesses int) (*Fig11Result, error) {
+	res, _, err := fig11Traced(accesses, nil)
+	return res, err
+}
+
+// fig11Traced is Fig11 with an optional trace sink: each (benchmark,
+// level) cell records its measured phase into the "<name>/L<level>"
+// process. It also returns the summed protected-memory cycles across all
+// cells, which equals the sink's phase totals by construction (every
+// engine charge is mirrored into exactly one phase).
+func fig11Traced(accesses int, sink *trace.Sink) (*Fig11Result, sim.Cycles, error) {
 	if accesses <= 0 {
 		accesses = 200_000
 	}
 	res := &Fig11Result{Average: make(map[int]float64), Accesses: accesses}
 	traces := workload.SPECTraces()
 	sums := make(map[int]float64)
+	var protected sim.Cycles
 	for _, cfg := range traces {
 		row := Fig11Row{Benchmark: cfg.Name, Overhead: make(map[int]float64)}
 		for _, level := range Fig11Levels {
-			over, err := fig11Run(cfg, level, accesses)
+			over, mem, err := fig11Run(cfg, level, accesses, sink)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			row.Overhead[level] = over
 			sums[level] += over
+			protected += mem
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	for _, level := range Fig11Levels {
 		res.Average[level] = sums[level] / float64(len(traces))
 	}
-	return res, nil
+	return res, protected, nil
 }
 
 // fig11Run measures one (benchmark, level) cell: the trace's execution
-// time with the MMT controller over the time with plain DRAM.
-func fig11Run(cfg workload.TraceConfig, level, accesses int) (float64, error) {
+// time with the MMT controller over the time with plain DRAM. It also
+// returns the measured protected-memory cycles.
+func fig11Run(cfg workload.TraceConfig, level, accesses int, sink *trace.Sink) (float64, sim.Cycles, error) {
 	prof := sim.Gem5Profile()
 	geo := tree.ForLevels(level)
 	// Table V provisions SoC root storage per level (256K for 2-level over
@@ -77,10 +91,12 @@ func fig11Run(cfg workload.TraceConfig, level, accesses int) (float64, error) {
 	})
 	ctl, err := engine.New(pm, geo, nil, prof)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 
-	// Warm the node cache with a prefix of the trace, then measure.
+	// Warm the node cache with a prefix of the trace, then measure. The
+	// probe attaches only after the warm-up reset so the trace phases
+	// account for exactly the measured cycles.
 	tr := workload.NewTrace(cfg, 11)
 	warm := accesses / 10
 	for i := 0; i < warm; i++ {
@@ -88,6 +104,7 @@ func fig11Run(cfg workload.TraceConfig, level, accesses int) (float64, error) {
 		ctl.Access(line/geo.Lines(), line%geo.Lines(), w)
 	}
 	ctl.ResetStats()
+	ctl.SetTrace(sink.Probe(fmt.Sprintf("%s/L%d", cfg.Name, level)))
 	for i := 0; i < accesses; i++ {
 		line, w := tr.Next()
 		ctl.Access(line/geo.Lines(), line%geo.Lines(), w)
@@ -95,7 +112,7 @@ func fig11Run(cfg workload.TraceConfig, level, accesses int) (float64, error) {
 	memCycles := float64(ctl.Stats().Cycles)
 	compute := cfg.ComputeCyclesPerAccess * float64(accesses)
 	baseline := compute + float64(accesses)*float64(prof.DRAMAccess)
-	return (compute + memCycles) / baseline, nil
+	return (compute + memCycles) / baseline, ctl.Stats().Cycles, nil
 }
 
 // RenderFig11 prints the per-benchmark overheads and the averages.

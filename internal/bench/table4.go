@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 )
 
@@ -28,8 +29,11 @@ type Table4Row struct {
 }
 
 // table4Measure runs both transfer schemes for one size on a fresh testbed
-// and reads the breakdown off the channel stats.
-func table4Measure(prof *sim.Profile, size int) (Table4Row, error) {
+// and reads the breakdown off the channel stats. A non-nil sink records
+// the same run into trace accumulators; because every channel charge is
+// mirrored into exactly one trace phase, the sink's phase totals sum to
+// SecureChannel+MMT by construction (the fig10 sidecar relies on this).
+func table4Measure(prof *sim.Profile, size int, sink *trace.Sink) (Table4Row, error) {
 	geo := tree.ForLevels(3)
 	closures := (size + geo.DataSize() - 1) / geo.DataSize()
 	if closures < 1 {
@@ -39,6 +43,7 @@ func table4Measure(prof *sim.Profile, size int) (Table4Row, error) {
 	if err != nil {
 		return Table4Row{}, err
 	}
+	tb.attachTrace(sink)
 	p := payload(size)
 	// The paper transfers `size` bytes of secure memory; our channel frames
 	// each closure with a 16-byte header, so shave the headers off the
@@ -108,7 +113,7 @@ func Table4Intel() ([]Table4Row, error) {
 func table4(prof *sim.Profile, sizes []int) ([]Table4Row, error) {
 	rows := make([]Table4Row, 0, len(sizes))
 	for _, size := range sizes {
-		row, err := table4Measure(prof, size)
+		row, err := table4Measure(prof, size, nil)
 		if err != nil {
 			return nil, fmt.Errorf("table4 size %d: %w", size, err)
 		}

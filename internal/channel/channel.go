@@ -16,6 +16,7 @@ import (
 
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 )
 
 // Stats accumulates per-channel cost categories, mirroring the breakdown
@@ -48,6 +49,7 @@ type common struct {
 	peer  string
 	prof  *sim.Profile
 	stats Stats
+	probe *trace.Probe // nil = tracing disabled
 }
 
 // Stats returns a snapshot of the channel's accumulated costs.
@@ -59,9 +61,15 @@ func (c *common) ResetStats() { c.stats = Stats{} }
 // Clock exposes the endpoint clock (benchmarks bracket it).
 func (c *common) Clock() *sim.Clock { return c.ep.Clock() }
 
-// charge advances the clock and the given stat bucket.
-func (c *common) charge(bucket *sim.Cycles, n sim.Cycles) {
+// SetTrace attaches a trace probe mirroring every cost charge into its
+// phase accumulator. Nil disables tracing.
+func (c *common) SetTrace(p *trace.Probe) { c.probe = p }
+
+// charge advances the clock and the given stat bucket, mirroring the
+// cost into the trace phase so per-phase totals sum to Stats.Total().
+func (c *common) charge(bucket *sim.Cycles, ph trace.Phase, n sim.Cycles) {
 	*bucket += n
+	c.probe.AddCycles(ph, n)
 	c.ep.Clock().AdvanceCycles(n)
 }
 
@@ -78,7 +86,7 @@ func NewNonSecure(ep *netsim.Endpoint, peer string, prof *sim.Profile) *NonSecur
 
 // Send pushes payload to the peer: one remote write, no crypto, no copies.
 func (c *NonSecure) Send(payload []byte) error {
-	c.charge(&c.stats.RemoteWrite, c.prof.RemoteWriteCost(len(payload)))
+	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(payload)))
 	c.stats.Messages++
 	c.stats.Bytes += len(payload)
 	c.ep.Send(c.peer, netsim.KindData, payload)

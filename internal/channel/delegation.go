@@ -8,6 +8,7 @@ import (
 	"mmt/internal/core"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 )
 
 // Delegation is the MMT closure delegation channel: message passing where
@@ -214,10 +215,14 @@ func (c *Delegation) sendChunk(chunk []byte, idx, total int) error {
 		return err
 	}
 	wire := closure.Encode()
-	c.charge(&c.stats.RemoteWrite, c.prof.RemoteWriteCost(len(wire)))
-	c.charge(&c.stats.Delegation, c.prof.DelegationFixed)
+	sp := c.probe.Begin(trace.PhaseSend, c.ep.Clock().Now())
+	c.probe.Count(trace.CtrClosuresSent, 1)
+	c.probe.Count(trace.CtrClosureEncodeBytes, uint64(len(wire)))
+	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(wire)))
+	c.charge(&c.stats.Delegation, trace.PhaseDelegation, c.prof.DelegationFixed)
 	c.inflight = append(c.inflight, mmt)
 	c.ep.Send(c.peer, netsim.KindClosure, wire)
+	sp.End(c.ep.Clock().Now())
 	return nil
 }
 
@@ -268,6 +273,8 @@ func (c *Delegation) Recv() (*Received, error) {
 	if !ok {
 		return nil, ErrEmpty
 	}
+	sp := c.probe.Begin(trace.PhaseRecv, c.ep.Clock().Now())
+	c.probe.Count(trace.CtrClosureDecodeBytes, uint64(len(m.Payload)))
 	region, err := c.popRegion()
 	if err != nil {
 		return nil, err
@@ -277,6 +284,7 @@ func (c *Delegation) Recv() (*Received, error) {
 		return nil, err
 	}
 	if err := mmt.Accept(c.conn, m.Payload); err != nil {
+		c.probe.Count(trace.CtrClosuresRejected, 1)
 		// Free the waiting buffer and nack the specific delegation (its
 		// cleartext address hint survives even when verification fails).
 		if cerr := mmt.Cancel(); cerr != nil {
@@ -289,8 +297,10 @@ func (c *Delegation) Recv() (*Received, error) {
 		return nil, err
 	}
 	// Ack (Figure 6 step 4): a tiny control message naming the delegation.
-	c.charge(&c.stats.Delegation, c.prof.RemoteWriteCost(9))
+	c.probe.Count(trace.CtrClosuresAccepted, 1)
+	c.charge(&c.stats.Delegation, trace.PhaseDelegation, c.prof.RemoteWriteCost(9))
 	c.ep.Send(c.peer, netsim.KindControl, encodeAck(true, mmt.GUAddr()))
+	sp.End(c.ep.Clock().Now())
 
 	c.node.Controller().SetQuiet(true)
 	hdr, err := mmt.ReadBytes(0, msgHeaderSize)

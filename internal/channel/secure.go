@@ -9,6 +9,7 @@ import (
 	"mmt/internal/crypt"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 )
 
 // Secure is the software secure channel (§II-C): the sender encrypts and
@@ -48,7 +49,7 @@ func NewSecure(ep *netsim.Endpoint, peer string, prof *sim.Profile, key crypt.Ke
 func (c *Secure) Send(payload []byte) error {
 	n := len(payload)
 	// Encrypt inside the enclave.
-	c.charge(&c.stats.Encrypt, c.prof.EncryptCost(n))
+	c.charge(&c.stats.Encrypt, trace.PhaseEncrypt, c.prof.EncryptCost(n))
 	nonce := make([]byte, c.aead.NonceSize())
 	binary.LittleEndian.PutUint64(nonce, c.sendSeq)
 	wire := make([]byte, 8, 8+n+c.aead.Overhead())
@@ -56,9 +57,9 @@ func (c *Secure) Send(payload []byte) error {
 	wire = c.aead.Seal(wire, nonce, payload, nil)
 	c.sendSeq++
 	// Copy ciphertext from enclave memory to the shared non-secure buffer.
-	c.charge(&c.stats.Memcpy, c.prof.MemcpyCost(n))
+	c.charge(&c.stats.Memcpy, trace.PhaseMemcpy, c.prof.MemcpyCost(n))
 	// Remote write of the shared buffer.
-	c.charge(&c.stats.RemoteWrite, c.prof.RemoteWriteCost(len(wire)))
+	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(wire)))
 	c.stats.Messages++
 	c.stats.Bytes += n
 	c.ep.Send(c.peer, netsim.KindData, wire)
@@ -82,9 +83,9 @@ func (c *Secure) Recv() ([]byte, error) {
 	}
 	n := len(m.Payload) - 8 - c.aead.Overhead()
 	// Copy from the shared buffer into enclave memory.
-	c.charge(&c.stats.Memcpy, c.prof.MemcpyCost(n))
+	c.charge(&c.stats.Memcpy, trace.PhaseMemcpy, c.prof.MemcpyCost(n))
 	// Decrypt and authenticate inside the enclave.
-	c.charge(&c.stats.Decrypt, c.prof.DecryptCost(n))
+	c.charge(&c.stats.Decrypt, trace.PhaseDecrypt, c.prof.DecryptCost(n))
 	nonce := make([]byte, c.aead.NonceSize())
 	binary.LittleEndian.PutUint64(nonce, seq)
 	pt, err := c.aead.Open(nil, nonce, m.Payload[8:], nil)

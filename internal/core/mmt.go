@@ -20,6 +20,13 @@ var (
 	// ErrAuth: the sealed root failed authentication (tampered or wrong
 	// key).
 	ErrAuth = crypt.ErrAuth
+	// ErrStaleCounter: the sender detected, before sealing, that this
+	// MMT's root counter can no longer satisfy the connection's freshness
+	// floor — a later delegation on the same connection already consumed a
+	// higher counter. The peer would reject the closure with ErrReplay, so
+	// BeginSend fails fast without mutating any state; re-acquire the
+	// buffer (Conn.NextCounter) to delegate its contents.
+	ErrStaleCounter = errors.New("core: stale root counter (connection floor has moved past this MMT)")
 )
 
 // Node is one machine's MMT runtime: the controller plus the integrity-
@@ -191,6 +198,12 @@ func (m *MMT) BeginSend(conn *Conn, mode TransferMode) (*Closure, error) {
 		return nil, fmt.Errorf("%w: cannot transfer ownership of a read-only copy", ErrState)
 	}
 	ctl := m.node.ctl
+	// Freshness pre-check: sealing bumps the root counter to cur+1 and the
+	// peer rejects any closure whose counter is <= its floor. Failing here,
+	// before any transition, keeps the MMT valid and writable.
+	if cur := ctl.RootCounter(m.region); cur+1 <= conn.lastCounter {
+		return nil, fmt.Errorf("%w: counter %d+1 <= floor %d", ErrStaleCounter, cur, conn.lastCounter)
+	}
 	if err := ctl.BumpRootCounter(m.region); err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"mmt/internal/crypt"
 	"mmt/internal/mem"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 )
 
@@ -89,6 +90,7 @@ type Controller struct {
 	regions []regionState
 	stats   Stats
 	quiet   bool
+	probe   *trace.Probe // nil = tracing disabled
 }
 
 // New builds a controller over m with the given tree geometry. The
@@ -145,6 +147,23 @@ func (c *Controller) SetQuiet(q bool) { c.quiet = q }
 // ResetStats zeroes the activity counters (cycles included).
 func (c *Controller) ResetStats() { c.stats = Stats{} }
 
+// SetTrace attaches a trace probe to the controller and to every live
+// tree. A nil probe disables tracing; the instrumented paths then cost
+// one branch and zero allocations per call site.
+func (c *Controller) SetTrace(p *trace.Probe) {
+	c.probe = p
+	for i := range c.regions {
+		if c.regions[i].tr != nil {
+			c.regions[i].tr.SetTrace(p)
+		}
+	}
+}
+
+// Trace reports the controller's probe (nil when tracing is disabled).
+// Components sharing the machine (monitor, channels) reuse it so all of
+// a node's activity lands under one trace process.
+func (c *Controller) Trace() *trace.Probe { return c.probe }
+
 // Mode reports region r's access mode.
 func (c *Controller) Mode(r int) Mode { return c.region(r).mode }
 
@@ -183,6 +202,7 @@ func (c *Controller) Enable(r int, key crypt.Key, guaddr, rootCounter uint64) er
 	if err != nil {
 		return err
 	}
+	tr.SetTrace(c.probe)
 	tr.SetRootCounter(rootCounter)
 	tr.RehashAll(eng, guaddr)
 	macs := make([]uint64, c.geo.Lines())
@@ -252,35 +272,54 @@ func (c *Controller) SetMode(r int, m Mode) error {
 //     exposing only part of its latency; each further miss on the same
 //     path extends the serial verification chain and exposes most of a
 //     DRAM access plus the MAC check.
+// The cost is accumulated per phase (data / root-mount / tree-walk /
+// MAC) so the trace layer can report the breakdown; every constant is a
+// dyadic rational, so the regrouped float sum is bit-identical to the
+// single-accumulator original.
 func (c *Controller) chargePath(r, line int, extraNodes int) {
 	if c.quiet {
 		return
 	}
-	cost := c.prof.DRAMAccess + 2 // data line + OTP XOR
+	dataCost := c.prof.DRAMAccess + 2 // data line + OTP XOR
 	c.stats.DataAccesses++
+	var rootCost, walkCost, macCost sim.Cycles
 	if !c.roots.touch(r) {
 		// Penglai-style root mount: the region's root counter is loaded
 		// into the SoC root table, verified against the sealed copy.
 		c.stats.RootMounts++
-		cost += c.prof.DRAMAccess + c.prof.MACLatency
+		c.probe.Count(trace.CtrRootMounts, 1)
+		rootCost = c.prof.DRAMAccess + c.prof.MACLatency
 	}
 	misses := 0
 	for l := 0; l < c.geo.Levels(); l++ {
-		cost += queuePerLevel
+		walkCost += queuePerLevel
 		key := nodeKey{region: r, level: l, index: c.nodeIndexAt(line, l)}
 		if c.cache.touch(key, c.geo.NodeSize(l)) {
 			c.stats.NodeHits++
+			c.probe.Count(trace.CtrNodeCacheHits, 1)
 			continue
 		}
 		c.stats.NodeMisses++
+		c.probe.Count(trace.CtrNodeCacheMisses, 1)
+		c.probe.Count(trace.CtrMACVerifies, 1)
 		misses++
 		if misses == 1 {
-			cost += c.prof.DRAMAccess*firstMissExposure + c.prof.MACLatency
+			walkCost += c.prof.DRAMAccess * firstMissExposure
 		} else {
-			cost += c.prof.DRAMAccess*chainMissExposure + c.prof.MACLatency
+			walkCost += c.prof.DRAMAccess * chainMissExposure
 		}
+		macCost += c.prof.MACLatency
 	}
-	cost += sim.Cycles(extraNodes) * c.prof.MACLatency
+	c.probe.Count(trace.CtrTreeNodeWalks, uint64(c.geo.Levels()))
+	if extraNodes > 0 {
+		macCost += sim.Cycles(extraNodes) * c.prof.MACLatency
+		c.probe.Count(trace.CtrMACUpdates, uint64(extraNodes))
+	}
+	c.probe.AddCycles(trace.PhaseData, dataCost)
+	c.probe.AddCycles(trace.PhaseRootMount, rootCost)
+	c.probe.AddCycles(trace.PhaseTreeWalk, walkCost)
+	c.probe.AddCycles(trace.PhaseMAC, macCost)
+	cost := dataCost + rootCost + walkCost + macCost
 	c.stats.Cycles += cost
 	c.clock.AdvanceCycles(cost)
 }
@@ -398,6 +437,8 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	c.mem.WriteLine(a, nct)
 	st.lineMACs[ln] = st.eng.LineMAC(tw, nct)
 	c.stats.ReencryptedLines++
+	c.probe.Count(trace.CtrReencryptLines, 1)
+	c.probe.AddCycles(trace.PhaseReencrypt, c.prof.DRAMAccess+c.prof.AESLatency)
 	c.stats.Cycles += c.prof.DRAMAccess + c.prof.AESLatency
 	c.clock.AdvanceCycles(c.prof.DRAMAccess + c.prof.AESLatency)
 	return nil
@@ -421,6 +462,8 @@ func (c *Controller) Access(r, line int, write bool) {
 	c.chargePath(r, line, 0)
 	if write {
 		cost := sim.Cycles(c.geo.Levels()) * writeUpdatePerLevel
+		c.probe.AddCycles(trace.PhaseTreeUpdate, cost)
+		c.probe.Count(trace.CtrMACUpdates, uint64(c.geo.Levels()))
 		c.stats.Cycles += cost
 		c.clock.AdvanceCycles(cost)
 	}
@@ -430,6 +473,7 @@ func (c *Controller) Access(r, line int, write bool) {
 // access, no tree traffic. Used as the denominator of Figure 11.
 func (c *Controller) AccessUnprotected() {
 	c.stats.DataAccesses++
+	c.probe.AddCycles(trace.PhaseData, c.prof.DRAMAccess)
 	c.stats.Cycles += c.prof.DRAMAccess
 	c.clock.AdvanceCycles(c.prof.DRAMAccess)
 }
@@ -491,6 +535,7 @@ func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, t
 	if err != nil {
 		return err
 	}
+	tr.SetTrace(c.probe)
 	tr.SetRootCounter(rootCounter)
 	if err := tr.VerifyAll(eng, guaddr); err != nil {
 		return err
@@ -538,6 +583,7 @@ func (c *Controller) LoadMeta(r int) error {
 	if err != nil {
 		return err
 	}
+	tr.SetTrace(c.probe)
 	tr.SetRootCounter(st.tr.RootCounter()) // root counter stays in SoC
 	st.tr = tr
 	off := c.geo.NodesSize()

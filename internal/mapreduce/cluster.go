@@ -11,6 +11,7 @@ import (
 	"mmt/internal/mem"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 )
 
@@ -63,6 +64,9 @@ type Config struct {
 	Combiner Reducer
 	// NetLatency is the interconnect one-way propagation delay.
 	NetLatency sim.Time
+	// Trace, when non-nil, collects per-machine phase cycles, counters and
+	// spans for the whole job (one trace process per simulated host).
+	Trace *trace.Sink
 }
 
 func (c Config) validate() error {
@@ -96,14 +100,15 @@ type Result struct {
 type machine struct {
 	name  string
 	clock *sim.Clock
-	node  *core.Node // MMT mode only
+	node  *core.Node   // MMT mode only
+	probe *trace.Probe // nil = tracing disabled
 	// nextRegion hands out disjoint region ranges to this machine's
 	// delegation channels.
 	nextRegion int
 }
 
 func newMachine(cfg Config, name string, id int, channels int) (*machine, error) {
-	m := &machine{name: name, clock: sim.NewClock(cfg.Profile.FreqHz)}
+	m := &machine{name: name, clock: sim.NewClock(cfg.Profile.FreqHz), probe: cfg.Trace.Probe(name)}
 	if cfg.Mode != MMT {
 		return m, nil
 	}
@@ -120,6 +125,7 @@ func newMachine(cfg Config, name string, id int, channels int) (*machine, error)
 	if err != nil {
 		return nil, err
 	}
+	ctl.SetTrace(m.probe)
 	m.node = core.NewNode(forest.NodeID(id), ctl)
 	return m, nil
 }
@@ -147,10 +153,18 @@ func link(cfg Config, net *netsim.Network, a, b *machine, tag string) (channel.T
 	if err != nil {
 		return nil, nil, err
 	}
+	// Endpoint and channel activity both land under the owning machine's
+	// trace process, so a host's wire bytes and channel cycles aggregate.
+	epA.SetTrace(a.probe)
+	epB.SetTrace(b.probe)
 	key := crypt.KeyFromBytes([]byte("mr/" + tag))
 	switch cfg.Mode {
 	case Baseline:
-		return channel.NewNonSecure(epA, nameB, cfg.Profile), channel.NewNonSecure(epB, nameA, cfg.Profile), nil
+		nsA := channel.NewNonSecure(epA, nameB, cfg.Profile)
+		nsB := channel.NewNonSecure(epB, nameA, cfg.Profile)
+		nsA.SetTrace(a.probe)
+		nsB.SetTrace(b.probe)
+		return nsA, nsB, nil
 	case SecureChannel:
 		scA, err := channel.NewSecure(epA, nameB, cfg.Profile, key)
 		if err != nil {
@@ -160,12 +174,16 @@ func link(cfg Config, net *netsim.Network, a, b *machine, tag string) (channel.T
 		if err != nil {
 			return nil, nil, err
 		}
+		scA.SetTrace(a.probe)
+		scB.SetTrace(b.probe)
 		return scA, scB, nil
 	case MMT:
 		connA := core.NewConn(key, 0)
 		connB := core.NewConn(key, 0)
 		da := channel.NewDelegation(epA, nameB, cfg.Profile, a.node, connA, a.takeRegions(cfg.PoolRegions))
 		db := channel.NewDelegation(epB, nameA, cfg.Profile, b.node, connB, b.takeRegions(cfg.PoolRegions))
+		da.SetTrace(a.probe)
+		db.SetTrace(b.probe)
 		return channel.AsTransport(da), channel.AsTransport(db), nil
 	default:
 		return nil, nil, fmt.Errorf("mapreduce: unknown mode %v", cfg.Mode)
@@ -228,7 +246,11 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 	// Map phase: compute, partition, shuffle out.
 	chunks := splitInput(input, cfg.Mappers)
 	for i, m := range mappers {
-		m.clock.AdvanceCycles(sim.Cycles(float64(len(chunks[i])) * cfg.MapCyclesPerByte))
+		mapSpan := m.probe.Begin(trace.PhaseApp, m.clock.Now())
+		mapCost := sim.Cycles(float64(len(chunks[i])) * cfg.MapCyclesPerByte)
+		m.probe.AddCycles(trace.PhaseApp, mapCost)
+		m.clock.AdvanceCycles(mapCost)
+		mapSpan.End(m.clock.Now())
 		parts := make([][]KV, cfg.Reducers)
 		mapf(chunks[i], func(k string, v int64) {
 			p := partitionOf(k, cfg.Reducers)
@@ -238,7 +260,9 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 			part := parts[j]
 			if cfg.Combiner != nil {
 				part = combine(part, cfg.Combiner)
-				m.clock.AdvanceCycles(sim.Cycles(float64(len(parts[j])) * cfg.ReduceCyclesPerKV / 2))
+				combineCost := sim.Cycles(float64(len(parts[j])) * cfg.ReduceCyclesPerKV / 2)
+				m.probe.AddCycles(trace.PhaseApp, combineCost)
+				m.clock.AdvanceCycles(combineCost)
 			}
 			payload := encodeKVs(part)
 			res.ShuffleBytes += len(payload)
@@ -267,7 +291,11 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 				pairs++
 			}
 		}
-		r.clock.AdvanceCycles(sim.Cycles(float64(pairs) * cfg.ReduceCyclesPerKV))
+		redSpan := r.probe.Begin(trace.PhaseApp, r.clock.Now())
+		redCost := sim.Cycles(float64(pairs) * cfg.ReduceCyclesPerKV)
+		r.probe.AddCycles(trace.PhaseApp, redCost)
+		r.clock.AdvanceCycles(redCost)
+		redSpan.End(r.clock.Now())
 		for _, k := range sortedKeys(byKey) {
 			res.Output[k] = redf(k, byKey[k])
 		}

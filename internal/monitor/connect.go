@@ -12,6 +12,7 @@ import (
 	"mmt/internal/core"
 	"mmt/internal/crypt"
 	"mmt/internal/netsim"
+	"mmt/internal/trace"
 )
 
 // Connection is the enclave manager's record of a live channel between a
@@ -230,7 +231,12 @@ func Connect(a *Monitor, aEnc EnclaveID, b *Monitor, bEnc EnclaveID, initCounter
 		return "", fmt.Errorf("monitor: key agreement mismatch")
 	}
 
-	// Both sides record the connection and arm a receive buffer.
+	// Both sides record the connection and arm a receive buffer. The
+	// handshake itself charges no cycles (see ROADMAP: connection setup is
+	// off the steady-state path), so the connect spans are zero-duration
+	// markers on each machine's timeline.
+	a.ctl.Trace().Span(trace.PhaseConnect, a.ctl.Clock().Now(), a.ctl.Clock().Now())
+	b.ctl.Trace().Span(trace.PhaseConnect, b.ctl.Clock().Now(), b.ctl.Clock().Now())
 	ca := &Connection{ID: connID, Local: aEnc, PeerMonitor: b.endpoint.Name(), PeerEnclave: bEnc,
 		conn: core.NewConn(key, initCounter), pending: make(map[uint64]*PMO)}
 	cb := &Connection{ID: connID, Local: bEnc, PeerMonitor: a.endpoint.Name(), PeerEnclave: aEnc,
@@ -301,9 +307,16 @@ func (m *Monitor) SendPMO(caller EnclaveID, cap CapID, connID string, mode core.
 	frame := encodeClosureFrame(connID, closure.Encode())
 	// Charge the NIC/DMA serialization and the fixed delegation cost to
 	// this machine's clock, exactly as the channel layer does.
+	probe := m.ctl.Trace()
+	sp := probe.Begin(trace.PhaseSend, m.ctl.Clock().Now())
+	probe.Count(trace.CtrClosuresSent, 1)
+	probe.Count(trace.CtrClosureEncodeBytes, uint64(len(frame)))
 	prof := m.ctl.Profile()
+	probe.AddCycles(trace.PhaseDMA, prof.RemoteWriteCost(len(frame)))
+	probe.AddCycles(trace.PhaseDelegation, prof.DelegationFixed)
 	m.ctl.Clock().AdvanceCycles(prof.RemoteWriteCost(len(frame)) + prof.DelegationFixed)
 	m.endpoint.Send(c.PeerMonitor, netsim.KindClosure, frame)
+	sp.End(m.ctl.Clock().Now())
 	return nil
 }
 
@@ -324,6 +337,9 @@ func (m *Monitor) Pump() (bool, error) {
 		if err != nil {
 			return true, err
 		}
+		probe := m.ctl.Trace()
+		sp := probe.Begin(trace.PhaseRecv, m.ctl.Clock().Now())
+		probe.Count(trace.CtrClosureDecodeBytes, uint64(len(msg.Payload)))
 		c, ok := m.conns[connID]
 		if !ok {
 			return true, ErrNoConn
@@ -335,15 +351,19 @@ func (m *Monitor) Pump() (bool, error) {
 			// Rejected: nack the specific delegation (its cleartext address
 			// hint is readable even when verification fails) and keep the
 			// buffer armed.
+			probe.Count(trace.CtrClosuresRejected, 1)
 			if decoded, derr := core.DecodeClosure(wire); derr == nil {
 				m.sendAck(c, false, decoded.GUAddrHint)
 			}
+			sp.End(m.ctl.Clock().Now())
 			return true, err
 		}
 		c.Received = append(c.Received, c.recv)
 		accepted := c.recv.mmt.GUAddr()
 		c.recv = nil
+		probe.Count(trace.CtrClosuresAccepted, 1)
 		m.sendAck(c, true, accepted)
+		sp.End(m.ctl.Clock().Now())
 		// Re-arm for the next delegation if the pool allows it.
 		if len(m.pool) > 0 {
 			if err := m.armReceive(c); err != nil {
@@ -390,6 +410,7 @@ func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) {
 	if err != nil {
 		return
 	}
+	m.ctl.Trace().AddCycles(trace.PhaseDelegation, m.ctl.Profile().RemoteWriteCost(len(body)))
 	m.ctl.Clock().AdvanceCycles(m.ctl.Profile().RemoteWriteCost(len(body)))
 	m.endpoint.Send(c.PeerMonitor, netsim.KindControl, body)
 }

@@ -134,12 +134,14 @@ func (m *Monitor) Report() *attest.Report { return m.report }
 func (m *Monitor) Node() *core.Node { return m.node }
 
 // AttachNetwork connects the monitor to the untrusted interconnect under
-// the given name.
+// the given name. The endpoint inherits the controller's trace probe so
+// the machine's wire traffic lands under its trace process.
 func (m *Monitor) AttachNetwork(net *netsim.Network, name string) error {
 	ep, err := net.Attach(name, m.ctl.Clock())
 	if err != nil {
 		return err
 	}
+	ep.SetTrace(m.ctl.Trace())
 	m.endpoint = ep
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 )
 
 // Kind tags the payload type of a message.
@@ -72,6 +73,26 @@ type Endpoint struct {
 	clock *sim.Clock
 	net   *Network
 	inbox []Message
+	probe *trace.Probe // nil = tracing disabled
+}
+
+// SetTrace attaches a trace probe counting outbound wire messages and
+// bytes per Kind — exactly the traffic shape a wire adversary observes.
+// Nil disables tracing.
+func (e *Endpoint) SetTrace(p *trace.Probe) { e.probe = p }
+
+// wireCounters maps a Kind to its (messages, bytes) trace counters.
+func wireCounters(k Kind) (msgs, bytes trace.Counter, ok bool) {
+	switch k {
+	case KindData:
+		return trace.CtrWireMsgsData, trace.CtrWireBytesData, true
+	case KindClosure:
+		return trace.CtrWireMsgsClosure, trace.CtrWireBytesClosure, true
+	case KindControl:
+		return trace.CtrWireMsgsControl, trace.CtrWireBytesControl, true
+	default:
+		return 0, 0, false
+	}
 }
 
 // Network is the shared untrusted interconnect.
@@ -127,6 +148,10 @@ func (e *Endpoint) Clock() *sim.Clock { return e.clock }
 // destination inbox stamped with sender-time + propagation latency.
 // Unknown destinations are silently dropped, as on a real fabric.
 func (e *Endpoint) Send(to string, kind Kind, payload []byte) {
+	if msgs, bytes, ok := wireCounters(kind); ok {
+		e.probe.Count(msgs, 1)
+		e.probe.Count(bytes, uint64(len(payload)))
+	}
 	m := Message{
 		From:     e.name,
 		To:       to,

@@ -1,0 +1,379 @@
+// Package trace is the MMT stack's observability layer: span-style
+// events and monotonic counters, all stamped from the simulated clocks
+// (sim.Time), never from the host. It exists to reproduce the paper's
+// evaluation *breakdowns* — which cycles go to MAC verification, tree
+// walks, DMA serialization, closure encode/decode (Figs. 10-14,
+// Tables IV-V) — instead of only final numbers.
+//
+// Design rules, in priority order:
+//
+//   - Off by default and allocation-free when disabled. Every component
+//     holds a *Probe; a nil Probe is the disabled state and all methods
+//     are nil-safe no-ops, so the hot path pays one predictable branch.
+//   - Deterministic. Two identical runs produce byte-identical exports:
+//     no wall-clock time, no map iteration in any export path, stable
+//     float formatting.
+//   - Zero dependencies beyond internal/sim.
+//
+// A Sink aggregates per-process (per-machine) metrics and an event list.
+// Components obtain a Probe with Sink.Probe(name) and then:
+//
+//	probe.Count(trace.CtrNodeCacheMisses, 1)      // monotonic counter
+//	probe.AddCycles(trace.PhaseMAC, cost)         // per-phase cycle total
+//	sp := probe.Begin(trace.PhaseSend, clk.Now()) // span start
+//	...
+//	sp.End(clk.Now())                             // span end
+//
+// Like sim.Clock, a Sink is not safe for concurrent use: simulated nodes
+// are single-threaded, as in the paper's Gem5 model.
+package trace
+
+import (
+	"fmt"
+
+	"mmt/internal/sim"
+)
+
+// Phase labels one cost category. Phases serve double duty: cycle
+// accumulators (AddCycles) break an experiment's total into the paper's
+// breakdown rows, and spans (Begin/End) carry the same labels into the
+// Chrome-trace timeline.
+type Phase uint8
+
+const (
+	// PhaseData: DRAM data-line access plus the OTP XOR (engine).
+	PhaseData Phase = iota
+	// PhaseRootMount: loading and verifying a root counter into the SoC
+	// root table (engine).
+	PhaseRootMount
+	// PhaseTreeWalk: tree-node queue occupancy and node fetches on the
+	// access path (engine).
+	PhaseTreeWalk
+	// PhaseMAC: MAC latencies for node verification and update (engine).
+	PhaseMAC
+	// PhaseTreeUpdate: write-path per-level counter bump and MAC
+	// recomputation charges (engine).
+	PhaseTreeUpdate
+	// PhaseReencrypt: counter-overflow sibling re-encryption (engine).
+	PhaseReencrypt
+	// PhaseMemcpy: copies across the enclave boundary (secure channel).
+	PhaseMemcpy
+	// PhaseEncrypt: software AEAD encryption (secure channel).
+	PhaseEncrypt
+	// PhaseDecrypt: software AEAD decryption (secure channel).
+	PhaseDecrypt
+	// PhaseDMA: NIC/DMA serialization of outbound bytes (all channels).
+	PhaseDMA
+	// PhaseDelegation: MMT closure fixed costs — seal, unseal, ack.
+	PhaseDelegation
+	// PhaseConnect: monitor connection handshake (span only).
+	PhaseConnect
+	// PhaseSend: one outbound transfer operation (span only).
+	PhaseSend
+	// PhaseRecv: one inbound accept operation (span only).
+	PhaseRecv
+	// PhaseApp: application compute (map/reduce/vertex work).
+	PhaseApp
+
+	// NumPhases bounds the Phase enum; keep it last.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseData:       "data-access",
+	PhaseRootMount:  "root-mount",
+	PhaseTreeWalk:   "tree-walk",
+	PhaseMAC:        "mac",
+	PhaseTreeUpdate: "tree-update",
+	PhaseReencrypt:  "reencrypt",
+	PhaseMemcpy:     "memcpy",
+	PhaseEncrypt:    "encrypt",
+	PhaseDecrypt:    "decrypt",
+	PhaseDMA:        "dma",
+	PhaseDelegation: "delegation",
+	PhaseConnect:    "connect",
+	PhaseSend:       "send",
+	PhaseRecv:       "recv",
+	PhaseApp:        "app-compute",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Counter labels one monotonic count.
+type Counter uint8
+
+const (
+	// CtrTreeNodeWalks: tree-node lookups on the controller access path
+	// (one per level per access).
+	CtrTreeNodeWalks Counter = iota
+	// CtrMACVerifies: cost-model MAC checks (node-cache misses, root
+	// mounts excluded).
+	CtrMACVerifies
+	// CtrMACUpdates: write-path MAC recomputations.
+	CtrMACUpdates
+	// CtrNodeCacheHits / CtrNodeCacheMisses: on-chip MMT cache outcomes.
+	CtrNodeCacheHits
+	CtrNodeCacheMisses
+	// CtrRootMounts: Penglai-style root loads into the SoC root table.
+	CtrRootMounts
+	// CtrReencryptLines: sibling lines re-encrypted on counter overflow.
+	CtrReencryptLines
+	// CtrTreeNodeVerifies: functional node-MAC verifications in the tree
+	// (unlike CtrMACVerifies these ignore the cost model's cache).
+	CtrTreeNodeVerifies
+	// CtrTreeNodeRehashes: functional node-MAC recomputations.
+	CtrTreeNodeRehashes
+	// CtrClosuresSent / Accepted / Rejected: delegation outcomes.
+	CtrClosuresSent
+	CtrClosuresAccepted
+	CtrClosuresRejected
+	// CtrClosureEncodeBytes / DecodeBytes: encoded closure sizes.
+	CtrClosureEncodeBytes
+	CtrClosureDecodeBytes
+	// CtrWireMsgs* / CtrWireBytes*: interconnect traffic per
+	// netsim.Kind, counted at the sender — exactly what a wire
+	// adversary observes.
+	CtrWireMsgsData
+	CtrWireMsgsClosure
+	CtrWireMsgsControl
+	CtrWireBytesData
+	CtrWireBytesClosure
+	CtrWireBytesControl
+
+	// NumCounters bounds the Counter enum; keep it last.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	CtrTreeNodeWalks:      "tree-node-walks",
+	CtrMACVerifies:        "mac-verifies",
+	CtrMACUpdates:         "mac-updates",
+	CtrNodeCacheHits:      "node-cache-hits",
+	CtrNodeCacheMisses:    "node-cache-misses",
+	CtrRootMounts:         "root-mounts",
+	CtrReencryptLines:     "reencrypt-lines",
+	CtrTreeNodeVerifies:   "tree-node-verifies",
+	CtrTreeNodeRehashes:   "tree-node-rehashes",
+	CtrClosuresSent:       "closures-sent",
+	CtrClosuresAccepted:   "closures-accepted",
+	CtrClosuresRejected:   "closures-rejected",
+	CtrClosureEncodeBytes: "closure-encode-bytes",
+	CtrClosureDecodeBytes: "closure-decode-bytes",
+	CtrWireMsgsData:       "wire-msgs-data",
+	CtrWireMsgsClosure:    "wire-msgs-closure",
+	CtrWireMsgsControl:    "wire-msgs-control",
+	CtrWireBytesData:      "wire-bytes-data",
+	CtrWireBytesClosure:   "wire-bytes-closure",
+	CtrWireBytesControl:   "wire-bytes-control",
+}
+
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("Counter(%d)", uint8(c))
+}
+
+// Event is one completed span on the simulated timeline.
+type Event struct {
+	Proc  string
+	Phase Phase
+	Begin sim.Time
+	End   sim.Time
+}
+
+// procMetrics is one process's (machine's) accumulators.
+type procMetrics struct {
+	name     string
+	counters [NumCounters]uint64
+	cycles   [NumPhases]sim.Cycles
+}
+
+// Sink aggregates trace data for one cluster or testbed. The zero value
+// is not usable; construct with NewSink. A nil *Sink is valid and means
+// tracing is disabled everywhere it is handed out.
+type Sink struct {
+	procs  []*procMetrics // registration order; exports sort by name
+	byName map[string]*procMetrics
+	events []Event
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink {
+	return &Sink{byName: make(map[string]*procMetrics)}
+}
+
+// Probe returns the named process's probe, creating the process record
+// on first use. On a nil sink it returns nil — the disabled probe.
+func (s *Sink) Probe(name string) *Probe {
+	if s == nil {
+		return nil
+	}
+	p, ok := s.byName[name]
+	if !ok {
+		p = &procMetrics{name: name}
+		s.byName[name] = p
+		s.procs = append(s.procs, p)
+	}
+	return &Probe{sink: s, proc: p}
+}
+
+// Reset zeroes all counters, cycle accumulators and events, keeping the
+// registered processes (and any probes already handed out) valid.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	for _, p := range s.procs {
+		p.counters = [NumCounters]uint64{}
+		p.cycles = [NumPhases]sim.Cycles{}
+	}
+	s.events = nil
+}
+
+// Events returns a copy of the recorded spans in record order.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.events...)
+}
+
+// Probe is one component's handle into a Sink. A nil *Probe is the
+// disabled state: every method is a nil-safe no-op, so instrumented hot
+// paths cost a single branch and zero allocations when tracing is off.
+type Probe struct {
+	sink *Sink
+	proc *procMetrics
+}
+
+// Enabled reports whether the probe records anything.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Count adds n to a monotonic counter.
+func (p *Probe) Count(c Counter, n uint64) {
+	if p == nil || c >= NumCounters {
+		return
+	}
+	p.proc.counters[c] += n
+}
+
+// AddCycles adds n simulated cycles to a phase accumulator.
+func (p *Probe) AddCycles(ph Phase, n sim.Cycles) {
+	if p == nil || ph >= NumPhases {
+		return
+	}
+	p.proc.cycles[ph] += n
+}
+
+// Begin opens a span at the given simulated instant. The returned Span
+// is a value; nothing is recorded until End.
+func (p *Probe) Begin(ph Phase, now sim.Time) Span {
+	if p == nil {
+		return Span{}
+	}
+	return Span{probe: p, phase: ph, begin: now}
+}
+
+// Span records a completed [begin, end] interval immediately.
+func (p *Probe) Span(ph Phase, begin, end sim.Time) {
+	if p == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	p.sink.events = append(p.sink.events, Event{Proc: p.proc.name, Phase: ph, Begin: begin, End: end})
+}
+
+// Span is an open interval started by Probe.Begin. The zero value (from
+// a disabled probe) is valid; End on it is a no-op.
+type Span struct {
+	probe *Probe
+	phase Phase
+	begin sim.Time
+}
+
+// End closes the span at the given simulated instant and records it.
+func (s Span) End(now sim.Time) {
+	if s.probe == nil {
+		return
+	}
+	s.probe.Span(s.phase, s.begin, now)
+}
+
+// ProcMetrics is the exported snapshot of one process's accumulators.
+type ProcMetrics struct {
+	Proc     string
+	Counters [NumCounters]uint64
+	Cycles   [NumPhases]sim.Cycles
+}
+
+// Metrics is a copied, immutable snapshot of a sink's accumulators,
+// sorted by process name. No interior mutable state escapes: arrays are
+// copied by value and the slice is freshly allocated.
+type Metrics struct {
+	Procs []ProcMetrics
+}
+
+// Snapshot captures the sink's current accumulators. Safe on a nil sink
+// (returns an empty Metrics).
+func (s *Sink) Snapshot() Metrics {
+	if s == nil {
+		return Metrics{}
+	}
+	m := Metrics{Procs: make([]ProcMetrics, 0, len(s.procs))}
+	for _, p := range s.procs {
+		m.Procs = append(m.Procs, ProcMetrics{Proc: p.name, Counters: p.counters, Cycles: p.cycles})
+	}
+	sortProcs(m.Procs)
+	return m
+}
+
+// sortProcs orders snapshots by process name (insertion sort: the proc
+// count is the machine count, single digits in practice).
+func sortProcs(ps []ProcMetrics) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Proc < ps[j-1].Proc; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Counter totals c across all processes.
+func (m Metrics) Counter(c Counter) uint64 {
+	var total uint64
+	if c >= NumCounters {
+		return 0
+	}
+	for i := range m.Procs {
+		total += m.Procs[i].Counters[c]
+	}
+	return total
+}
+
+// PhaseCycles totals ph across all processes.
+func (m Metrics) PhaseCycles(ph Phase) sim.Cycles {
+	var total sim.Cycles
+	if ph >= NumPhases {
+		return 0
+	}
+	for i := range m.Procs {
+		total += m.Procs[i].Cycles[ph]
+	}
+	return total
+}
+
+// TotalCycles sums every phase accumulator across all processes.
+func (m Metrics) TotalCycles() sim.Cycles {
+	var total sim.Cycles
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		total += m.PhaseCycles(ph)
+	}
+	return total
+}

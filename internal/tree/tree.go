@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mmt/internal/crypt"
+	"mmt/internal/trace"
 )
 
 // Node is one integrity-tree node: a shared global counter, per-slot local
@@ -28,7 +29,12 @@ type Tree struct {
 	geo     Geometry
 	rootCtr uint64
 	levels  [][]Node
+	probe   *trace.Probe // nil = tracing disabled
 }
+
+// SetTrace attaches a trace probe counting functional node MAC
+// verifications and recomputations. Nil disables tracing.
+func (t *Tree) SetTrace(p *trace.Probe) { t.probe = p }
 
 // New builds a tree with all counters zero and MACs computed for guaddr
 // under e. It returns an error if the geometry is invalid.
@@ -119,6 +125,7 @@ func (t *Tree) effectiveCounters(l, i int) []uint64 {
 
 // rehashNode recomputes the MAC of node (l, i).
 func (t *Tree) rehashNode(e *crypt.Engine, guaddr uint64, l, i int) {
+	t.probe.Count(trace.CtrTreeNodeRehashes, 1)
 	t.levels[l][i].MAC = e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
 }
 
@@ -142,6 +149,7 @@ var ErrIntegrity = errors.New("tree: integrity check failed")
 // untrusted meta-zone or arrived in a closure), and a variable-time
 // compare would leak how many tag bytes of a forgery were right.
 func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
+	t.probe.Count(trace.CtrTreeNodeVerifies, 1)
 	want := e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
 	if !crypt.TagEqual(t.levels[l][i].MAC, want) {
 		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
@@ -308,7 +316,7 @@ func Deserialize(geo Geometry, data []byte) (*Tree, error) {
 
 // Clone deep-copies the tree (used for read-only ownership-copy mode).
 func (t *Tree) Clone() *Tree {
-	c := &Tree{geo: t.geo, rootCtr: t.rootCtr, levels: make([][]Node, len(t.levels))}
+	c := &Tree{geo: t.geo, rootCtr: t.rootCtr, levels: make([][]Node, len(t.levels)), probe: t.probe}
 	for l := range t.levels {
 		nodes := make([]Node, len(t.levels[l]))
 		for i := range nodes {

@@ -34,6 +34,14 @@ func (c *Cluster) Connect(a, b *Enclave) (*Link, error) {
 // ID reports the connection id (same on both monitors).
 func (l *Link) ID() string { return l.id }
 
+// Sender and Receiver report the link's enclaves in Connect order. The
+// link itself is symmetric — delegation may flow either way — the names
+// follow the common producer/consumer setup of the package tour.
+func (l *Link) Sender() *Enclave { return l.a }
+
+// Receiver reports the second enclave passed to Connect.
+func (l *Link) Receiver() *Enclave { return l.b }
+
 // Buffer is a secure memory buffer: one PMO with a live MMT, readable and
 // writable at byte granularity through the protection engine.
 type Buffer struct {

@@ -1,0 +1,77 @@
+package mmt
+
+import (
+	"fmt"
+
+	"mmt/internal/engine"
+)
+
+// Metrics returns a copied snapshot of the cluster's trace accumulators:
+// one entry per machine, sorted by name, with per-phase cycle totals and
+// monotonic counters. Without WithTracing the snapshot is empty. The
+// snapshot does not alias any live state — arrays are copied by value —
+// so it stays stable while the cluster keeps running.
+func (c *Cluster) Metrics() Metrics {
+	return c.opts.Trace.Snapshot()
+}
+
+// TraceSink reports the sink installed with WithTracing (nil when
+// tracing is disabled). Use it for the exporters: sink.WriteChromeTrace
+// renders the span timeline for chrome://tracing / Perfetto, and
+// sink.Summary the compact text form.
+func (c *Cluster) TraceSink() *TraceSink { return c.opts.Trace }
+
+// BufferStats is a read-only snapshot of one buffer's protection state.
+type BufferStats struct {
+	// Machine is the host currently holding the buffer.
+	Machine string
+	// Region is the protection region index on that machine.
+	Region int
+	// Size is the buffer capacity in bytes (one MMT granule).
+	Size int
+	// Mode is the controller's enforcement mode ("read-write",
+	// "read-only", "disabled").
+	Mode string
+	// State is the MMT root state ("valid", "sending", ...).
+	State string
+	// GUAddr is the MMT's global-unique address.
+	GUAddr uint64
+	// RootCounter is the trusted root counter (0 when disabled). It only
+	// ever increases; delegation freshness is built on it.
+	RootCounter uint64
+	// ReadOnly reports whether the buffer arrived as an ownership copy.
+	ReadOnly bool
+}
+
+// String renders the snapshot on one line.
+func (s BufferStats) String() string {
+	return fmt.Sprintf("buffer{%s region=%d size=%d mode=%s state=%s guaddr=%#x rootctr=%d readonly=%v}",
+		s.Machine, s.Region, s.Size, s.Mode, s.State, s.GUAddr, s.RootCounter, s.ReadOnly)
+}
+
+// Stats returns a copied snapshot of the buffer's protection state. The
+// snapshot is detached: it does not change when the buffer does.
+func (b *Buffer) Stats() (BufferStats, error) {
+	pmo, err := b.mmtOf()
+	if err != nil {
+		return BufferStats{}, err
+	}
+	m := pmo.MMT()
+	if m == nil {
+		return BufferStats{}, fmt.Errorf("mmt: buffer has no live MMT")
+	}
+	ctl := b.machine.mon.Node().Controller()
+	st := BufferStats{
+		Machine:  b.machine.name,
+		Region:   pmo.Region,
+		Size:     b.Size(),
+		Mode:     ctl.Mode(pmo.Region).String(),
+		State:    m.State().String(),
+		GUAddr:   m.GUAddr(),
+		ReadOnly: m.ReadOnly(),
+	}
+	if ctl.Mode(pmo.Region) != engine.ModeDisabled { // counter needs a live tree
+		st.RootCounter = ctl.RootCounter(pmo.Region)
+	}
+	return st, nil
+}

@@ -9,7 +9,7 @@
 //
 // The five-minute tour:
 //
-//	cluster, _ := mmt.NewCluster(mmt.Options{})
+//	cluster, _ := mmt.New()
 //	alice, _ := cluster.AddMachine("alice")
 //	bob, _ := cluster.AddMachine("bob")
 //
@@ -59,6 +59,11 @@ const (
 // Options configures a Cluster. The zero value gives the paper's default
 // system: the Gem5 cost profile, 3-level (2 MB) trees, 8 secure regions
 // per machine and a zero-latency interconnect.
+//
+// Deprecated: construct clusters with New and functional options
+// (WithProfile, WithTreeLevels, WithRegions, WithNetLatency,
+// WithTracing). Options and NewCluster remain for one release so
+// existing callers migrate incrementally.
 type Options struct {
 	// Profile is the timing model; sim.Gem5Profile() if nil.
 	Profile *sim.Profile
@@ -68,6 +73,8 @@ type Options struct {
 	RegionsPerMachine int
 	// NetLatency is the one-way interconnect propagation delay.
 	NetLatency sim.Time
+	// Trace, when non-nil, enables cycle-stamped tracing on every machine.
+	Trace *TraceSink
 }
 
 // Cluster is a set of attested machines on a shared untrusted network,
@@ -83,7 +90,14 @@ type Cluster struct {
 }
 
 // NewCluster builds the trust roots and the interconnect.
+//
+// Deprecated: use New with functional options; NewCluster(Options{...})
+// and New(With...) build identical clusters.
 func NewCluster(opts Options) (*Cluster, error) {
+	return newCluster(opts)
+}
+
+func newCluster(opts Options) (*Cluster, error) {
 	if opts.Profile == nil {
 		opts.Profile = sim.Gem5Profile()
 	}
@@ -155,6 +169,9 @@ func (c *Cluster) AddMachine(name string) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One trace process per machine; Probe on a nil sink returns the
+	// disabled (nil) probe, so an untraced cluster stays allocation-free.
+	ctl.SetTrace(c.opts.Trace.Probe(name))
 	mon := monitor.New(machine, c.measurement, c.authority.PublicKey(), ctl)
 	if err := mon.Boot(c.authority); err != nil {
 		return nil, fmt.Errorf("mmt: attesting %q: %w", name, err)

@@ -12,7 +12,7 @@ import (
 // smallCluster uses the 2-level (64K) tree so full-stack tests stay fast.
 func smallCluster(t *testing.T) *Cluster {
 	t.Helper()
-	c, err := NewCluster(Options{TreeLevels: 2, RegionsPerMachine: 6})
+	c, err := New(WithTreeLevels(2), WithRegions(6))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,294 @@
+package mmt
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// quickstartTraced runs the package-doc tour (two machines, one 64K
+// buffer, one ownership transfer) on a traced cluster and returns the
+// sink and cluster.
+func quickstartTraced(t *testing.T) (*TraceSink, *Cluster) {
+	t.Helper()
+	sink := NewTraceSink()
+	c, err := New(WithTreeLevels(2), WithRegions(6), WithTracing(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := c.AddMachine("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.AddMachine("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := alice.Spawn("producer", []byte("app"))
+	consumer := bob.Spawn("consumer", []byte("app"))
+	link, err := c.Connect(producer, consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := link.NewBuffer(producer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Write(0, []byte("secret bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Delegate(buf, OwnershipTransfer); err != nil {
+		t.Fatal(err)
+	}
+	got, err := link.Receive(consumer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Read(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	return sink, c
+}
+
+// controlBytes matches the one nondeterministic value in a quickstart
+// trace: the connect handshake carries ASN.1 DER ECDSA signatures whose
+// encoded length varies with the signature values, so the control-kind
+// wire byte counters differ across runs. Everything else — timestamps,
+// span order, phase cycles, closure sizes — is pinned by the simulated
+// clock and deterministic encodings.
+var controlBytes = regexp.MustCompile(`"wire-bytes-control":\d+`)
+
+func normalizeTrace(b []byte) []byte {
+	return controlBytes.ReplaceAll(b, []byte(`"wire-bytes-control":0`))
+}
+
+// TestChromeTraceGoldenQuickstart pins the exporter's output for the
+// quickstart run against a committed golden file (regenerate with
+// `go test -run Golden -update .`).
+func TestChromeTraceGoldenQuickstart(t *testing.T) {
+	sink, _ := quickstartTraced(t)
+	var out bytes.Buffer
+	if err := sink.WriteChromeTrace(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeTrace(out.Bytes())
+
+	golden := filepath.Join("testdata", "quickstart_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chrome trace deviates from golden file (run with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+// TestChromeTraceDeterminism runs the quickstart twice on fresh clusters:
+// after normalizing the signature-length counter, the exports must be
+// byte-identical — the trace is a pure function of the simulated run.
+// Exporting the same sink twice must be byte-identical with no
+// normalization at all.
+func TestChromeTraceDeterminism(t *testing.T) {
+	var runs [2][]byte
+	for i := range runs {
+		sink, _ := quickstartTraced(t)
+		var a, b bytes.Buffer
+		if err := sink.WriteChromeTrace(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("re-exporting the same sink changed the output")
+		}
+		runs[i] = normalizeTrace(a.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatal("two identical simulated runs produced different traces")
+	}
+}
+
+// TestClusterMetrics checks the public metrics snapshot after the tour.
+func TestClusterMetrics(t *testing.T) {
+	_, c := quickstartTraced(t)
+	m := c.Metrics()
+	if len(m.Procs) != 2 || m.Procs[0].Proc != "alice" || m.Procs[1].Proc != "bob" {
+		t.Fatalf("want [alice bob], got %+v", m.Procs)
+	}
+	if got := m.Counter(CtrClosuresSent); got != 1 {
+		t.Fatalf("closures sent = %d, want 1", got)
+	}
+	if got := m.Counter(CtrClosuresAccepted); got != 1 {
+		t.Fatalf("closures accepted = %d, want 1", got)
+	}
+	if m.Counter(CtrWireBytesClosure) == 0 || m.Counter(CtrWireMsgsClosure) != 1 {
+		t.Fatal("closure wire traffic not recorded")
+	}
+	if m.PhaseCycles(PhaseDelegation) == 0 || m.PhaseCycles(PhaseDMA) == 0 {
+		t.Fatal("delegation phases not recorded")
+	}
+	if m.TotalCycles() <= 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if !strings.Contains(m.String(), "== alice ==") {
+		t.Fatalf("summary misses alice:\n%s", m.String())
+	}
+}
+
+// TestUntracedClusterMetricsEmpty: without WithTracing, Metrics is empty
+// and the sink accessor reports nil.
+func TestUntracedClusterMetricsEmpty(t *testing.T) {
+	c := smallCluster(t)
+	if _, err := c.AddMachine("solo"); err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceSink() != nil {
+		t.Fatal("untraced cluster has a sink")
+	}
+	if m := c.Metrics(); len(m.Procs) != 0 || m.TotalCycles() != 0 {
+		t.Fatalf("untraced metrics not empty: %+v", m)
+	}
+}
+
+// TestBufferStats checks the buffer snapshot accessor across a transfer.
+func TestBufferStats(t *testing.T) {
+	c := smallCluster(t)
+	alice, err := c.AddMachine("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.AddMachine("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := c.Connect(alice.Spawn("p", nil), bob.Spawn("q", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := link.NewBuffer(link.Sender())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := buf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Machine != "alice" || st.Size != buf.Size() || st.Mode != "read-write" || st.ReadOnly {
+		t.Fatalf("bad stats: %+v", st)
+	}
+	if !strings.Contains(st.String(), "buffer{alice") {
+		t.Fatalf("bad String: %s", st.String())
+	}
+	before := st.RootCounter
+	if err := buf.Write(0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Delegate(buf, OwnershipTransfer); err != nil {
+		t.Fatal(err)
+	}
+	got, err := link.Receive(link.Receiver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := got.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Machine != "bob" || st2.RootCounter <= before {
+		t.Fatalf("post-transfer stats wrong: %+v (sender counter was %d)", st2, before)
+	}
+}
+
+// TestNewMatchesDeprecatedNewCluster: the functional-options constructor
+// and the deprecated struct shim build identical clusters.
+func TestNewMatchesDeprecatedNewCluster(t *testing.T) {
+	a, err := New(WithTreeLevels(2), WithRegions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCluster(Options{TreeLevels: 2, RegionsPerMachine: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Geometry().DataSize() != b.Geometry().DataSize() || a.Geometry().Levels() != b.Geometry().Levels() {
+		t.Fatalf("geometry differs: %+v vs %+v", a.Geometry(), b.Geometry())
+	}
+	if a.opts.RegionsPerMachine != b.opts.RegionsPerMachine || a.opts.Profile.Name != b.opts.Profile.Name {
+		t.Fatal("options resolved differently")
+	}
+}
+
+// TestErrStaleCounter: acquiring a buffer, letting a later delegation
+// move the connection's freshness floor past it, then delegating it must
+// fail fast with ErrStaleCounter on the sender side — and the buffer
+// must stay usable.
+func TestErrStaleCounter(t *testing.T) {
+	c := smallCluster(t)
+	alice, err := c.AddMachine("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.AddMachine("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := c.Connect(alice.Spawn("p", nil), bob.Spawn("q", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := link.NewBuffer(link.Sender())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the floor: delegate fresher buffers until one outruns stale's
+	// next counter value.
+	moved := false
+	for i := 0; i < 4 && !moved; i++ {
+		fresh, err := link.NewBuffer(link.Sender())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Write(0, []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if err := link.Delegate(fresh, OwnershipTransfer); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := link.Receive(link.Receiver()); err != nil {
+			t.Fatal(err)
+		}
+		err = link.Delegate(stale, OwnershipTransfer)
+		switch {
+		case err == nil:
+			t.Fatal("stale delegation unexpectedly accepted before floor moved")
+		case errors.Is(err, ErrStaleCounter):
+			moved = true
+		default:
+			t.Fatalf("unexpected delegation error: %v", err)
+		}
+	}
+	if !moved {
+		t.Fatal("never hit ErrStaleCounter")
+	}
+	// The sender-side check fires before any state mutation: the buffer
+	// is still readable and writable.
+	if err := stale.Write(0, []byte("still mine")); err != nil {
+		t.Fatalf("stale buffer unusable after rejected delegation: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package mmt
+
+import (
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+)
+
+// Option configures a Cluster at construction time. Options are applied
+// in order by New; later options override earlier ones.
+type Option func(*Options)
+
+// WithProfile selects the timing model (sim.Gem5Profile,
+// sim.IntelProfile, or a custom calibration). Default: Gem5.
+func WithProfile(p *sim.Profile) Option {
+	return func(o *Options) { o.Profile = p }
+}
+
+// WithTreeLevels sets the MMT depth (2, 3 or 4 — 512 KB, 2 MB or 32 MB
+// granules). Default: 3.
+func WithTreeLevels(levels int) Option {
+	return func(o *Options) { o.TreeLevels = levels }
+}
+
+// WithRegions sizes each machine's secure-memory pool in regions of one
+// MMT granule each. Default: 8.
+func WithRegions(n int) Option {
+	return func(o *Options) { o.RegionsPerMachine = n }
+}
+
+// WithNetLatency sets the one-way interconnect propagation delay
+// (Figure 10b sweeps this). Default: 0.
+func WithNetLatency(d sim.Time) Option {
+	return func(o *Options) { o.NetLatency = d }
+}
+
+// WithTracing attaches a trace sink: every machine added to the cluster
+// records its per-phase cycle totals, counters and spans (all stamped
+// from the simulated clocks) into sink. Pass the sink to NewTraceSink's
+// result; read it back via Cluster.Metrics, TraceSink.Summary, or
+// TraceSink.WriteChromeTrace. A nil sink leaves tracing disabled (the
+// default): the instrumented paths then cost one branch and zero
+// allocations.
+func WithTracing(sink *TraceSink) Option {
+	return func(o *Options) { o.Trace = sink }
+}
+
+// TraceSink collects cycle-stamped events and monotonic counters from
+// every component of a traced cluster. See package mmt/internal/trace
+// for the schema; DESIGN.md documents the phase and counter names.
+type TraceSink = trace.Sink
+
+// Metrics is a copied snapshot of a trace sink's accumulators: one
+// entry per machine, sorted by name. Returned by Cluster.Metrics.
+type Metrics = trace.Metrics
+
+// NewTraceSink returns an empty trace sink for WithTracing.
+func NewTraceSink() *TraceSink { return trace.NewSink() }
+
+// TracePhase labels one cost category in Metrics (see the Phase* re-
+// exports); TraceCounter labels one monotonic count (see Ctr*).
+type (
+	TracePhase   = trace.Phase
+	TraceCounter = trace.Counter
+)
+
+// Phase re-exports for Metrics.PhaseCycles.
+const (
+	PhaseData       = trace.PhaseData
+	PhaseRootMount  = trace.PhaseRootMount
+	PhaseTreeWalk   = trace.PhaseTreeWalk
+	PhaseMAC        = trace.PhaseMAC
+	PhaseTreeUpdate = trace.PhaseTreeUpdate
+	PhaseReencrypt  = trace.PhaseReencrypt
+	PhaseMemcpy     = trace.PhaseMemcpy
+	PhaseEncrypt    = trace.PhaseEncrypt
+	PhaseDecrypt    = trace.PhaseDecrypt
+	PhaseDMA        = trace.PhaseDMA
+	PhaseDelegation = trace.PhaseDelegation
+	PhaseConnect    = trace.PhaseConnect
+	PhaseSend       = trace.PhaseSend
+	PhaseRecv       = trace.PhaseRecv
+	PhaseApp        = trace.PhaseApp
+)
+
+// Counter re-exports for Metrics.Counter. The CtrWire* counters are the
+// adversary's view: messages and bytes per traffic kind, counted at the
+// sending endpoint — exactly what an interposer on the interconnect sees.
+const (
+	CtrTreeNodeWalks      = trace.CtrTreeNodeWalks
+	CtrMACVerifies        = trace.CtrMACVerifies
+	CtrMACUpdates         = trace.CtrMACUpdates
+	CtrNodeCacheHits      = trace.CtrNodeCacheHits
+	CtrNodeCacheMisses    = trace.CtrNodeCacheMisses
+	CtrRootMounts         = trace.CtrRootMounts
+	CtrReencryptLines     = trace.CtrReencryptLines
+	CtrTreeNodeVerifies   = trace.CtrTreeNodeVerifies
+	CtrTreeNodeRehashes   = trace.CtrTreeNodeRehashes
+	CtrClosuresSent       = trace.CtrClosuresSent
+	CtrClosuresAccepted   = trace.CtrClosuresAccepted
+	CtrClosuresRejected   = trace.CtrClosuresRejected
+	CtrClosureEncodeBytes = trace.CtrClosureEncodeBytes
+	CtrClosureDecodeBytes = trace.CtrClosureDecodeBytes
+	CtrWireMsgsData       = trace.CtrWireMsgsData
+	CtrWireMsgsClosure    = trace.CtrWireMsgsClosure
+	CtrWireMsgsControl    = trace.CtrWireMsgsControl
+	CtrWireBytesData      = trace.CtrWireBytesData
+	CtrWireBytesClosure   = trace.CtrWireBytesClosure
+	CtrWireBytesControl   = trace.CtrWireBytesControl
+)
+
+// New builds the trust roots and the interconnect. With no options it
+// gives the paper's default system: the Gem5 cost profile, 3-level
+// (2 MB) trees, 8 secure regions per machine, a zero-latency
+// interconnect, and tracing disabled.
+func New(opts ...Option) (*Cluster, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newCluster(o)
+}
