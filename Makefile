@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench check trace-demo
+.PHONY: build test race vet lint bench bench-smoke check trace-demo par-demo
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,20 @@ vet:
 	$(GO) vet ./...
 
 # mmt-vet: the project's own analyzer suite (simclock, cryptocompare,
-# checkverify, nopanic, maporder). Non-zero exit on any finding.
+# checkverify, nopanic, maporder, parclock). Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mmt-vet ./...
 
+# bench: measured run of the hot-path kernels (crypt scratch kernels,
+# engine read/write path, cache) plus the public API. The scratch-path
+# benchmarks must report 0 allocs/op.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/crypt ./internal/engine .
+
+# bench-smoke: one iteration of every benchmark in the module — cheap CI
+# proof that no benchmark has bit-rotted.
+bench-smoke:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run=^$$ ./...
 
 # trace-demo: run the quickstart with tracing, emit the fig10 metrics
 # sidecar, and validate both artifacts against their schemas.
@@ -31,5 +39,16 @@ trace-demo:
 	$(GO) run ./examples/quickstart -trace trace.json
 	$(GO) run ./cmd/mmt-bench -fig 10 -out .
 	$(GO) run ./cmd/mmt-tracecheck trace.json BENCH_fig10.json
+
+# par-demo: the parallel runner's determinism contract, end to end — the
+# fig11 sidecar must be byte-identical at any worker count, and the
+# wallclock sidecar must validate against its schema.
+par-demo:
+	mkdir -p .bench/serial .bench/par
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 20000 -out .bench/serial
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 20000 -parallel 8 -out .bench/par
+	cmp .bench/serial/BENCH_fig11.json .bench/par/BENCH_fig11.json
+	$(GO) run ./cmd/mmt-bench -wallclock -parallel 8 -accesses 20000 -out .bench
+	$(GO) run ./cmd/mmt-tracecheck .bench/serial/BENCH_fig11.json .bench/BENCH_wallclock.json
 
 check: build vet lint test race

@@ -12,6 +12,8 @@
 //	mmt-bench -list             # list experiments
 //	mmt-bench -fig 10           # write the BENCH_fig10.json metrics sidecar
 //	mmt-bench -fig 10,11 -out . # several sidecars into a directory
+//	mmt-bench -fig 11 -parallel 8   # same bytes, less wall-clock
+//	mmt-bench -wallclock -parallel 8 # write the BENCH_wallclock.json host-speed sidecar
 //
 // Sidecars are machine-readable companions to the rendered figures: the
 // headline numbers plus the trace-layer breakdown (per-phase simulated
@@ -130,11 +132,23 @@ func main() {
 	accesses := flag.Int("accesses", 0, "trace length for fig11/ablation (default 200000)")
 	fig := flag.String("fig", "", "figure number(s): write BENCH_fig<N>.json metrics sidecar(s) and exit")
 	out := flag.String("out", ".", "output directory for -fig sidecars")
+	parallel := flag.Int("parallel", 1, "worker goroutines for figure sweeps (results are byte-identical at any setting)")
+	wallclock := flag.Bool("wallclock", false, "write the BENCH_wallclock.json host-speed sidecar and exit")
 	flag.Parse()
+
+	bench.SetWorkers(*parallel)
 
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-13s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	if *wallclock {
+		if err := writeWallclock(*out, *parallel, *accesses); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

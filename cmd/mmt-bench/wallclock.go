@@ -1,0 +1,165 @@
+package main
+
+// wallclock.go measures host wall-clock performance of the simulator
+// itself: nanoseconds per protected line read/write/migration, and the
+// wall-clock speedup of the parallel fig11 sweep over the serial one
+// (with the two sidecars byte-compared — the speedup only counts if the
+// output is identical). Wall-clock time is banned inside internal/ (the
+// simclock analyzer: simulated results must be a pure function of the
+// inputs); this file lives in cmd/ precisely because nothing here feeds
+// back into a simulated number.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"mmt/internal/bench"
+	"mmt/internal/crypt"
+	"mmt/internal/engine"
+	"mmt/internal/mem"
+	"mmt/internal/sim"
+	"mmt/internal/tree"
+)
+
+// WallclockSchema identifies the sidecar format to mmt-tracecheck.
+const WallclockSchema = "mmt-wallclock/v1"
+
+type wallclockMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"` // "ns/op", "seconds", "x"
+}
+
+type wallclockReport struct {
+	Schema     string            `json:"schema"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Workers    int               `json:"workers"`
+	Profile    string            `json:"profile"`
+	Metrics    []wallclockMetric `json:"metrics"`
+}
+
+// nsPerOp times f until the sample is long enough to trust (>= 100 ms).
+func nsPerOp(f func()) float64 {
+	for n := 256; ; n *= 4 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		if elapsed := time.Since(start); elapsed >= 100*time.Millisecond {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+	}
+}
+
+// writeWallclock produces BENCH_wallclock.json in dir.
+func writeWallclock(dir string, workers, accesses int) error {
+	if accesses <= 0 {
+		accesses = 20_000
+	}
+	prof := sim.Gem5Profile()
+	geo := tree.ForLevels(3)
+	pm := mem.New(mem.Config{
+		Size:          2 * geo.DataSize(),
+		RegionSize:    geo.DataSize(),
+		MetaPerRegion: geo.MetaSize(),
+	})
+	ctl, err := engine.New(pm, geo, nil, prof)
+	if err != nil {
+		return err
+	}
+	key := crypt.KeyFromBytes([]byte("wallclock"))
+	if err := ctl.Enable(0, key, 0x1000, 0); err != nil {
+		return err
+	}
+	buf := make([]byte, mem.LineSize)
+	lines := geo.Lines()
+	for line := 0; line < lines; line++ {
+		buf[0] = byte(line)
+		if err := ctl.Write(0, line, buf); err != nil {
+			return err
+		}
+	}
+
+	var line int
+	readNs := nsPerOp(func() {
+		if err := ctl.ReadInto(0, line, buf); err != nil {
+			panic(err)
+		}
+		line = (line + 1) % lines
+	})
+	writeNs := nsPerOp(func() {
+		if err := ctl.Write(0, line, buf); err != nil {
+			panic(err)
+		}
+		line = (line + 1) % lines
+	})
+	// One migration = export the region's closure and install it as a new
+	// region on the same controller (the delegation round trip minus the
+	// wire).
+	migNs := nsPerOp(func() {
+		treeBytes, data, macs, root, guaddr, err := ctl.Export(0)
+		if err != nil {
+			panic(err)
+		}
+		if err := ctl.Install(1, key, guaddr, root, treeBytes, data, macs, engine.ModeReadWrite); err != nil {
+			panic(err)
+		}
+		ctl.Invalidate(1)
+	})
+
+	// Serial vs parallel fig11 sweep: same bytes, less wall-clock.
+	sweep := func(w int) ([]byte, float64, error) {
+		bench.SetWorkers(w)
+		defer bench.SetWorkers(workers)
+		start := time.Now()
+		sc, err := bench.SidecarForFigure("11", accesses)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, err := sc.JSON()
+		return b, time.Since(start).Seconds(), err
+	}
+	serialJSON, serialSec, err := sweep(1)
+	if err != nil {
+		return err
+	}
+	parallelJSON, parallelSec, err := sweep(workers)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		return fmt.Errorf("wallclock: parallel fig11 sidecar differs from serial — determinism contract broken")
+	}
+
+	rep := &wallclockReport{
+		Schema:     WallclockSchema,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Profile:    prof.Name,
+		Metrics: []wallclockMetric{
+			{Name: "protected-read", Value: readNs, Unit: "ns/op"},
+			{Name: "protected-write", Value: writeNs, Unit: "ns/op"},
+			{Name: "migration-export-install", Value: migNs, Unit: "ns/op"},
+			{Name: "fig11-serial", Value: serialSec, Unit: "seconds"},
+			{Name: "fig11-parallel", Value: parallelSec, Unit: "seconds"},
+			{Name: "fig11-speedup", Value: serialSec / parallelSec, Unit: "x"},
+		},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, "BENCH_wallclock.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (read %.0f ns/op, write %.0f ns/op, migration %.0f ns/op, fig11 %.2fs -> %.2fs, %.2fx with %d workers)\n",
+		path, readNs, writeNs, migNs, serialSec, parallelSec, serialSec/parallelSec, workers)
+	return nil
+}

@@ -1,4 +1,4 @@
-// Package analyzers is the mmt-vet static-analysis suite: five custom
+// Package analyzers is the mmt-vet static-analysis suite: six custom
 // analyzers that machine-enforce the repository's determinism and
 // crypto-safety invariants.
 //
@@ -16,6 +16,9 @@
 //   - checkverify: results of Verify*/Open/Unseal calls must be checked.
 //   - nopanic: library packages return errors instead of panicking.
 //   - maporder: no map iteration with order-dependent effects.
+//   - parclock: par.Map/par.ForEach work units must own the sim.Clocks
+//     they touch; a clock captured from the enclosing scope is shared
+//     across goroutines and breaks the determinism contract.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is self-contained: the module has no
@@ -77,6 +80,7 @@ func All() []*Analyzer {
 		CheckVerify,
 		NoPanic,
 		MapOrder,
+		ParClock,
 	}
 }
 

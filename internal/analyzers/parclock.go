@@ -1,0 +1,100 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// ParClock enforces the caller's half of the internal/par determinism
+// contract (DESIGN.md §9): a work unit handed to par.Map or par.ForEach
+// must own every sim.Clock it touches. A clock captured from the
+// enclosing scope is shared across concurrently running work units, so
+// advancing it makes simulated time depend on goroutine interleaving —
+// exactly the nondeterminism the runner is designed to rule out.
+var ParClock = &Analyzer{
+	Name: "parclock",
+	Doc: "forbid par.Map/par.ForEach work-unit literals from touching a " +
+		"sim.Clock declared outside the literal; each work unit must build " +
+		"and own its clocks so simulated time is independent of scheduling",
+	Run: runParClock,
+}
+
+func runParClock(pass *Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "mmt/internal/par" {
+				return true
+			}
+			if fn.Name() != "Map" && fn.Name() != "ForEach" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					diags = append(diags, capturedClocks(pass, lit, "par."+fn.Name())...)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// capturedClocks reports every use inside lit of a variable of type
+// sim.Clock or *sim.Clock that is declared outside lit. Only plain
+// identifiers are considered: the selector in x.clock names a struct
+// field whose declaration is necessarily elsewhere, and whether the
+// *value* is shared is decided by the receiver x, which this walk does
+// visit.
+func capturedClocks(pass *Pass, lit *ast.FuncLit, callee string) []Diagnostic {
+	var diags []Diagnostic
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			ast.Inspect(n.X, visit)
+			return false
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok || v.IsField() || !isSimClock(v.Type()) {
+				return true
+			}
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				diags = append(diags, Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+					"work unit passed to %s captures sim.Clock %q from the enclosing scope; "+
+						"work units must own the clocks they touch (DESIGN.md §9)", callee, n.Name)})
+			}
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, visit)
+	return diags
+}
+
+// isSimClock reports whether t is mmt/internal/sim.Clock or a pointer to
+// it.
+func isSimClock(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Clock" && obj.Pkg() != nil && obj.Pkg().Path() == "mmt/internal/sim"
+}

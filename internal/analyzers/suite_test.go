@@ -31,6 +31,10 @@ func TestMapOrder(t *testing.T) {
 	analysistest.Run(t, analyzers.MapOrder, "maporder")
 }
 
+func TestParClock(t *testing.T) {
+	analysistest.Run(t, analyzers.ParClock, "parclock")
+}
+
 // TestDriverOnRealPackage smoke-tests the go-list driver end to end: the
 // shipped tree must be clean under the full suite for at least one real
 // package (the crypto core, which is also the most invariant-dense).

@@ -43,7 +43,7 @@ func MeasureSoftware(image []byte) Measurement { return sha256.Sum256(image) }
 type Certificate struct {
 	Subject   string
 	PublicKey []byte // PKIX-marshaled ECDSA public key
-	Signature []byte // manufacturer's ASN.1 ECDSA signature over digest()
+	Signature []byte // manufacturer's fixed-length (r||s) signature over digest()
 }
 
 func (c *Certificate) digest() []byte {
@@ -94,7 +94,7 @@ func (m *Manufacturer) Provision(name string) (*Machine, error) {
 		return nil, err
 	}
 	cert := Certificate{Subject: name, PublicKey: pub}
-	sig, err := ecdsa.SignASN1(rand.Reader, m.priv, cert.digest())
+	sig, err := SignDigest(m.priv, cert.digest())
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +105,7 @@ func (m *Manufacturer) Provision(name string) (*Machine, error) {
 // VerifyCertificate checks a certificate against a manufacturer public key
 // and returns the machine public key it certifies.
 func VerifyCertificate(manufacturer *ecdsa.PublicKey, c *Certificate) (*ecdsa.PublicKey, error) {
-	if !ecdsa.VerifyASN1(manufacturer, c.digest(), c.Signature) {
+	if !VerifyDigest(manufacturer, c.digest(), c.Signature) {
 		return nil, errors.New("attest: certificate signature invalid")
 	}
 	pub, err := x509.ParsePKIXPublicKey(c.PublicKey)
@@ -163,7 +163,7 @@ func (r *Report) MachineKey() (*ecdsa.PublicKey, error) {
 
 // VerifyReport checks a report against the authority public key.
 func VerifyReport(authority *ecdsa.PublicKey, r *Report) error {
-	if !ecdsa.VerifyASN1(authority, r.digest(), r.Signature) {
+	if !VerifyDigest(authority, r.digest(), r.Signature) {
 		return errors.New("attest: report signature invalid")
 	}
 	return nil
@@ -222,5 +222,5 @@ func sessionKey(shared, pubA, pubB []byte) [32]byte {
 // hardware; only the monitor may invoke it). Peers verify against the
 // machine public key carried in the authority-signed report.
 func (m *Machine) Sign(digest []byte) ([]byte, error) {
-	return ecdsa.SignASN1(rand.Reader, m.priv, digest)
+	return SignDigest(m.priv, digest)
 }

@@ -157,7 +157,7 @@ func (s *NodeSession) OnServerHello(msg []byte) ([]byte, error) {
 	s.session = sessionKey(shared, nodePub, sh.Public)
 	s.established = true
 
-	sig, err := ecdsa.SignASN1(rand.Reader, s.machine.priv, transcriptDigest(nodePub, sh.Public))
+	sig, err := SignDigest(s.machine.priv, transcriptDigest(nodePub, sh.Public))
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +248,7 @@ func (s *AuthSession) OnEvidence(msg []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
 	digest := transcriptDigest(s.nodePub, s.ecdhPriv.PublicKey().Bytes())
-	if !ecdsa.VerifyASN1(machinePub, digest, ev.Transcript) {
+	if !VerifyDigest(machinePub, digest, ev.Transcript) {
 		return nil, fmt.Errorf("%w: transcript signature invalid", ErrRejected)
 	}
 	var info nodeInfo
@@ -263,7 +263,7 @@ func (s *AuthSession) OnEvidence(msg []byte) ([]byte, error) {
 	s.a.nextID++
 	report := Report{NodeID: id, Subject: ev.Cert.Subject, Measurement: info.Measurement,
 		MachinePublicKey: ev.Cert.PublicKey}
-	sig, err := ecdsa.SignASN1(rand.Reader, s.a.signing, report.digest())
+	sig, err := SignDigest(s.a.signing, report.digest())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,44 @@
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"math/big"
+)
+
+// Fixed-length ECDSA signature encoding.
+//
+// ASN.1/DER signatures are 70-72 bytes for P-256 depending on how many
+// leading zero bits r and s happen to have, which makes every signed wire
+// message variable-length and forces downstream consumers (trace goldens,
+// closure framing, buffer sizing) to normalize or over-allocate. The wire
+// format here is the raw scalars instead: r || s, each left-padded to the
+// 32-byte curve order, always exactly SignatureSize bytes.
+
+// SignatureSize is the length of every ECDSA signature on the wire.
+const SignatureSize = 64
+
+// SignDigest signs a digest with a P-256 key and returns the fixed-length
+// r||s encoding.
+func SignDigest(priv *ecdsa.PrivateKey, digest []byte) ([]byte, error) {
+	r, s, err := ecdsa.Sign(rand.Reader, priv, digest)
+	if err != nil {
+		return nil, err
+	}
+	sig := make([]byte, SignatureSize)
+	r.FillBytes(sig[:SignatureSize/2])
+	s.FillBytes(sig[SignatureSize/2:])
+	return sig, nil
+}
+
+// VerifyDigest checks a fixed-length r||s signature. Wrong-length input is
+// simply an invalid signature, never a parse error: signatures are
+// attacker-controlled bytes.
+func VerifyDigest(pub *ecdsa.PublicKey, digest, sig []byte) bool {
+	if len(sig) != SignatureSize {
+		return false
+	}
+	r := new(big.Int).SetBytes(sig[:SignatureSize/2])
+	s := new(big.Int).SetBytes(sig[SignatureSize/2:])
+	return ecdsa.Verify(pub, digest, r, s)
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"mmt/internal/mapreduce"
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+	"mmt/internal/tree"
+	"mmt/internal/workload"
+)
+
+// This file is the determinism proof for the parallel sweep runner: every
+// figure's sidecar JSON — and for the traced sweeps the full Chrome trace
+// export — must be byte-identical whether the sweep runs on one goroutine
+// or fanned out. The contract being exercised is internal/par's (results
+// merged in input order) plus the callers' (every sweep point owns its
+// clock, controller and sink; merges happen serially).
+
+// sidecarBytes runs one figure's sidecar at the given worker count.
+func sidecarBytes(t *testing.T, fig string, workers, accesses int) []byte {
+	t.Helper()
+	SetWorkers(workers)
+	defer SetWorkers(1)
+	sc, err := SidecarForFigure(fig, accesses)
+	if err != nil {
+		t.Fatalf("fig %s workers=%d: %v", fig, workers, err)
+	}
+	if err := sc.Check(); err != nil {
+		t.Fatalf("fig %s workers=%d: %v", fig, workers, err)
+	}
+	b, err := sc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSidecarSerialParallelEquivalence: BENCH_fig{10..14}.json is the
+// same byte stream at any worker count.
+func TestSidecarSerialParallelEquivalence(t *testing.T) {
+	accesses := 2_000
+	figs := SidecarFigures
+	if raceEnabled || testing.Short() {
+		// The race detector slows the functional crypto ~10x; figures 11
+		// and 12 still cover both parallel sweep shapes (engine cells and
+		// mapreduce jobs).
+		figs = []string{"11", "12"}
+	}
+	for _, fig := range figs {
+		serial := sidecarBytes(t, fig, 1, accesses)
+		for _, workers := range []int{4, 8} {
+			if parallel := sidecarBytes(t, fig, workers, accesses); !bytes.Equal(serial, parallel) {
+				t.Errorf("fig %s: sidecar differs between workers=1 and workers=%d\nserial:\n%s\nparallel:\n%s",
+					fig, workers, serial, parallel)
+			}
+		}
+	}
+}
+
+// TestFig11TraceSerialParallelEquivalence: the fig11 sweep's full trace —
+// process registration order, span order, every cycle stamp — survives
+// the fan-out byte-for-byte.
+func TestFig11TraceSerialParallelEquivalence(t *testing.T) {
+	traceBytes := func(workers int) []byte {
+		SetWorkers(workers)
+		defer SetWorkers(1)
+		sink := trace.NewSink()
+		if _, _, err := fig11Traced(2_000, sink); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := traceBytes(1)
+	if parallel := traceBytes(8); !bytes.Equal(serial, parallel) {
+		t.Fatal("fig11 trace differs between workers=1 and workers=8")
+	}
+}
+
+// TestMapReduceSerialParallelEquivalence: one traced MMT-shuffle job —
+// output, simulated times, shuffle bytes and the full trace — is
+// identical whether Config.Workers is 1 or saturated.
+func TestMapReduceSerialParallelEquivalence(t *testing.T) {
+	geo := tree.ForLevels(3)
+	input := 64 << 10
+	corpus := workload.Corpus(12, input)
+	run := func(workers int) (*mapreduce.Result, []byte) {
+		sink := trace.NewSink()
+		cfg := mapreduce.Config{
+			Mappers: 3, Reducers: 2,
+			Mode:              mapreduce.MMT,
+			Profile:           sim.Gem5Profile(),
+			Geometry:          geo,
+			PoolRegions:       2*input/geo.DataSize() + 4,
+			MapCyclesPerByte:  8,
+			ReduceCyclesPerKV: 40,
+			Trace:             sink,
+			Workers:           workers,
+		}
+		res, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	serialRes, serialTrace := run(1)
+	for _, workers := range []int{2, 8} {
+		res, tr := run(workers)
+		if res.Elapsed != serialRes.Elapsed || res.ShuffleBytes != serialRes.ShuffleBytes {
+			t.Errorf("workers=%d: elapsed/shuffle (%v, %d) != serial (%v, %d)",
+				workers, res.Elapsed, res.ShuffleBytes, serialRes.Elapsed, serialRes.ShuffleBytes)
+		}
+		if len(res.Output) != len(serialRes.Output) {
+			t.Fatalf("workers=%d: output size %d != %d", workers, len(res.Output), len(serialRes.Output))
+		}
+		for k, v := range serialRes.Output {
+			if res.Output[k] != v {
+				t.Errorf("workers=%d: output[%q] = %d, want %d", workers, k, res.Output[k], v)
+			}
+		}
+		if !bytes.Equal(tr, serialTrace) {
+			t.Errorf("workers=%d: trace differs from serial", workers)
+		}
+	}
+}

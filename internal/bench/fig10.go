@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/tree"
 )
@@ -74,26 +75,26 @@ type Fig10bRow struct {
 // falling to ~4.5x at 10 ms.
 func Fig10b() ([]Fig10bRow, error) {
 	latencies := []sim.Time{0, 1e-6, 10e-6, 100e-6, 1e-3, 10e-3}
-	var rows []Fig10bRow
-	for _, lat := range latencies {
+	// Each latency point runs an independent transfer simulation with its
+	// own profile and machines; fan the points across Workers() goroutines.
+	return par.Map(Workers(), latencies, func(_ int, lat sim.Time) (Fig10bRow, error) {
 		prof := sim.Gem5Profile()
 		prof.NetLatency = lat
 		row, err := table4Measure(prof, 2<<20, nil)
 		if err != nil {
-			return nil, err
+			return Fig10bRow{}, err
 		}
 		// End-to-end = processing cycles + one-way propagation (both
 		// schemes send one logical message).
 		sc := prof.ToTime(row.SecureChannel) + lat
 		mmt := prof.ToTime(row.MMT) + lat
-		rows = append(rows, Fig10bRow{
+		return Fig10bRow{
 			NetLatency:    lat,
 			SecureChannel: sc,
 			MMT:           mmt,
 			Speedup:       float64(sc) / float64(mmt),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderFig10b prints the latency series.

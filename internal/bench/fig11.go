@@ -5,6 +5,7 @@ import (
 
 	"mmt/internal/engine"
 	"mmt/internal/mem"
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/trace"
 	"mmt/internal/tree"
@@ -42,26 +43,57 @@ func Fig11(accesses int) (*Fig11Result, error) {
 // process. It also returns the summed protected-memory cycles across all
 // cells, which equals the sink's phase totals by construction (every
 // engine charge is mirrored into exactly one phase).
+//
+// The cells are independent — each one builds its own profile, memory,
+// controller and (when tracing) sink — so they fan out across Workers()
+// goroutines. Merging happens serially in cfg-major cell order, which
+// reproduces the serial loop's float-addition order and trace-process
+// registration order exactly.
 func fig11Traced(accesses int, sink *trace.Sink) (*Fig11Result, sim.Cycles, error) {
 	if accesses <= 0 {
 		accesses = 200_000
 	}
 	res := &Fig11Result{Average: make(map[int]float64), Accesses: accesses}
 	traces := workload.SPECTraces()
+
+	type cell struct {
+		cfg   workload.TraceConfig
+		level int
+	}
+	type cellOut struct {
+		over float64
+		mem  sim.Cycles
+		sink *trace.Sink
+	}
+	cells := make([]cell, 0, len(traces)*len(Fig11Levels))
+	for _, cfg := range traces {
+		for _, level := range Fig11Levels {
+			cells = append(cells, cell{cfg, level})
+		}
+	}
+	outs, err := par.Map(Workers(), cells, func(_ int, c cell) (cellOut, error) {
+		var cs *trace.Sink
+		if sink != nil {
+			cs = trace.NewSink()
+		}
+		over, mem, err := fig11Run(c.cfg, c.level, accesses, cs)
+		return cellOut{over, mem, cs}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
 	sums := make(map[int]float64)
 	var protected sim.Cycles
-	for _, cfg := range traces {
-		row := Fig11Row{Benchmark: cfg.Name, Overhead: make(map[int]float64)}
-		for _, level := range Fig11Levels {
-			over, mem, err := fig11Run(cfg, level, accesses, sink)
-			if err != nil {
-				return nil, 0, err
-			}
-			row.Overhead[level] = over
-			sums[level] += over
-			protected += mem
+	for i, c := range cells {
+		if c.level == Fig11Levels[0] {
+			res.Rows = append(res.Rows, Fig11Row{Benchmark: c.cfg.Name, Overhead: make(map[int]float64)})
 		}
-		res.Rows = append(res.Rows, row)
+		row := &res.Rows[len(res.Rows)-1]
+		row.Overhead[c.level] = outs[i].over
+		sums[c.level] += outs[i].over
+		protected += outs[i].mem
+		sink.Merge(outs[i].sink)
 	}
 	for _, level := range Fig11Levels {
 		res.Average[level] = sums[level] / float64(len(traces))

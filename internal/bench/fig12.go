@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/mapreduce"
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
@@ -27,8 +28,9 @@ type Fig12Row struct {
 func Fig12() ([]Fig12Row, error) {
 	geo := tree.ForLevels(3)
 	sizes := []int{1 << 10, 4 << 10, 32 << 10, 256 << 10, 1 << 20, 4 << 20}
-	var rows []Fig12Row
-	for _, input := range sizes {
+	// Every size point builds its own corpus, profile and cluster; the
+	// points fan out across Workers() goroutines.
+	return par.Map(Workers(), sizes, func(_ int, input int) (Fig12Row, error) {
 		corpus := workload.Corpus(12, input)
 		cfg := mapreduce.Config{
 			Mappers: 1, Reducers: 1,
@@ -43,22 +45,21 @@ func Fig12() ([]Fig12Row, error) {
 		cfg.Mode = mapreduce.SecureChannel
 		sec, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 secure %d: %w", input, err)
+			return Fig12Row{}, fmt.Errorf("fig12 secure %d: %w", input, err)
 		}
 		cfg.Mode = mapreduce.MMT
 		mmt, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)
 		if err != nil {
-			return nil, fmt.Errorf("fig12 mmt %d: %w", input, err)
+			return Fig12Row{}, fmt.Errorf("fig12 mmt %d: %w", input, err)
 		}
-		rows = append(rows, Fig12Row{
+		return Fig12Row{
 			InputBytes:   input,
 			ShuffleBytes: mmt.ShuffleBytes,
 			Secure:       sec.Elapsed,
 			MMT:          mmt.Elapsed,
 			Speedup:      float64(sec.Elapsed) / float64(mmt.Elapsed),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderFig12 prints the series.

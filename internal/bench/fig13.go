@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/mapreduce"
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
@@ -45,12 +46,15 @@ func Fig13a() ([]Fig13aRow, error) {
 	}
 	commTime := float64(res.Elapsed)
 
-	var rows []Fig13aRow
-	for _, pct := range []int{5, 10, 25, 50} {
+	// The comm-n% points are independent once commTime is known; each one
+	// copies the config (including the profile) and runs its three modes.
+	return par.Map(Workers(), []int{5, 10, 25, 50}, func(_ int, pct int) (Fig13aRow, error) {
 		computeTime := commTime * float64(100-pct) / float64(pct)
 		// Split the compute budget between map (per input byte) and reduce
 		// (per KV pair); WordCount emits roughly one pair per 6 bytes.
 		cfg := base
+		prof := *base.Profile
+		cfg.Profile = &prof
 		cyclesTotal := computeTime * cfg.Profile.FreqHz
 		cfg.MapCyclesPerByte = 0.6 * cyclesTotal / float64(len(corpus))
 		cfg.ReduceCyclesPerKV = 0.4 * cyclesTotal / (float64(len(corpus)) / 6)
@@ -60,19 +64,18 @@ func Fig13a() ([]Fig13aRow, error) {
 			cfg.Mode = mode
 			r, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)
 			if err != nil {
-				return nil, fmt.Errorf("fig13a comm-%d%% %v: %w", pct, mode, err)
+				return Fig13aRow{}, fmt.Errorf("fig13a comm-%d%% %v: %w", pct, mode, err)
 			}
 			elapsed[i] = float64(r.Elapsed)
 		}
-		rows = append(rows, Fig13aRow{
+		return Fig13aRow{
 			CommPercent:    pct,
 			Baseline:       1.0,
 			MMT:            elapsed[0] / elapsed[1],
 			SecureChannel:  elapsed[0] / elapsed[2],
 			MMTImprovement: 1 - elapsed[1]/elapsed[2],
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderFig13a prints the normalized-performance series.
@@ -125,24 +128,31 @@ func Fig13b() ([]Fig13bRow, error) {
 		}
 		return r.Elapsed, nil
 	}
-	var rows []Fig13bRow
-	var base1, mmt1 sim.Time
-	for _, n := range []int{1, 2, 4, 8} {
+	// The cluster sizes run independently (every run() builds a fresh
+	// profile and cluster); the M1R1 reference times needed for the
+	// speedup columns are filled in serially afterwards.
+	type pair struct{ b, m sim.Time }
+	times, err := par.Map(Workers(), []int{1, 2, 4, 8}, func(_ int, n int) (pair, error) {
 		b, err := run(mapreduce.Baseline, n)
 		if err != nil {
-			return nil, fmt.Errorf("fig13b baseline n=%d: %w", n, err)
+			return pair{}, fmt.Errorf("fig13b baseline n=%d: %w", n, err)
 		}
 		m, err := run(mapreduce.MMT, n)
 		if err != nil {
-			return nil, fmt.Errorf("fig13b mmt n=%d: %w", n, err)
+			return pair{}, fmt.Errorf("fig13b mmt n=%d: %w", n, err)
 		}
-		if n == 1 {
-			base1, mmt1 = b, m
-		}
+		return pair{b, m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base1, mmt1 := times[0].b, times[0].m
+	var rows []Fig13bRow
+	for i, n := range []int{1, 2, 4, 8} {
 		rows = append(rows, Fig13bRow{
-			N: n, Baseline: b, MMT: m,
-			SpeedupVsM1Baseline: float64(base1) / float64(b),
-			SpeedupVsM1MMT:      float64(mmt1) / float64(m),
+			N: n, Baseline: times[i].b, MMT: times[i].m,
+			SpeedupVsM1Baseline: float64(base1) / float64(times[i].b),
+			SpeedupVsM1MMT:      float64(mmt1) / float64(times[i].m),
 		})
 	}
 	return rows, nil

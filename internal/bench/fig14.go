@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mmt/internal/graph"
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
@@ -53,15 +54,25 @@ func Fig14(fc Fig14Config) ([]Fig14Row, int, error) {
 		Iterations:           fc.Iterations,
 	}
 	modes := []graph.Mode{graph.NonSecure, graph.MMT, graph.SecureChannel}
-	results := make(map[graph.Mode]*graph.Result)
-	for _, mode := range modes {
+	// The three modes share only the read-only graph; each run copies the
+	// config and profile and builds its own machines and network.
+	outs, err := par.Map(Workers(), modes, func(_ int, mode graph.Mode) (*graph.Result, error) {
 		cfg := base
+		prof := *base.Profile
+		cfg.Profile = &prof
 		cfg.Mode = mode
 		r, err := graph.PageRank(cfg, g)
 		if err != nil {
-			return nil, 0, fmt.Errorf("fig14 %v: %w", mode, err)
+			return nil, fmt.Errorf("fig14 %v: %w", mode, err)
 		}
-		results[mode] = r
+		return r, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	results := make(map[graph.Mode]*graph.Result)
+	for i, mode := range modes {
+		results[mode] = outs[i]
 	}
 	secure := float64(results[graph.SecureChannel].Elapsed)
 	var rows []Fig14Row

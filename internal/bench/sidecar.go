@@ -209,6 +209,7 @@ func sidecarFig12() (*Sidecar, error) {
 		MapCyclesPerByte:  8,
 		ReduceCyclesPerKV: 40,
 		Trace:             sink,
+		Workers:           Workers(),
 	}
 	cfg.Mode = mapreduce.SecureChannel
 	sec, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)
@@ -250,6 +251,7 @@ func sidecarFig13() (*Sidecar, error) {
 		MapCyclesPerByte:  60,
 		ReduceCyclesPerKV: 300,
 		Trace:             sink,
+		Workers:           Workers(),
 	}
 	cfg.Mode = mapreduce.Baseline
 	base, err := mapreduce.Run(cfg, corpus, mapreduce.WordCountMapper, mapreduce.WordCountReducer)

@@ -1,0 +1,28 @@
+package bench
+
+import "sync/atomic"
+
+// workerCount is the fan-out width the figure sweeps pass to
+// internal/par. It is package-level (set once by cmd/mmt-bench before any
+// sweep runs) rather than threaded through every Fig* signature.
+var workerCount atomic.Int32
+
+// SetWorkers sets how many goroutines the figure sweeps may fan out
+// across. n <= 1 (the default) runs every sweep on the calling goroutine.
+// Results are byte-identical at any setting: every sweep point owns its
+// own simulated clock, controller and trace sink, and internal/par merges
+// results in input order.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workerCount.Store(int32(n))
+}
+
+// Workers reports the current fan-out width (always >= 1).
+func Workers() int {
+	if w := int(workerCount.Load()); w > 1 {
+		return w
+	}
+	return 1
+}

@@ -1,0 +1,116 @@
+package crypt
+
+import "testing"
+
+// Benchmarks for the line-granularity kernels. The scratch variants must
+// report 0 allocs/op: they are the protected read/write inner loop, and
+// the modelled hardware pipeline has no allocator.
+
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	return NewEngine(KeyFromBytes([]byte("bench")))
+}
+
+// BenchmarkPadLine: one-shot 4-block OTP generation for a 64-byte line.
+func BenchmarkPadLine(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	tw := Tweak{GUAddr: 0x1000, Line: 7, Counter: 42}
+	e.PadLine(tw, &s)
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.Counter = uint64(i)
+		e.PadLine(tw, &s)
+	}
+}
+
+// BenchmarkEncryptLineInto: OTP-encrypt one line into a caller buffer.
+func BenchmarkEncryptLineInto(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	var line, dst [LineSize]byte
+	tw := Tweak{GUAddr: 0x1000, Line: 7, Counter: 42}
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.Counter = uint64(i)
+		e.EncryptLineInto(tw, line[:], dst[:], &s)
+	}
+}
+
+// BenchmarkLineMACBuf: Carter-Wegman line MAC through the scratch path
+// (the allocating variant is benchmarked in crypt_test.go).
+func BenchmarkLineMACBuf(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	var ct [LineSize]byte
+	tw := Tweak{GUAddr: 0x1000, Line: 7, Counter: 42}
+	e.LineMACBuf(tw, ct[:], &s)
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.Counter = uint64(i)
+		_ = e.LineMACBuf(tw, ct[:], &s)
+	}
+}
+
+// BenchmarkNodeMACBuf: one 32-ary interior node MAC through the scratch
+// path.
+func BenchmarkNodeMACBuf(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	counters := make([]uint64, 32)
+	for i := range counters {
+		counters[i] = uint64(i) << 16
+	}
+	e.NodeMACBuf(0x1000, 1<<24|3, 9, counters, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.NodeMACBuf(0x1000, 1<<24|3, uint64(i), counters, &s)
+	}
+}
+
+// BenchmarkNodeMACBatch: a full 3-level path (16/32/64-ary) verified in
+// one lock-step Horner evaluation — the VerifyPath kernel.
+func BenchmarkNodeMACBatch(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	mk := func(n int) []uint64 {
+		c := make([]uint64, n)
+		for i := range c {
+			c[i] = uint64(i) << 16
+		}
+		return c
+	}
+	jobs := []NodeMACJob{
+		{NodeID: 0, ParentCounter: 1, Counters: mk(16)},
+		{NodeID: 1 << 24, ParentCounter: 2, Counters: mk(32)},
+		{NodeID: 2 << 24, ParentCounter: 3, Counters: mk(64)},
+	}
+	out := make([]uint64, len(jobs))
+	e.NodeMACBatch(0x1000, jobs, out, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs[0].ParentCounter = uint64(i)
+		e.NodeMACBatch(0x1000, jobs, out, &s)
+	}
+}
+
+// BenchmarkSeal: AES-GCM root sealing (migration path, allocation
+// expected — it is off the line-access hot path).
+func BenchmarkSeal(b *testing.B) {
+	e := benchEngine(b)
+	aad := []byte("root")
+	pt := make([]byte, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Seal(uint64(i), aad, pt)
+	}
+}

@@ -1,0 +1,175 @@
+package crypt
+
+import (
+	"crypto/aes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Scratch holds caller-owned working buffers for the allocation-free line
+// and node paths. The steady-state protected read/write path (engine
+// Read/Write per 64 B line) must not allocate — the hardware it models
+// certainly does not — and the Into/Buf variants below achieve that by
+// staging through Scratch instead of fresh slices (asserted by
+// TestScratchPathsAllocFree, in the spirit of trace_alloc_test.go).
+//
+// The staging buffers exist because cipher.Block is an interface: escape
+// analysis cannot see through Encrypt, so any local array passed to it is
+// forced to the heap. Buffers reached through a long-lived *Scratch cost
+// one allocation when the Scratch itself first escapes, not one per call.
+//
+// A Scratch belongs to exactly one goroutine; parallel work units (see
+// internal/par) each own their own.
+type Scratch struct {
+	pad       [LineSize]byte      // OTP keystream for the line in flight
+	stage     [LineSize]byte      // PRF input blocks for PadLine
+	aesIn     [aes.BlockSize]byte // single-block AES staging
+	aesOut    [aes.BlockSize]byte //
+	base      [aes.BlockSize]byte // tweakBase output
+	lineWords [LineSize/8 + 1]uint64
+	nodeWords []uint64
+	flat      []uint64
+	polys     [][]uint64
+}
+
+// tweakBaseInto is tweakBase staged through s; the result lands in s.base.
+func (e *Engine) tweakBaseInto(guaddr uint64, line uint32, domain byte, s *Scratch) {
+	in := s.aesIn[:]
+	for i := range in {
+		in[i] = 0
+	}
+	binary.LittleEndian.PutUint64(in[0:8], guaddr)
+	binary.LittleEndian.PutUint32(in[8:12], line)
+	in[12] = domain
+	e.block.Encrypt(s.base[:], in)
+}
+
+// macMaskBuf is macMask staged through s. Identical output to macMask.
+func (e *Engine) macMaskBuf(tw Tweak, domain byte, s *Scratch) uint64 {
+	e.tweakBaseInto(tw.GUAddr, tw.Line, domain, s)
+	in := s.aesIn[:]
+	for i := range in {
+		in[i] = 0
+	}
+	binary.LittleEndian.PutUint64(in[0:8], tw.Counter)
+	binary.LittleEndian.PutUint32(in[8:12], 0xFFFFFFFF)
+	for i := range in {
+		in[i] ^= s.base[i]
+	}
+	e.block.Encrypt(s.aesOut[:], in)
+	return binary.LittleEndian.Uint64(s.aesOut[:8])
+}
+
+// PadLine fills s.pad with the full 64-byte OTP keystream for tw in one
+// shot: all four PRF input blocks are staged first, then encrypted block
+// by block straight into s.pad — no per-block output copies, unlike the
+// incremental pad() path. Identical keystream to pad().
+func (e *Engine) PadLine(tw Tweak, s *Scratch) *[LineSize]byte {
+	e.tweakBaseInto(tw.GUAddr, tw.Line, 0x01, s)
+	in := s.stage[:]
+	for i := range in {
+		in[i] = 0
+	}
+	for lane := 0; lane < LineSize/aes.BlockSize; lane++ {
+		blk := in[lane*aes.BlockSize : (lane+1)*aes.BlockSize]
+		binary.LittleEndian.PutUint64(blk[0:8], tw.Counter)
+		binary.LittleEndian.PutUint32(blk[8:12], uint32(lane))
+		for i := range blk {
+			blk[i] ^= s.base[i]
+		}
+	}
+	for off := 0; off < LineSize; off += aes.BlockSize {
+		e.block.Encrypt(s.pad[off:off+aes.BlockSize], in[off:off+aes.BlockSize])
+	}
+	return &s.pad
+}
+
+// EncryptLineInto is EncryptLine without the allocation: it XORs line
+// with the OTP for tw into dst. line and dst must be LineSize bytes and
+// may alias (in-place re-encryption).
+func (e *Engine) EncryptLineInto(tw Tweak, line, dst []byte, s *Scratch) {
+	if len(line) != LineSize || len(dst) != LineSize {
+		//mmt:allow nopanic: caller bug, equivalent to built-in bounds check
+		panic(fmt.Sprintf("crypt: EncryptLineInto with %d -> %d bytes, want %d", len(line), len(dst), LineSize))
+	}
+	pad := e.PadLine(tw, s)
+	for i := 0; i < LineSize; i++ {
+		dst[i] = line[i] ^ pad[i]
+	}
+}
+
+// DecryptLineInto is the inverse of EncryptLineInto (XOR is symmetric).
+func (e *Engine) DecryptLineInto(tw Tweak, ct, dst []byte, s *Scratch) {
+	e.EncryptLineInto(tw, ct, dst, s)
+}
+
+// LineMACBuf is LineMAC computed through the caller's scratch buffers
+// instead of fresh slices. Identical output to LineMAC.
+func (e *Engine) LineMACBuf(tw Tweak, ct []byte, s *Scratch) uint64 {
+	words := s.lineWords[:0]
+	for off := 0; off+8 <= len(ct); off += 8 {
+		words = append(words, binary.LittleEndian.Uint64(ct[off:]))
+	}
+	words = append(words, uint64(len(ct))) // length binding
+	h := e.mulx.Eval(words)
+	return h ^ e.macMaskBuf(tw, 0xA5, s)
+}
+
+// NodeMACBuf is NodeMAC computed through the caller's scratch buffers.
+// Identical output to NodeMAC.
+func (e *Engine) NodeMACBuf(guaddr uint64, nodeID uint32, parentCounter uint64, counters []uint64, s *Scratch) uint64 {
+	need := len(counters) + 2
+	if cap(s.nodeWords) < need {
+		s.nodeWords = make([]uint64, 0, need)
+	}
+	w := s.nodeWords[:0]
+	w = append(w, parentCounter, uint64(len(counters)))
+	w = append(w, counters...)
+	h := e.mulx.Eval(w)
+	return h ^ e.macMaskBuf(Tweak{GUAddr: guaddr, Line: nodeID, Counter: parentCounter}, 0x5A, s)
+}
+
+// NodeMACJob describes one node MAC of a batch: the inputs NodeMAC takes,
+// minus the shared guaddr.
+type NodeMACJob struct {
+	NodeID        uint32
+	ParentCounter uint64
+	// Counters is the node's effective counter list. The slice is only
+	// read; it may alias caller scratch.
+	Counters []uint64
+}
+
+// NodeMACBatch computes the MACs of several tree nodes at once, writing
+// job j's MAC to out[j]. Output is identical to calling NodeMAC per job;
+// the win is the batched GF Horner evaluation (gf.Mulx.EvalBatch), which
+// interleaves the independent polynomial chains of the batch for
+// instruction-level parallelism. The tree's leaf-to-root verify path is
+// the canonical caller: all L node MACs of one walk in one batch.
+//
+// len(out) must be >= len(jobs).
+func (e *Engine) NodeMACBatch(guaddr uint64, jobs []NodeMACJob, out []uint64, s *Scratch) {
+	total := 0
+	for i := range jobs {
+		total += len(jobs[i].Counters) + 2
+	}
+	if cap(s.flat) < total {
+		s.flat = make([]uint64, 0, total)
+	}
+	if cap(s.polys) < len(jobs) {
+		s.polys = make([][]uint64, len(jobs))
+	}
+	flat := s.flat[:0]
+	polys := s.polys[:len(jobs)]
+	for i := range jobs {
+		j := &jobs[i]
+		start := len(flat)
+		flat = append(flat, j.ParentCounter, uint64(len(j.Counters)))
+		flat = append(flat, j.Counters...)
+		polys[i] = flat[start:len(flat):len(flat)]
+	}
+	e.mulx.EvalBatch(polys, out)
+	for i := range jobs {
+		j := &jobs[i]
+		out[i] ^= e.macMaskBuf(Tweak{GUAddr: guaddr, Line: j.NodeID, Counter: j.ParentCounter}, 0x5A, s)
+	}
+}

@@ -1,0 +1,145 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestPadLineMatchesEncryptZero: the one-shot OTP keystream equals the
+// incremental pad path (ciphertext of a zero line IS the pad).
+func TestPadLineMatchesEncryptZero(t *testing.T) {
+	e := testEngine()
+	zero := make([]byte, LineSize)
+	var s Scratch
+	f := func(guaddr, counter uint64, lineIdx uint32) bool {
+		tw := Tweak{GUAddr: guaddr, Line: lineIdx, Counter: counter}
+		got := e.PadLine(tw, &s)
+		return bytes.Equal(got[:], e.EncryptLine(tw, zero))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncryptLineIntoMatchesEncryptLine: the zero-alloc variant is
+// byte-identical to the allocating one, including in-place (aliased) use.
+func TestEncryptLineIntoMatchesEncryptLine(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	tw := Tweak{GUAddr: 0xABC, Line: 9, Counter: 1234}
+	pt := line(5)
+
+	want := e.EncryptLine(tw, pt)
+	dst := make([]byte, LineSize)
+	e.EncryptLineInto(tw, pt, dst, &s)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("EncryptLineInto differs from EncryptLine")
+	}
+
+	back := make([]byte, LineSize)
+	e.DecryptLineInto(tw, dst, back, &s)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("DecryptLineInto round trip failed")
+	}
+
+	// In-place: src and dst alias.
+	buf := append([]byte(nil), pt...)
+	e.EncryptLineInto(tw, buf, buf, &s)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("aliased EncryptLineInto differs from EncryptLine")
+	}
+}
+
+func TestEncryptLineIntoPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short line")
+		}
+	}()
+	var s Scratch
+	testEngine().EncryptLineInto(Tweak{}, make([]byte, 10), make([]byte, LineSize), &s)
+}
+
+// TestLineMACBufMatchesLineMAC: scratch-buffer MAC equals the allocating one.
+func TestLineMACBufMatchesLineMAC(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	f := func(guaddr, counter uint64, lineIdx uint32, seed byte) bool {
+		tw := Tweak{GUAddr: guaddr, Line: lineIdx, Counter: counter}
+		ct := e.EncryptLine(tw, line(seed))
+		return e.LineMACBuf(tw, ct, &s) == e.LineMAC(tw, ct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeMACBufMatchesNodeMAC: scratch-buffer node MAC equals NodeMAC.
+func TestNodeMACBufMatchesNodeMAC(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	f := func(guaddr, parent uint64, nodeID uint32, counters []uint64) bool {
+		return e.NodeMACBuf(guaddr, nodeID, parent, counters, &s) ==
+			e.NodeMAC(guaddr, nodeID, parent, counters)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeMACBatchMatchesNodeMAC: a batch of mixed-arity jobs produces
+// exactly the per-job NodeMAC values, and the scratch is reusable.
+func TestNodeMACBatchMatchesNodeMAC(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	const guaddr = 0x700
+	jobs := []NodeMACJob{
+		{NodeID: 0, ParentCounter: 9, Counters: []uint64{1, 2, 3, 4}},
+		{NodeID: 17, ParentCounter: 0, Counters: []uint64{5}},
+		{NodeID: 2, ParentCounter: 1 << 40, Counters: []uint64{0, 0, 0, 0, 0, 0, 0, 7}},
+		{NodeID: 3, ParentCounter: 12, Counters: nil},
+		{NodeID: 4, ParentCounter: 12, Counters: make([]uint64, 64)},
+	}
+	out := make([]uint64, len(jobs))
+	for round := 0; round < 3; round++ { // reuse the same scratch
+		e.NodeMACBatch(guaddr, jobs, out, &s)
+		for i, j := range jobs {
+			want := e.NodeMAC(guaddr, j.NodeID, j.ParentCounter, j.Counters)
+			if out[i] != want {
+				t.Fatalf("round %d job %d: batch %#x, want %#x", round, i, out[i], want)
+			}
+		}
+	}
+	// Empty batch is a no-op.
+	e.NodeMACBatch(guaddr, nil, nil, &s)
+}
+
+// TestScratchPathsAllocFree: the Into/Buf variants are allocation-free
+// once the scratch is warm — the hardware data path they model does not
+// call malloc per memory access.
+func TestScratchPathsAllocFree(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	tw := Tweak{GUAddr: 1, Line: 2, Counter: 3}
+	buf := line(0)
+	jobs := []NodeMACJob{
+		{NodeID: 0, ParentCounter: 9, Counters: []uint64{1, 2, 3, 4}},
+		{NodeID: 1, ParentCounter: 9, Counters: []uint64{5, 6, 7, 8}},
+	}
+	out := make([]uint64, len(jobs))
+	e.NodeMACBatch(1, jobs, out, &s) // warm nodeWords/flat/polys
+
+	var macSink uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		e.EncryptLineInto(tw, buf, buf, &s)
+		macSink ^= e.LineMACBuf(tw, buf, &s)
+		macSink ^= e.NodeMACBuf(1, 0, 9, jobs[0].Counters, &s)
+		e.NodeMACBatch(1, jobs, out, &s)
+		e.DecryptLineInto(tw, buf, buf, &s)
+	})
+	if allocs != 0 {
+		t.Fatalf("scratch paths allocated %.1f times per op, want 0", allocs)
+	}
+	_ = macSink
+}

@@ -12,11 +12,19 @@ type nodeKey struct {
 // nodeCache is the MMT controller's on-chip tree-node cache (Table II:
 // 32 KB "MMT Cache"). It is an LRU over tree nodes, sized in bytes since
 // nodes at different levels have different sizes.
+//
+// byRegion is a secondary index: the resident nodes of each region.
+// invalidateRegion — which runs on every migration install/invalidate and
+// meta reload — walks only the evicted region's own entries through it,
+// instead of scanning the entire LRU list as it used to; with many
+// regions sharing the cache that scan was O(total resident nodes) per
+// migration (see BenchmarkCacheInvalidateRegion).
 type nodeCache struct {
 	capacity int // bytes; <= 0 disables caching entirely
 	used     int
 	lru      *list.List // front = most recent; values are cacheEntry
 	items    map[nodeKey]*list.Element
+	byRegion map[int]map[nodeKey]*list.Element
 }
 
 type cacheEntry struct {
@@ -29,7 +37,32 @@ func newNodeCache(capacityBytes int) *nodeCache {
 		capacity: capacityBytes,
 		lru:      list.New(),
 		items:    make(map[nodeKey]*list.Element),
+		byRegion: make(map[int]map[nodeKey]*list.Element),
 	}
+}
+
+// insert records a new entry in both indexes.
+func (c *nodeCache) insert(key nodeKey, el *list.Element) {
+	c.items[key] = el
+	rm := c.byRegion[key.region]
+	if rm == nil {
+		rm = make(map[nodeKey]*list.Element)
+		c.byRegion[key.region] = rm
+	}
+	rm[key] = el
+}
+
+// remove drops an entry from both indexes and the LRU list.
+func (c *nodeCache) remove(key nodeKey, el *list.Element, size int) {
+	c.lru.Remove(el)
+	delete(c.items, key)
+	if rm := c.byRegion[key.region]; rm != nil {
+		delete(rm, key)
+		if len(rm) == 0 {
+			delete(c.byRegion, key.region)
+		}
+	}
+	c.used -= size
 }
 
 // touch looks up a node and reports whether it was resident, inserting it
@@ -52,27 +85,28 @@ func (c *nodeCache) touch(key nodeKey, size int) (hit bool) {
 			break
 		}
 		ent := victim.Value.(cacheEntry)
-		c.lru.Remove(victim)
-		delete(c.items, ent.key)
-		c.used -= ent.size
+		c.remove(ent.key, victim, ent.size)
 	}
-	c.items[key] = c.lru.PushFront(cacheEntry{key: key, size: size})
+	c.insert(key, c.lru.PushFront(cacheEntry{key: key, size: size}))
 	c.used += size
 	return false
 }
 
 // invalidateRegion drops all nodes belonging to a region (used when an MMT
-// is invalidated or migrated away).
+// is invalidated or migrated away). Cost is proportional to the region's
+// own resident nodes, not the whole cache.
 func (c *nodeCache) invalidateRegion(region int) {
-	for el := c.lru.Front(); el != nil; {
-		next := el.Next()
+	rm := c.byRegion[region]
+	if rm == nil {
+		return
+	}
+	delete(c.byRegion, region)
+	//mmt:allow maporder: every entry is removed and c.used is commutative int arithmetic; the resulting cache state is identical for any iteration order
+	for key, el := range rm {
 		ent := el.Value.(cacheEntry)
-		if ent.key.region == region {
-			c.lru.Remove(el)
-			delete(c.items, ent.key)
-			c.used -= ent.size
-		}
-		el = next
+		c.lru.Remove(el)
+		delete(c.items, key)
+		c.used -= ent.size
 	}
 }
 

@@ -91,6 +91,8 @@ type Controller struct {
 	stats   Stats
 	quiet   bool
 	probe   *trace.Probe // nil = tracing disabled
+	scr     crypt.Scratch
+	lineBuf [mem.LineSize]byte // ciphertext staging for the write path
 }
 
 // New builds a controller over m with the given tree geometry. The
@@ -272,6 +274,7 @@ func (c *Controller) SetMode(r int, m Mode) error {
 //     exposing only part of its latency; each further miss on the same
 //     path extends the serial verification chain and exposes most of a
 //     DRAM access plus the MAC check.
+//
 // The cost is accumulated per phase (data / root-mount / tree-walk /
 // MAC) so the trace layer can report the breakdown; every constant is a
 // dyadic rational, so the regrouped float sum is bit-identical to the
@@ -342,26 +345,40 @@ func (c *Controller) nodeIndexAt(line, l int) int {
 	return line / prod
 }
 
-// Read verifies and decrypts the given line of secure region r.
+// Read verifies and decrypts the given line of secure region r into a
+// fresh buffer. The allocation-free variant is ReadInto.
 func (c *Controller) Read(r, line int) ([]byte, error) {
+	out := make([]byte, mem.LineSize)
+	if err := c.ReadInto(r, line, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto verifies and decrypts the given line of secure region r into
+// dst (mem.LineSize bytes). The whole steady-state path — batched path
+// verification, line MAC check, OTP decryption — runs through the
+// controller's scratch buffers and performs zero heap allocations
+// (TestReadWriteZeroAlloc), matching the hardware data path it models.
+func (c *Controller) ReadInto(r, line int, dst []byte) error {
 	st := c.region(r)
 	if st.mode == ModeDisabled {
-		return nil, ErrDisabled
+		return ErrDisabled
 	}
 	c.stats.Reads++
 	c.chargePath(r, line, 0)
 	if err := st.tr.VerifyPath(st.eng, st.guaddr, line); err != nil {
-		return nil, err
+		return err
 	}
-	a := c.lineAddr(r, line)
-	ct := c.mem.ReadLine(a)
+	ct := c.mem.LineView(c.lineAddr(r, line))
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: st.tr.LeafCounter(line)}
 	// Constant-time compare: the stored line MAC is untrusted (meta-zone)
 	// and a variable-time == would leak matching tag bytes to a prober.
-	if !crypt.TagEqual(st.eng.LineMAC(tw, ct), st.lineMACs[line]) {
-		return nil, fmt.Errorf("%w: data line %d", ErrIntegrity, line)
+	if !crypt.TagEqual(st.eng.LineMACBuf(tw, ct, &c.scr), st.lineMACs[line]) {
+		return fmt.Errorf("%w: data line %d", ErrIntegrity, line)
 	}
-	return st.eng.DecryptLine(tw, ct), nil
+	st.eng.DecryptLineInto(tw, ct, dst, &c.scr)
+	return nil
 }
 
 // Write verifies the path, advances the counters and stores the encrypted
@@ -385,9 +402,10 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	c.chargePath(r, line, res.NodesTouched)
 
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: res.LeafCounter}
-	ct := st.eng.EncryptLine(tw, plaintext)
+	ct := c.lineBuf[:]
+	st.eng.EncryptLineInto(tw, plaintext, ct, &c.scr)
 	c.mem.WriteLine(c.lineAddr(r, line), ct)
-	st.lineMACs[line] = st.eng.LineMAC(tw, ct)
+	st.lineMACs[line] = st.eng.LineMACBuf(tw, ct, &c.scr)
 
 	for _, ln := range res.ReencryptLines {
 		if err := c.reencryptLine(st, r, ln); err != nil {

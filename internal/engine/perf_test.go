@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"mmt/internal/trace"
+)
+
+// TestReadWriteZeroAlloc pins the full protected line path — batched tree
+// verify, counter update, line MAC, OTP crypto, DRAM copy — at zero heap
+// allocations per access once warm, with tracing both disabled and
+// enabled. The modelled hardware pipeline has no allocator; neither may
+// the steady-state software path.
+func TestReadWriteZeroAlloc(t *testing.T) {
+	for _, traced := range []bool{false, true} {
+		t.Run(fmt.Sprintf("traced=%v", traced), func(t *testing.T) {
+			c := testSetup(t)
+			fill(c, 0, 1)
+			if err := c.Enable(0, testKey, 0x11, 0); err != nil {
+				t.Fatal(err)
+			}
+			if traced {
+				c.SetTrace(trace.NewSink().Probe("alloc"))
+			}
+			buf := make([]byte, LineSize)
+			// Warm scratch buffers, node cache and root table.
+			for i := 0; i < c.geo.Lines(); i++ {
+				if err := c.ReadInto(0, i, buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Write(0, i, buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			line := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := c.ReadInto(0, line, buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Write(0, line, buf); err != nil {
+					t.Fatal(err)
+				}
+				line = (line + 1) % c.geo.Lines()
+			})
+			if allocs != 0 {
+				t.Fatalf("Read+Write allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestReadIntoMatchesRead: the zero-alloc read variant returns the same
+// plaintext and errors as Read.
+func TestReadIntoMatchesRead(t *testing.T) {
+	c := testSetup(t)
+	fill(c, 0, 7)
+	if err := c.Enable(0, testKey, 0x21, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	for line := 0; line < c.geo.Lines(); line++ {
+		want, err := c.Read(0, line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ReadInto(0, line, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("line %d: ReadInto differs from Read", line)
+		}
+	}
+	if err := c.ReadInto(1, 0, buf); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("disabled region: err = %v, want ErrDisabled", err)
+	}
+}
+
+// TestVerifyRegionsParallel: the batch scrub passes on healthy regions at
+// any worker count, detects tampering in tree nodes and data lines, and
+// reports the lowest-indexed failing region regardless of parallelism.
+func TestVerifyRegionsParallel(t *testing.T) {
+	setup := func() *Controller {
+		c := testSetup(t)
+		for r := 0; r < 3; r++ {
+			fill(c, r, byte(r+1))
+			if err := c.Enable(r, testKey, uint64(0x100*(r+1)), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c
+	}
+	for _, workers := range []int{1, 2, 8} {
+		c := setup()
+		if err := c.VerifyRegions([]int{0, 1, 2}, workers); err != nil {
+			t.Fatalf("workers=%d: healthy regions failed scrub: %v", workers, err)
+		}
+	}
+
+	// Tamper with region 1's tree and region 2's data; region 1 is the
+	// lowest failing input index at every worker count.
+	for _, workers := range []int{1, 2, 8} {
+		c := setup()
+		c.Tree(1).Node(0, 0).Global++
+		c.Memory().RegionData(2)[5] ^= 1
+		err := c.VerifyRegions([]int{0, 1, 2}, workers)
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("workers=%d: err = %v, want integrity failure", workers, err)
+		}
+		serial := setup()
+		serial.Tree(1).Node(0, 0).Global++
+		serial.Memory().RegionData(2)[5] ^= 1
+		serialErr := serial.VerifyRegions([]int{0, 1, 2}, 1)
+		if err.Error() != serialErr.Error() {
+			t.Fatalf("workers=%d: error %q differs from serial %q", workers, err, serialErr)
+		}
+	}
+
+	// Trace counts are applied deterministically on success.
+	counts := func(workers int) uint64 {
+		c := setup()
+		sink := trace.NewSink()
+		c.SetTrace(sink.Probe("scrub"))
+		if err := c.VerifyRegions([]int{0, 1, 2}, workers); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Snapshot().Counter(trace.CtrTreeNodeVerifies)
+	}
+	if s, p := counts(1), counts(4); s != p || s == 0 {
+		t.Fatalf("trace counts differ: serial %d, parallel %d", s, p)
+	}
+
+	c := setup()
+	if err := c.VerifyRegions([]int{0, 0}, 2); err == nil {
+		t.Fatal("duplicate region accepted")
+	}
+	if err := c.VerifyRegions([]int{3}, 2); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("disabled region: err = %v, want ErrDisabled", err)
+	}
+}
+
+// BenchmarkReadLine / BenchmarkWriteLine: steady-state protected access
+// cost; both must report 0 allocs/op.
+func BenchmarkReadLine(b *testing.B) {
+	c := testSetup(b)
+	fill(c, 0, 1)
+	if err := c.Enable(0, testKey, 0x11, 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	if err := c.ReadInto(0, 0, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ReadInto(0, i%c.geo.Lines(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteLine(b *testing.B) {
+	c := testSetup(b)
+	fill(c, 0, 1)
+	if err := c.Enable(0, testKey, 0x11, 0); err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, LineSize)
+	if err := c.Write(0, 0, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(LineSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Write(0, i%c.geo.Lines(), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheInvalidateRegion measures invalidating one region's nodes
+// while many other regions keep the cache full — the migration-path cost
+// the per-region index exists for. Before the index this walked every
+// resident node; now it touches only the victim region's.
+func BenchmarkCacheInvalidateRegion(b *testing.B) {
+	const regions, nodesPer = 64, 32
+	c := newNodeCache(regions * nodesPer * 16)
+	for r := 0; r < regions; r++ {
+		for i := 0; i < nodesPer; i++ {
+			c.touch(nodeKey{region: r, index: i}, 16)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := i % regions
+		c.invalidateRegion(r)
+		for n := 0; n < nodesPer; n++ { // repopulate for the next round
+			c.touch(nodeKey{region: r, index: n}, 16)
+		}
+	}
+}

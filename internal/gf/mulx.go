@@ -43,3 +43,36 @@ func (m *Mulx) Eval(coeffs []uint64) uint64 {
 	}
 	return acc
 }
+
+// EvalBatch evaluates several polynomials at the fixed point at once,
+// writing polynomial j's hash to out[j]. Semantically out[j] ==
+// Eval(polys[j]); the win is instruction-level parallelism: a single
+// Horner chain is one long serial dependency (each Mul waits on the
+// previous accumulator), while the lock-step loop here interleaves the
+// independent accumulators of the batch, so the table lookups of
+// different polynomials overlap. The tree verify path batches all node
+// MACs of one leaf-to-root walk through this.
+//
+// len(out) must be >= len(polys); out[len(polys):] is untouched.
+func (m *Mulx) EvalBatch(polys [][]uint64, out []uint64) {
+	for j := range polys {
+		out[j] = 0
+	}
+	maxLen := 0
+	for _, p := range polys {
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+	// Lock-step Horner: at step i, every polynomial long enough folds its
+	// coefficient i. An accumulator stays zero until its own highest
+	// coefficient (Mul(0) == 0), so shorter polynomials join late with no
+	// effect on their value.
+	for i := maxLen - 1; i >= 0; i-- {
+		for j, p := range polys {
+			if i < len(p) {
+				out[j] = m.Mul(out[j]) ^ p[i]
+			}
+		}
+	}
+}

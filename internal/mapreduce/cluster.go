@@ -10,6 +10,7 @@ import (
 	"mmt/internal/forest"
 	"mmt/internal/mem"
 	"mmt/internal/netsim"
+	"mmt/internal/par"
 	"mmt/internal/sim"
 	"mmt/internal/trace"
 	"mmt/internal/tree"
@@ -67,6 +68,21 @@ type Config struct {
 	// Trace, when non-nil, collects per-machine phase cycles, counters and
 	// spans for the whole job (one trace process per simulated host).
 	Trace *trace.Sink
+	// Workers caps the host goroutines used for machine construction and
+	// the pure compute halves of the map and reduce epochs. <= 1 (the
+	// default) runs the job entirely on the calling goroutine. The result
+	// — outputs, simulated times, trace bytes — is identical at any
+	// setting: all clock, trace and network effects are applied serially
+	// in machine order.
+	Workers int
+}
+
+// workers reports the effective fan-out width (always >= 1).
+func (c Config) workers() int {
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return 1
 }
 
 func (c Config) validate() error {
@@ -107,8 +123,12 @@ type machine struct {
 	nextRegion int
 }
 
-func newMachine(cfg Config, name string, id int, channels int) (*machine, error) {
-	m := &machine{name: name, clock: sim.NewClock(cfg.Profile.FreqHz), probe: cfg.Trace.Probe(name)}
+// newMachine builds one host. The trace probe is passed in rather than
+// registered here so that machines can be constructed in parallel:
+// Sink.Probe mutates the shared sink, so Run registers all probes
+// serially first.
+func newMachine(cfg Config, name string, id int, channels int, probe *trace.Probe) (*machine, error) {
+	m := &machine{name: name, clock: sim.NewClock(cfg.Profile.FreqHz), probe: probe}
 	if cfg.Mode != MMT {
 		return m, nil
 	}
@@ -203,22 +223,34 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 	}
 	net := netsim.NewNetwork(cfg.NetLatency)
 
-	mappers := make([]*machine, cfg.Mappers)
-	reducers := make([]*machine, cfg.Reducers)
-	for i := range mappers {
-		m, err := newMachine(cfg, fmt.Sprintf("mapper-%d", i), 1+i, cfg.Reducers)
-		if err != nil {
-			return nil, err
-		}
-		mappers[i] = m
+	// Machine construction fans out across workers: in MMT mode each host
+	// builds a full engine (trees, pools), which dominates small-job setup.
+	// Probes register serially first — Sink.Probe mutates the shared sink —
+	// so process order in the trace matches the serial run.
+	type mdesc struct {
+		name     string
+		id       int
+		channels int
+		probe    *trace.Probe
 	}
-	for j := range reducers {
-		r, err := newMachine(cfg, fmt.Sprintf("reducer-%d", j), 1+cfg.Mappers+j, cfg.Mappers)
-		if err != nil {
-			return nil, err
-		}
-		reducers[j] = r
+	descs := make([]mdesc, 0, cfg.Mappers+cfg.Reducers)
+	for i := 0; i < cfg.Mappers; i++ {
+		descs = append(descs, mdesc{fmt.Sprintf("mapper-%d", i), 1 + i, cfg.Reducers, nil})
 	}
+	for j := 0; j < cfg.Reducers; j++ {
+		descs = append(descs, mdesc{fmt.Sprintf("reducer-%d", j), 1 + cfg.Mappers + j, cfg.Mappers, nil})
+	}
+	for i := range descs {
+		descs[i].probe = cfg.Trace.Probe(descs[i].name)
+	}
+	machines, err := par.Map(cfg.workers(), descs, func(_ int, d mdesc) (*machine, error) {
+		return newMachine(cfg, d.name, d.id, d.channels, d.probe)
+	})
+	if err != nil {
+		return nil, err
+	}
+	mappers := machines[:cfg.Mappers]
+	reducers := machines[cfg.Mappers:]
 
 	// All-to-all links: sendside[m][j] on the mapper, recvside[j][m] on the
 	// reducer.
@@ -243,28 +275,49 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 
 	res := &Result{Output: make(map[string]int64)}
 
-	// Map phase: compute, partition, shuffle out.
+	// Map phase. The epoch splits in two: the pure compute half (run the
+	// map function, partition, combine, encode) fans out across workers —
+	// it touches only the mapper's own chunk — while the effect half
+	// (cycle charges, trace spans, shuffle sends through the shared
+	// network) replays serially in mapper order, reproducing the serial
+	// schedule exactly.
 	chunks := splitInput(input, cfg.Mappers)
+	type mapOut struct {
+		payloads [][]byte // encoded partition per reducer
+		rawLens  []int    // pre-combine KV counts (combiner cost model)
+	}
+	mapOuts, err := par.Map(cfg.workers(), chunks, func(_ int, chunk []byte) (mapOut, error) {
+		parts := make([][]KV, cfg.Reducers)
+		mapf(chunk, func(k string, v int64) {
+			p := partitionOf(k, cfg.Reducers)
+			parts[p] = append(parts[p], KV{Key: k, Value: v})
+		})
+		out := mapOut{payloads: make([][]byte, cfg.Reducers), rawLens: make([]int, cfg.Reducers)}
+		for j, part := range parts {
+			out.rawLens[j] = len(part)
+			if cfg.Combiner != nil {
+				part = combine(part, cfg.Combiner)
+			}
+			out.payloads[j] = encodeKVs(part)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for i, m := range mappers {
 		mapSpan := m.probe.Begin(trace.PhaseApp, m.clock.Now())
 		mapCost := sim.Cycles(float64(len(chunks[i])) * cfg.MapCyclesPerByte)
 		m.probe.AddCycles(trace.PhaseApp, mapCost)
 		m.clock.AdvanceCycles(mapCost)
 		mapSpan.End(m.clock.Now())
-		parts := make([][]KV, cfg.Reducers)
-		mapf(chunks[i], func(k string, v int64) {
-			p := partitionOf(k, cfg.Reducers)
-			parts[p] = append(parts[p], KV{Key: k, Value: v})
-		})
 		for j := range reducers {
-			part := parts[j]
 			if cfg.Combiner != nil {
-				part = combine(part, cfg.Combiner)
-				combineCost := sim.Cycles(float64(len(parts[j])) * cfg.ReduceCyclesPerKV / 2)
+				combineCost := sim.Cycles(float64(mapOuts[i].rawLens[j]) * cfg.ReduceCyclesPerKV / 2)
 				m.probe.AddCycles(trace.PhaseApp, combineCost)
 				m.clock.AdvanceCycles(combineCost)
 			}
-			payload := encodeKVs(part)
+			payload := mapOuts[i].payloads[j]
 			res.ShuffleBytes += len(payload)
 			if err := sendSide[i][j].Send(payload); err != nil {
 				return nil, fmt.Errorf("mapper %d -> reducer %d: %w", i, j, err)
@@ -273,31 +326,57 @@ func Run(cfg Config, input []byte, mapf Mapper, redf Reducer) (*Result, error) {
 		res.MapTime = append(res.MapTime, m.clock.Now())
 	}
 
-	// Reduce phase: collect, merge, fold.
-	for j, r := range reducers {
-		byKey := make(map[string][]int64)
-		pairs := 0
+	// Reduce phase, split like the map phase: receives go first, serially
+	// in reducer order (they advance clocks and move messages through the
+	// shared network); the pure fold — decode, merge, sort, reduce — fans
+	// out across workers; the cycle charges, spans and output merge replay
+	// serially in reducer order.
+	received := make([][][]byte, cfg.Reducers)
+	for j := range reducers {
+		received[j] = make([][]byte, cfg.Mappers)
 		for i := range mappers {
 			payload, err := recvSide[j][i].Recv()
 			if err != nil {
 				return nil, fmt.Errorf("reducer %d <- mapper %d: %w", j, i, err)
 			}
+			received[j][i] = payload
+		}
+	}
+	type redOut struct {
+		pairs int
+		keys  []string // sorted
+		vals  map[string]int64
+	}
+	redOuts, err := par.Map(cfg.workers(), received, func(_ int, payloads [][]byte) (redOut, error) {
+		byKey := make(map[string][]int64)
+		out := redOut{vals: make(map[string]int64)}
+		for _, payload := range payloads {
 			kvs, err := decodeKVs(payload)
 			if err != nil {
-				return nil, err
+				return redOut{}, err
 			}
 			for _, kv := range kvs {
 				byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
-				pairs++
+				out.pairs++
 			}
 		}
+		out.keys = sortedKeys(byKey)
+		for _, k := range out.keys {
+			out.vals[k] = redf(k, byKey[k])
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, r := range reducers {
 		redSpan := r.probe.Begin(trace.PhaseApp, r.clock.Now())
-		redCost := sim.Cycles(float64(pairs) * cfg.ReduceCyclesPerKV)
+		redCost := sim.Cycles(float64(redOuts[j].pairs) * cfg.ReduceCyclesPerKV)
 		r.probe.AddCycles(trace.PhaseApp, redCost)
 		r.clock.AdvanceCycles(redCost)
 		redSpan.End(r.clock.Now())
-		for _, k := range sortedKeys(byKey) {
-			res.Output[k] = redf(k, byKey[k])
+		for _, k := range redOuts[j].keys {
+			res.Output[k] = redOuts[j].vals[k]
 		}
 		res.ReduceTime = append(res.ReduceTime, r.clock.Now())
 	}

@@ -172,6 +172,15 @@ func (m *Memory) ReadLine(a Addr) []byte {
 	return out
 }
 
+// LineView returns the LineSize-aligned line at a, aliased to the DRAM
+// backing store (see MetaRegion). The engine's zero-allocation read path
+// uses it in place of ReadLine; callers must not hold the slice across
+// writes.
+func (m *Memory) LineView(a Addr) []byte {
+	m.checkLine(a)
+	return m.data[a : a+LineSize]
+}
+
 // WriteLine stores one line at the LineSize-aligned address a.
 func (m *Memory) WriteLine(a Addr, line []byte) {
 	m.checkLine(a)

@@ -78,7 +78,7 @@ func verifyConnectMsg(authority *ecdsa.PublicKey, m *connectMsg) error {
 	if err != nil {
 		return err
 	}
-	if !ecdsa.VerifyASN1(mk, shareDigest(m.Type, m.ConnID, m.ECDHPublic), m.ShareSig) {
+	if !attest.VerifyDigest(mk, shareDigest(m.Type, m.ConnID, m.ECDHPublic), m.ShareSig) {
 		return fmt.Errorf("monitor: key-exchange share not signed by the attested machine")
 	}
 	return nil

@@ -1,0 +1,165 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapStableOrder: results land in input order at every worker count.
+func TestMapStableOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 100, 1000} {
+		got, err := Map(workers, items, func(i, v int) (int, error) {
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(items))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapSerialParallelEquivalence: parallel output equals the serial
+// loop's output element for element.
+func TestMapSerialParallelEquivalence(t *testing.T) {
+	items := make([]float64, 257)
+	for i := range items {
+		items[i] = float64(i) * 1.5
+	}
+	f := func(i int, v float64) (string, error) {
+		return fmt.Sprintf("%d:%.2f", i, v*3), nil
+	}
+	serial, err := Map(1, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Map(8, items, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result[%d]: serial %q != parallel %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMapLowestIndexError: the reported error is the serial one — the
+// lowest failing index — no matter which worker hits an error first.
+func TestMapLowestIndexError(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	fail := map[int]bool{9: true, 40: true, 63: true}
+	for _, workers := range []int{1, 2, 16} {
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			if fail[i] {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return v, nil
+		})
+		if err == nil || err.Error() != "item 9 failed" {
+			t.Fatalf("workers=%d: error %v, want item 9 failed", workers, err)
+		}
+	}
+}
+
+// TestMapErrorStopsDispatch: after an error is observed, no new items are
+// dispatched (in-flight ones may finish).
+func TestMapErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	items := make([]int, 10_000)
+	_, err := Map(4, items, func(i, _ int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v, want boom", err)
+	}
+	if n := ran.Load(); n == int64(len(items)) {
+		t.Fatalf("all %d items ran despite early error", n)
+	}
+}
+
+// TestMapEmptyAndSingle: edge cases.
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got, err := Map(8, nil, func(i, v int) (int, error) { return v, nil }); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	got, err := Map(8, []int{7}, func(i, v int) (int, error) { return v + 1, nil })
+	if err != nil || len(got) != 1 || got[0] != 8 {
+		t.Fatalf("single input: got %v, %v", got, err)
+	}
+}
+
+// TestForEach: ForEach shares Map's semantics.
+func TestForEach(t *testing.T) {
+	out := make([]int, 50)
+	items := make([]int, 50)
+	for i := range items {
+		items[i] = i * 2
+	}
+	// Each work unit owns its own output slot: no shared mutable state.
+	if err := ForEach(4, items, func(i, v int) error {
+		out[i] = v + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*2+1)
+		}
+	}
+	err := ForEach(4, items, func(i, v int) error {
+		if i >= 10 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "fail 10" {
+		t.Fatalf("error %v, want fail 10", err)
+	}
+}
+
+// TestMapConcurrencyBound: no more than `workers` goroutines run fn at
+// once (exercised under -race in CI).
+func TestMapConcurrencyBound(t *testing.T) {
+	const workers = 3
+	var live, peak atomic.Int64
+	items := make([]int, 200)
+	_, err := Map(workers, items, func(i, v int) (int, error) {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		live.Add(-1)
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent work units, bound is %d", p, workers)
+	}
+}

@@ -236,6 +236,34 @@ func (s *Sink) Reset() {
 	s.events = nil
 }
 
+// Merge folds src's accumulators and events into s: counters and cycle
+// totals add per process (new processes append in src registration
+// order), events append in src record order. It is the reduction step of
+// the deterministic parallel runner (internal/par): work units record
+// into private sinks and the caller merges them serially in input order,
+// which reproduces the serial run's registration order, float addition
+// order and event order exactly. Nil-safe on either side.
+func (s *Sink) Merge(src *Sink) {
+	if s == nil || src == nil {
+		return
+	}
+	for _, sp := range src.procs {
+		dst, ok := s.byName[sp.name]
+		if !ok {
+			dst = &procMetrics{name: sp.name}
+			s.byName[sp.name] = dst
+			s.procs = append(s.procs, dst)
+		}
+		for c := range sp.counters {
+			dst.counters[c] += sp.counters[c]
+		}
+		for ph := range sp.cycles {
+			dst.cycles[ph] += sp.cycles[ph]
+		}
+	}
+	s.events = append(s.events, src.events...)
+}
+
 // Events returns a copy of the recorded spans in record order.
 func (s *Sink) Events() []Event {
 	if s == nil {

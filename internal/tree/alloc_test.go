@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"testing"
+
+	"mmt/internal/crypt"
+)
+
+// TestVerifyUpdateAllocFree pins the steady-state integrity-tree paths at
+// zero allocations per access: VerifyPath (read path), Update without
+// overflow (write path) and LeafCounter. The batched NodeMACBatch verify
+// and the tree scratch exist for exactly this.
+func TestVerifyUpdateAllocFree(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("alloc")))
+	const guaddr = 0x9000
+	tr, err := New(ForLevels(3), e, guaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the lazily-sized scratch buffers.
+	if err := tr.VerifyPath(e, guaddr, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Update(e, guaddr, 0)
+
+	line := 1
+	var ctr uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tr.VerifyPath(e, guaddr, line); err != nil {
+			t.Fatal(err)
+		}
+		res := tr.Update(e, guaddr, line)
+		if res.Overflowed {
+			t.Fatal("unexpected overflow in alloc test")
+		}
+		ctr ^= tr.LeafCounter(line)
+	})
+	if allocs != 0 {
+		t.Fatalf("verify/update path allocated %.1f times per access, want 0", allocs)
+	}
+	_ = ctr
+}
+
+// TestBatchedVerifyMatchesPerNode: the batched VerifyPath agrees with
+// node-by-node verification (verifyNode) on both healthy and tampered
+// trees, including the identity of the reported node.
+func TestBatchedVerifyMatchesPerNode(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("batch")))
+	const guaddr = 0x9100
+	tr, err := New(ForLevels(3), e, guaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []int{0, 1, 63, 64, 2047, tr.Geometry().Lines() - 1}
+	for _, ln := range lines {
+		if err := tr.VerifyPath(e, guaddr, ln); err != nil {
+			t.Fatalf("line %d: healthy tree failed verify: %v", ln, err)
+		}
+	}
+	// Tamper with one interior node; every line under it must fail, and the
+	// error must name that node (level 1), matching serial leaf-to-root
+	// order: the leaf verifies fine, level 1 is the first mismatch.
+	tr.Node(1, 0).Global++
+	err = tr.VerifyPath(e, guaddr, 0)
+	if err == nil {
+		t.Fatal("tampered tree verified")
+	}
+	if got, want := err.Error(), "tree: integrity check failed: node level 2 index 0"; got != want {
+		// Bumping an interior global changes that node's counters, which
+		// breaks the MAC keyed over the *leaf* (its parent counter changed)
+		// first in leaf-to-root order.
+		t.Fatalf("error %q, want %q", got, want)
+	}
+}

@@ -150,24 +150,36 @@ func (g Geometry) MetaSize() int {
 // to reproduce Table V's "Root Size" column for a given total memory.
 func (g Geometry) RootSoCBytes() int { return 8 }
 
-// path computes, for a line index, the node index and slot at every level.
-// Returned slices are indexed by level (0 = top).
-func (g Geometry) path(line int) (nodeIdx, slot []int) {
+// checkLine bounds-checks a line index.
+func (g Geometry) checkLine(line int) {
 	if line < 0 || line >= g.Lines() {
 		//mmt:allow nopanic: internal bounds guard, equivalent to built-in slice indexing
 		panic(fmt.Sprintf("tree: line %d out of range [0,%d)", line, g.Lines()))
 	}
+}
+
+// path computes, for a line index, the node index and slot at every level.
+// Returned slices are indexed by level (0 = top).
+func (g Geometry) path(line int) (nodeIdx, slot []int) {
 	L := g.Levels()
 	nodeIdx = make([]int, L)
 	slot = make([]int, L)
+	g.pathInto(line, nodeIdx, slot)
+	return nodeIdx, slot
+}
+
+// pathInto is path writing into caller-owned level-indexed buffers of
+// length Levels(); the tree's hot verify/update paths use it with scratch
+// buffers to stay allocation-free.
+func (g Geometry) pathInto(line int, nodeIdx, slot []int) {
+	g.checkLine(line)
 	// Walk from leaf upward: at the leaf level the slot is line % leafArity
 	// and the node index is line / leafArity; each level up divides by that
 	// level's arity.
 	idx := line
-	for l := L - 1; l >= 0; l-- {
+	for l := g.Levels() - 1; l >= 0; l-- {
 		slot[l] = idx % g.Arities[l]
 		idx /= g.Arities[l]
 		nodeIdx[l] = idx
 	}
-	return nodeIdx, slot
 }

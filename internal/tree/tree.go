@@ -30,11 +30,53 @@ type Tree struct {
 	rootCtr uint64
 	levels  [][]Node
 	probe   *trace.Probe // nil = tracing disabled
+	scr     treeScratch
+}
+
+// treeScratch holds the tree's reusable working buffers so the per-access
+// verify and update paths stay allocation-free. A tree belongs to one
+// goroutine (each parallel work unit builds its own controller and trees),
+// so one scratch per tree suffices.
+type treeScratch struct {
+	nodeIdx []int              // path node index per level
+	slot    []int              // path slot per level
+	ovf     []bool             // Update overflow markers per level
+	jobs    []crypt.NodeMACJob // batched verify jobs, one per level
+	macs    []uint64           // batched verify results, one per level
+	flat    []uint64           // effective counters of the whole path
+	eff     []uint64           // effective counters of a single node
+	cs      crypt.Scratch
+}
+
+// ensureScratch sizes the scratch for the tree's geometry. Cheap after the
+// first call; the length check keys off nodeIdx.
+func (t *Tree) ensureScratch() {
+	L := t.geo.Levels()
+	if len(t.scr.nodeIdx) == L {
+		return
+	}
+	t.scr.nodeIdx = make([]int, L)
+	t.scr.slot = make([]int, L)
+	t.scr.ovf = make([]bool, L)
+	t.scr.jobs = make([]crypt.NodeMACJob, L)
+	t.scr.macs = make([]uint64, L)
+	total, maxAr := 0, 0
+	for _, a := range t.geo.Arities {
+		total += a
+		if a > maxAr {
+			maxAr = a
+		}
+	}
+	t.scr.flat = make([]uint64, 0, total)
+	t.scr.eff = make([]uint64, maxAr)
 }
 
 // SetTrace attaches a trace probe counting functional node MAC
 // verifications and recomputations. Nil disables tracing.
 func (t *Tree) SetTrace(p *trace.Probe) { t.probe = p }
+
+// Probe reports the currently attached trace probe (nil when disabled).
+func (t *Tree) Probe() *trace.Probe { return t.probe }
 
 // New builds a tree with all counters zero and MACs computed for guaddr
 // under e. It returns an error if the geometry is invalid.
@@ -91,10 +133,13 @@ func (t *Tree) counter(l, i, s int) uint64 {
 
 // LeafCounter reports the effective counter protecting the given line;
 // this is the counter the crypto engine mixes into the line's OTP and MAC.
+// Called once per protected access, so it computes the leaf coordinates
+// directly instead of materialising the whole path.
 func (t *Tree) LeafCounter(line int) uint64 {
-	nodeIdx, slot := t.geo.path(line)
+	t.geo.checkLine(line)
 	L := t.geo.Levels()
-	return t.counter(L-1, nodeIdx[L-1], slot[L-1])
+	leafArity := t.geo.Arities[L-1]
+	return t.counter(L-1, line/leafArity, line%leafArity)
 }
 
 // parentCounter reports the counter covering node (l, i): the root counter
@@ -112,10 +157,13 @@ func (t *Tree) parentCounter(l, i int) uint64 {
 // preventing node splicing within one MMT.
 func nodeID(level, index int) uint32 { return uint32(level)<<24 | uint32(index)&0xFFFFFF }
 
-// effectiveCounters returns the effective counters of all slots in (l, i).
-func (t *Tree) effectiveCounters(l, i int) []uint64 {
+// effCountersInto writes the effective counters of all slots in (l, i)
+// into the scratch single-node buffer and returns it. The result is valid
+// until the next effCountersInto call.
+func (t *Tree) effCountersInto(l, i int) []uint64 {
+	t.ensureScratch()
 	n := &t.levels[l][i]
-	out := make([]uint64, len(n.Local))
+	out := t.scr.eff[:len(n.Local)]
 	hi := n.Global << t.geo.localBits()
 	for s, lc := range n.Local {
 		out[s] = hi | uint64(lc)
@@ -126,7 +174,7 @@ func (t *Tree) effectiveCounters(l, i int) []uint64 {
 // rehashNode recomputes the MAC of node (l, i).
 func (t *Tree) rehashNode(e *crypt.Engine, guaddr uint64, l, i int) {
 	t.probe.Count(trace.CtrTreeNodeRehashes, 1)
-	t.levels[l][i].MAC = e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
+	t.levels[l][i].MAC = e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
 }
 
 // RehashAll recomputes every node MAC bottom-up. Used after bulk
@@ -150,7 +198,7 @@ var ErrIntegrity = errors.New("tree: integrity check failed")
 // compare would leak how many tag bytes of a forgery were right.
 func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
 	t.probe.Count(trace.CtrTreeNodeVerifies, 1)
-	want := e.NodeMAC(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effectiveCounters(l, i))
+	want := e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
 	if !crypt.TagEqual(t.levels[l][i].MAC, want) {
 		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
 	}
@@ -160,11 +208,39 @@ func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
 // VerifyPath checks node MACs from the leaf covering line up to the root
 // counter — the integrity-tree engine's read-path check ("checks hashes
 // stored in tree nodes recursively up to the MMT root", §V-A2).
+//
+// The expected MACs of the whole path are computed in one
+// crypt.NodeMACBatch (the batched GF Horner kernel) before any comparison;
+// computing a MAC is pure, so doing the upper levels' work eagerly cannot
+// change behaviour. Comparisons — and the per-node verify trace counts —
+// then run leaf to root exactly like the serial loop, stopping at the
+// first mismatch, so traces and errors are identical to the unbatched
+// implementation in both success and failure.
 func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
-	nodeIdx, _ := t.geo.path(line)
-	for l := t.geo.Levels() - 1; l >= 0; l-- {
-		if err := t.verifyNode(e, guaddr, l, nodeIdx[l]); err != nil {
-			return err
+	t.ensureScratch()
+	s := &t.scr
+	t.geo.pathInto(line, s.nodeIdx, s.slot)
+	L := t.geo.Levels()
+	flat := s.flat[:0]
+	for l := 0; l < L; l++ {
+		i := s.nodeIdx[l]
+		n := &t.levels[l][i]
+		start := len(flat)
+		hi := n.Global << t.geo.localBits()
+		for _, lc := range n.Local {
+			flat = append(flat, hi|uint64(lc))
+		}
+		s.jobs[l] = crypt.NodeMACJob{
+			NodeID:        nodeID(l, i),
+			ParentCounter: t.parentCounter(l, i),
+			Counters:      flat[start:len(flat):len(flat)],
+		}
+	}
+	e.NodeMACBatch(guaddr, s.jobs, s.macs, &s.cs)
+	for l := L - 1; l >= 0; l-- {
+		t.probe.Count(trace.CtrTreeNodeVerifies, 1)
+		if !crypt.TagEqual(t.levels[l][s.nodeIdx[l]].MAC, s.macs[l]) {
+			return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, s.nodeIdx[l])
 		}
 	}
 	return nil
@@ -203,7 +279,9 @@ type UpdateResult struct {
 // then recomputes the affected node MACs. This is the write path of the
 // integrity tree engine.
 func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
-	nodeIdx, slot := t.geo.path(line)
+	t.ensureScratch()
+	nodeIdx, slot := t.scr.nodeIdx, t.scr.slot
+	t.geo.pathInto(line, nodeIdx, slot)
 	L := t.geo.Levels()
 	res := UpdateResult{}
 	maxLocal := uint32(1)<<t.geo.localBits() - 1
@@ -211,7 +289,10 @@ func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
 	// Bump every counter on the path first (leaf to root), tracking
 	// overflow, then rehash: MACs depend on parent counters, so they must
 	// be computed against the final values.
-	overflowAt := make([]bool, L)
+	overflowAt := t.scr.ovf
+	for l := range overflowAt {
+		overflowAt[l] = false
+	}
 	for l := L - 1; l >= 0; l-- {
 		n := &t.levels[l][nodeIdx[l]]
 		if n.Local[slot[l]] == maxLocal {

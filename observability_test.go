@@ -6,7 +6,6 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 )
@@ -57,28 +56,19 @@ func quickstartTraced(t *testing.T) (*TraceSink, *Cluster) {
 	return sink, c
 }
 
-// controlBytes matches the one nondeterministic value in a quickstart
-// trace: the connect handshake carries ASN.1 DER ECDSA signatures whose
-// encoded length varies with the signature values, so the control-kind
-// wire byte counters differ across runs. Everything else — timestamps,
-// span order, phase cycles, closure sizes — is pinned by the simulated
-// clock and deterministic encodings.
-var controlBytes = regexp.MustCompile(`"wire-bytes-control":\d+`)
-
-func normalizeTrace(b []byte) []byte {
-	return controlBytes.ReplaceAll(b, []byte(`"wire-bytes-control":0`))
-}
-
 // TestChromeTraceGoldenQuickstart pins the exporter's output for the
 // quickstart run against a committed golden file (regenerate with
-// `go test -run Golden -update .`).
+// `go test -run Golden -update .`). No normalization: since attestation
+// signatures moved to the fixed-length r||s encoding, every wire message
+// in the handshake — and therefore every counter in the trace — is
+// length-stable across runs.
 func TestChromeTraceGoldenQuickstart(t *testing.T) {
 	sink, _ := quickstartTraced(t)
 	var out bytes.Buffer
 	if err := sink.WriteChromeTrace(&out); err != nil {
 		t.Fatal(err)
 	}
-	got := normalizeTrace(out.Bytes())
+	got := out.Bytes()
 
 	golden := filepath.Join("testdata", "quickstart_trace.golden.json")
 	if *updateGolden {
@@ -99,10 +89,9 @@ func TestChromeTraceGoldenQuickstart(t *testing.T) {
 }
 
 // TestChromeTraceDeterminism runs the quickstart twice on fresh clusters:
-// after normalizing the signature-length counter, the exports must be
-// byte-identical — the trace is a pure function of the simulated run.
-// Exporting the same sink twice must be byte-identical with no
-// normalization at all.
+// the exports must be byte-identical with no normalization — the trace is
+// a pure function of the simulated run, and fixed-length signatures keep
+// even the handshake wire counters stable.
 func TestChromeTraceDeterminism(t *testing.T) {
 	var runs [2][]byte
 	for i := range runs {
@@ -117,7 +106,7 @@ func TestChromeTraceDeterminism(t *testing.T) {
 		if !bytes.Equal(a.Bytes(), b.Bytes()) {
 			t.Fatal("re-exporting the same sink changed the output")
 		}
-		runs[i] = normalizeTrace(a.Bytes())
+		runs[i] = a.Bytes()
 	}
 	if !bytes.Equal(runs[0], runs[1]) {
 		t.Fatal("two identical simulated runs produced different traces")
