@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-smoke check trace-demo par-demo
+.PHONY: build test race vet lint bench bench-smoke check trace-demo par-demo stat-demo
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,8 @@ vet:
 	$(GO) vet ./...
 
 # mmt-vet: the project's own analyzer suite (simclock, cryptocompare,
-# checkverify, nopanic, maporder, parclock). Non-zero exit on any finding.
+# checkverify, nopanic, maporder, parclock, eventkind). Non-zero exit on
+# any finding.
 lint:
 	$(GO) run ./cmd/mmt-vet ./...
 
@@ -50,5 +51,18 @@ par-demo:
 	cmp .bench/serial/BENCH_fig11.json .bench/par/BENCH_fig11.json
 	$(GO) run ./cmd/mmt-bench -wallclock -parallel 8 -accesses 20000 -out .bench
 	$(GO) run ./cmd/mmt-tracecheck .bench/serial/BENCH_fig11.json .bench/BENCH_wallclock.json
+
+# stat-demo: the observability pipeline end to end — export the latency
+# histograms and security-event ledger from a quickstart run, validate
+# both against their schemas, render them with mmt-stat, and render the
+# fig11 sidecar's embedded histogram summaries (which include the
+# read-latency-under-migration quantiles).
+stat-demo:
+	mkdir -p .bench
+	$(GO) run ./examples/quickstart -stats .bench/hist.json -events .bench/events.jsonl
+	$(GO) run ./cmd/mmt-tracecheck .bench/hist.json .bench/events.jsonl
+	$(GO) run ./cmd/mmt-stat .bench/hist.json .bench/events.jsonl
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -out .bench
+	$(GO) run ./cmd/mmt-stat .bench/BENCH_fig11.json
 
 check: build vet lint test race

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestAttackReportGolden pins the demonstration's full output. Every
+// number in it — wire message and byte counts, ledger accept/reject
+// tallies, verdict kinds — reads off the public snapshot API of a
+// deterministic simulated run, so the bytes must not drift between runs
+// or refactors (regenerate with `go test ./cmd/mmt-attack -update`).
+func TestAttackReportGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := report(&out); err != nil {
+		t.Fatalf("report failed:\n%s", out.String())
+	}
+	golden := filepath.Join("testdata", "attack_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("attack report deviates from golden (run with -update if intended)\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// TestAttackReportDeterminism: two fresh runs produce identical bytes.
+func TestAttackReportDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := report(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two runs differ:\n%s\nvs:\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,278 @@
+// Command mmt-stat renders the observability exports as text tables:
+// per-operation latency histograms (schema mmt-hist/v1, from
+// TraceSink.WriteHistJSON or `quickstart -stats`), security-event
+// ledgers (schema mmt-events/v1, from TraceSink.WriteEventsJSONL or
+// `quickstart -events`), and the histogram summaries embedded in
+// `mmt-bench -fig` metrics sidecars. It reads files, stdin ("-"), or a
+// live cluster started with mmt.WithDebugServer:
+//
+//	mmt-stat hist.json events.jsonl
+//	quickstart -stats /dev/stdout | mmt-stat -
+//	mmt-stat -addr 127.0.0.1:6060        # fetch /debug/mmt/{hist,events}
+//	mmt-stat -tail 20 events.jsonl       # newest 20 ledger entries
+//
+// All numbers are simulated cycles and microseconds read off the
+// deterministic run; rendering the same export twice prints the same
+// bytes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "", "fetch live stats from a /debug server at this address")
+	tail := flag.Int("tail", 0, "show only the newest N ledger events (0 = all)")
+	flag.Parse()
+
+	if *addr == "" && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mmt-stat [-tail N] <export.json|-> ...\n       mmt-stat [-tail N] -addr <host:port>")
+		os.Exit(2)
+	}
+	failed := false
+	if *addr != "" {
+		for _, path := range []string{"/debug/mmt/hist", "/debug/mmt/events"} {
+			url := "http://" + *addr + path
+			data, err := fetch(url)
+			if err == nil {
+				err = render(os.Stdout, data, *tail)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmt-stat: %s: %v\n", url, err)
+				failed = true
+			}
+		}
+	}
+	for _, path := range flag.Args() {
+		var data []byte
+		var err error
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err == nil {
+			err = render(os.Stdout, data, *tail)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmt-stat: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// render detects the export flavour by its schema field and prints the
+// matching table. Sidecars (no schema, a "figure" field) render their
+// embedded histogram summaries and totals.
+func render(w io.Writer, data []byte, tail int) error {
+	var probe struct {
+		Schema string `json:"schema"`
+		Figure string `json:"figure"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+		return fmt.Errorf("not a JSON document: %w", err)
+	}
+	switch {
+	case probe.Schema == "mmt-hist/v1":
+		return renderHist(w, data)
+	case probe.Schema == "mmt-events/v1":
+		return renderEvents(w, data, tail)
+	case probe.Schema == "" && probe.Figure != "":
+		return renderSidecar(w, data)
+	default:
+		return fmt.Errorf("unsupported document (schema %q): want mmt-hist/v1, mmt-events/v1 or a BENCH_fig sidecar", probe.Schema)
+	}
+}
+
+// histOp mirrors one operation object of trace.WriteHistJSON.
+type histOp struct {
+	Op    string  `json:"op"`
+	Count uint64  `json:"count"`
+	Min   float64 `json:"min_cycles"`
+	Max   float64 `json:"max_cycles"`
+	Mean  float64 `json:"mean_cycles"`
+	P50   float64 `json:"p50_cycles"`
+	P90   float64 `json:"p90_cycles"`
+	P99   float64 `json:"p99_cycles"`
+}
+
+func renderHist(w io.Writer, data []byte) error {
+	var he struct {
+		Procs []struct {
+			Proc string   `json:"proc"`
+			Ops  []histOp `json:"ops"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal(data, &he); err != nil {
+		return fmt.Errorf("bad mmt-hist/v1 document: %w", err)
+	}
+	rows := [][]string{{"proc", "op", "count", "p50", "p90", "p99", "max", "mean"}}
+	for _, p := range he.Procs {
+		for _, op := range p.Ops {
+			rows = append(rows, []string{
+				p.Proc, op.Op, fmt.Sprintf("%d", op.Count),
+				cyc(op.P50), cyc(op.P90), cyc(op.P99), cyc(op.Max), cyc(op.Mean),
+			})
+		}
+	}
+	if len(rows) == 1 {
+		fmt.Fprintln(w, "latency histograms (cycles): no samples")
+		return nil
+	}
+	fmt.Fprintln(w, "latency histograms (cycles):")
+	table(w, rows)
+	return nil
+}
+
+func renderEvents(w io.Writer, data []byte, tail int) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var hdr struct {
+		Events  int    `json:"events"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("bad mmt-events/v1 header: %w", err)
+	}
+	type event struct {
+		Seq    uint64  `json:"seq"`
+		Proc   string  `json:"proc"`
+		Kind   string  `json:"kind"`
+		TimeUS float64 `json:"time_us"`
+		Addr   string  `json:"addr"`
+		Detail string  `json:"detail"`
+	}
+	var events []event
+	for dec.More() {
+		var ev event
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("bad mmt-events/v1 line: %w", err)
+		}
+		events = append(events, ev)
+	}
+	shown := events
+	if tail > 0 && len(shown) > tail {
+		shown = shown[len(shown)-tail:]
+	}
+	fmt.Fprintf(w, "security-event ledger: %d events (%d dropped, showing %d):\n",
+		hdr.Events, hdr.Dropped, len(shown))
+	rows := [][]string{{"seq", "time_us", "proc", "kind", "addr", "detail"}}
+	for _, ev := range shown {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", ev.Seq), fmt.Sprintf("%.3f", ev.TimeUS),
+			ev.Proc, ev.Kind, ev.Addr, ev.Detail,
+		})
+	}
+	if len(rows) > 1 {
+		table(w, rows)
+	}
+	return nil
+}
+
+func renderSidecar(w io.Writer, data []byte) error {
+	var sc struct {
+		Figure string `json:"figure"`
+		Totals []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+			Unit  string  `json:"unit"`
+		} `json:"totals"`
+		Hists []struct {
+			Proc  string  `json:"proc"`
+			Op    string  `json:"op"`
+			Count uint64  `json:"count"`
+			P50   float64 `json:"p50_cycles"`
+			P90   float64 `json:"p90_cycles"`
+			P99   float64 `json:"p99_cycles"`
+			Max   float64 `json:"max_cycles"`
+			Mean  float64 `json:"mean_cycles"`
+		} `json:"hists"`
+	}
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("bad sidecar document: %w", err)
+	}
+	fmt.Fprintf(w, "figure %s totals:\n", sc.Figure)
+	rows := [][]string{{"name", "value", "unit"}}
+	for _, t := range sc.Totals {
+		rows = append(rows, []string{t.Name, cyc(t.Value), t.Unit})
+	}
+	table(w, rows)
+	if len(sc.Hists) == 0 {
+		return nil
+	}
+	fmt.Fprintln(w, "latency histograms (cycles):")
+	rows = [][]string{{"proc", "op", "count", "p50", "p90", "p99", "max", "mean"}}
+	for _, h := range sc.Hists {
+		rows = append(rows, []string{
+			h.Proc, h.Op, fmt.Sprintf("%d", h.Count),
+			cyc(h.P50), cyc(h.P90), cyc(h.P99), cyc(h.Max), cyc(h.Mean),
+		})
+	}
+	table(w, rows)
+	return nil
+}
+
+// cyc formats a cycle count the way the exporters do: integers render
+// bare, fractional values keep their decimals.
+func cyc(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// table prints rows with left-aligned, two-space-padded columns; the
+// first row is the header, underlined with dashes.
+func table(w io.Writer, rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(row []string) {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, "  "+b.String())
+	}
+	line(rows[0])
+	dashes := make([]string, len(rows[0]))
+	for i, n := range widths {
+		dashes[i] = strings.Repeat("-", n)
+	}
+	line(dashes)
+	for _, row := range rows[1:] {
+		line(row)
+	}
+}

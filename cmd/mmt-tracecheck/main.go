@@ -11,10 +11,17 @@
 //   - BENCH_wallclock.json host-speed sidecars (from `mmt-bench
 //     -wallclock`): schema "mmt-wallclock/v1", ns-per-operation and
 //     sweep-speedup metrics measured on the host clock.
+//   - Latency-histogram exports (from TraceSink.WriteHistJSON or
+//     `quickstart -stats`): schema "mmt-hist/v1", per-process
+//     per-operation fixed-bucket histograms with power-of-two bounds.
+//   - Security-event ledger exports (from TraceSink.WriteEventsJSONL or
+//     `quickstart -events`): schema "mmt-events/v1", a JSONL header plus
+//     one cycle-stamped event per line with strictly increasing
+//     sequence numbers and known event kinds.
 //
 // The file kind is detected from the JSON shape (array = Chrome trace;
-// object with a "schema" field = wallclock sidecar; other object =
-// metrics sidecar). Exit status 0 means every file validated.
+// object with a "schema" field = that schema; other object = metrics
+// sidecar). Exit status 0 means every file validated.
 //
 // Usage:
 //
@@ -22,10 +29,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 )
 
 func main() {
@@ -59,15 +68,26 @@ func checkFile(path string) error {
 		case '[':
 			return checkChromeTrace(data)
 		case '{':
-			// A "schema" field marks the wallclock flavour; metrics
-			// sidecars predate schema tagging and are detected by shape.
+			// A "schema" field selects the flavour; metrics sidecars
+			// predate schema tagging and are detected by shape. The probe
+			// decodes only the first JSON value so JSONL files (whose
+			// whole content is not one document) still identify.
 			var probe struct {
 				Schema string `json:"schema"`
 			}
-			if err := json.Unmarshal(data, &probe); err == nil && probe.Schema != "" {
+			if err := json.NewDecoder(bytes.NewReader(data)).Decode(&probe); err != nil {
+				return fmt.Errorf("not a JSON object: %w", err)
+			}
+			switch probe.Schema {
+			case "mmt-hist/v1":
+				return checkHist(data)
+			case "mmt-events/v1":
+				return checkEvents(data)
+			case "":
+				return checkSidecar(data)
+			default:
 				return checkWallclock(data, probe.Schema)
 			}
-			return checkSidecar(data)
 		default:
 			return fmt.Errorf("neither a JSON array (Chrome trace) nor object (sidecar)")
 		}
@@ -197,6 +217,168 @@ func checkSidecar(data []byte) error {
 		if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
 			return fmt.Errorf("phase sum %.6f cycles does not account for reported total %.6f cycles", a, b)
 		}
+	}
+	return nil
+}
+
+// validOps and validEventKinds mirror internal/trace's name tables (kept
+// in sync by the CI step that validates generated exports with this
+// command — an enum added without its name shows up here as FAIL).
+var validOps = map[string]bool{
+	"local-read": true, "local-write": true,
+	"remote-read": true, "remote-write": true,
+	"migration-send": true, "migration-recv": true,
+	"verify": true, "reencrypt": true,
+}
+
+var validEventKinds = map[string]bool{
+	"integrity-fail": true, "auth-fail": true,
+	"replay-reject": true, "reorder-reject": true, "stale-counter": true,
+	"migration-send": true, "migration-accept": true, "migration-reject": true,
+	"delegation-ack": true, "cap-destroy": true,
+}
+
+// histExport mirrors trace.WriteHistJSON's document.
+type histExport struct {
+	Schema string `json:"schema"`
+	Procs  []struct {
+		Proc string `json:"proc"`
+		Ops  []struct {
+			Op      string   `json:"op"`
+			Count   *uint64  `json:"count"`
+			Sum     *float64 `json:"sum_cycles"`
+			Min     *float64 `json:"min_cycles"`
+			Max     *float64 `json:"max_cycles"`
+			Mean    *float64 `json:"mean_cycles"`
+			P50     *float64 `json:"p50_cycles"`
+			P90     *float64 `json:"p90_cycles"`
+			P99     *float64 `json:"p99_cycles"`
+			Buckets []struct {
+				LE    *float64 `json:"le_cycles"`
+				Count *uint64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"ops"`
+	} `json:"procs"`
+}
+
+func checkHist(data []byte) error {
+	var he histExport
+	if err := json.Unmarshal(data, &he); err != nil {
+		return fmt.Errorf("not a histogram export: %w", err)
+	}
+	lastProc := ""
+	for _, p := range he.Procs {
+		if p.Proc == "" {
+			return fmt.Errorf("empty proc name")
+		}
+		if lastProc != "" && p.Proc <= lastProc {
+			return fmt.Errorf("procs not in name order: %q after %q", p.Proc, lastProc)
+		}
+		lastProc = p.Proc
+		if len(p.Ops) == 0 {
+			return fmt.Errorf("proc %q: empty proc must be omitted", p.Proc)
+		}
+		for _, op := range p.Ops {
+			at := func(format string, args ...interface{}) error {
+				return fmt.Errorf("proc %q op %q: %s", p.Proc, op.Op, fmt.Sprintf(format, args...))
+			}
+			if !validOps[op.Op] {
+				return at("unknown operation kind")
+			}
+			if op.Count == nil || op.Sum == nil || op.Min == nil || op.Max == nil ||
+				op.Mean == nil || op.P50 == nil || op.P90 == nil || op.P99 == nil {
+				return at("count, sum/min/max/mean and p50/p90/p99 are required")
+			}
+			if *op.Count == 0 {
+				return at("empty histogram must be omitted")
+			}
+			if *op.Min > *op.Max || *op.Min < 0 {
+				return at("min %v / max %v out of order", *op.Min, *op.Max)
+			}
+			if !(*op.P50 <= *op.P90 && *op.P90 <= *op.P99 && *op.P99 <= *op.Max) {
+				return at("quantiles not monotone: p50=%v p90=%v p99=%v max=%v", *op.P50, *op.P90, *op.P99, *op.Max)
+			}
+			var n uint64
+			lastLE := -1.0
+			for _, b := range op.Buckets {
+				if b.LE == nil || b.Count == nil || *b.Count == 0 {
+					return at("buckets need le_cycles and a nonzero count")
+				}
+				if *b.LE <= lastLE {
+					return at("bucket bounds not increasing: %v after %v", *b.LE, lastLE)
+				}
+				lastLE = *b.LE
+				n += *b.Count
+			}
+			if n != *op.Count {
+				return at("bucket counts sum to %d, want count %d", n, *op.Count)
+			}
+		}
+	}
+	return nil
+}
+
+// eventsHeader and eventLine mirror trace.WriteEventsJSONL's lines.
+type eventsHeader struct {
+	Schema  string  `json:"schema"`
+	Events  *int    `json:"events"`
+	Dropped *uint64 `json:"dropped"`
+}
+
+type eventLine struct {
+	Seq    *uint64  `json:"seq"`
+	Proc   string   `json:"proc"`
+	Kind   string   `json:"kind"`
+	TimeUS *float64 `json:"time_us"`
+	Addr   string   `json:"addr"`
+	Detail *string  `json:"detail"`
+}
+
+func checkEvents(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var hdr eventsHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("bad header line: %w", err)
+	}
+	if hdr.Events == nil || hdr.Dropped == nil {
+		return fmt.Errorf("header needs events and dropped counts")
+	}
+	var lastSeq uint64
+	n := 0
+	for dec.More() {
+		var ev eventLine
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("event %d: %w", n, err)
+		}
+		at := func(format string, args ...interface{}) error {
+			return fmt.Errorf("event %d (%s): %s", n, ev.Kind, fmt.Sprintf(format, args...))
+		}
+		if ev.Seq == nil || ev.TimeUS == nil || ev.Detail == nil {
+			return at("seq, time_us and detail are required")
+		}
+		if ev.Proc == "" {
+			return at("empty proc")
+		}
+		if !validEventKinds[ev.Kind] {
+			return at("unknown event kind")
+		}
+		if *ev.TimeUS < 0 {
+			return at("negative timestamp %v", *ev.TimeUS)
+		}
+		if len(ev.Addr) < 3 || ev.Addr[:2] != "0x" {
+			return at("addr %q is not 0x-prefixed hex", ev.Addr)
+		}
+		if _, err := strconv.ParseUint(ev.Addr[2:], 16, 64); err != nil {
+			return at("addr %q is not 0x-prefixed hex", ev.Addr)
+		}
+		if n > 0 && *ev.Seq <= lastSeq {
+			return at("seq %d not after %d", *ev.Seq, lastSeq)
+		}
+		lastSeq = *ev.Seq
+		n++
+	}
+	if n != *hdr.Events {
+		return fmt.Errorf("header says %d events, file has %d", *hdr.Events, n)
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 // Command mmt-vet runs the repository's custom static-analysis suite:
-// six analyzers (simclock, cryptocompare, checkverify, nopanic,
-// maporder, parclock) that machine-enforce the determinism and crypto-safety
+// seven analyzers (simclock, cryptocompare, checkverify, nopanic,
+// maporder, parclock, eventkind) that machine-enforce the determinism and crypto-safety
 // invariants every figure and security claim depends on. See
 // internal/analyzers for the invariants and DESIGN.md for the
 // rationale.

@@ -1,0 +1,105 @@
+package mmt
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"mmt/internal/trace"
+)
+
+// debugServer is the read-only HTTP introspection endpoint started by
+// WithDebugServer. Its determinism contract: every handler renders a
+// copied snapshot of the trace sink, so serving never blocks the
+// simulation, never mutates it, and never charges simulated cycles — the
+// simulated timeline is identical with and without the server attached.
+type debugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+func startDebugServer(addr string, sink *trace.Sink) (*debugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/mmt/hist", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		sink.WriteHistJSON(w)
+	})
+	mux.HandleFunc("/debug/mmt/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl")
+		sink.WriteEventsJSONL(w)
+	})
+	mux.HandleFunc("/debug/mmt/summary", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(sink.Summary()))
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeDebugVars(w, sink)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &debugServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		d.srv.Serve(ln) // returns ErrServerClosed on close
+	}()
+	return d, nil
+}
+
+func (d *debugServer) addr() string { return d.ln.Addr().String() }
+
+func (d *debugServer) close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}
+
+// writeDebugVars renders an expvar-style JSON object: per-machine nonzero
+// counters and phase-cycle totals by name, plus ledger occupancy. Map
+// keys serialize sorted (encoding/json), so the document is deterministic
+// for a given snapshot.
+func writeDebugVars(w http.ResponseWriter, sink *trace.Sink) {
+	m := sink.Snapshot()
+	procs := map[string]any{}
+	for i := range m.Procs {
+		p := &m.Procs[i]
+		counters := map[string]uint64{}
+		for c := trace.Counter(0); c < trace.NumCounters; c++ {
+			if v := p.Counters[c]; v != 0 {
+				counters[c.String()] = v
+			}
+		}
+		cycles := map[string]float64{}
+		for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+			if v := p.Cycles[ph]; v != 0 {
+				cycles[ph.String()] = float64(v)
+			}
+		}
+		procs[p.Proc] = map[string]any{"counters": counters, "cycles": cycles}
+	}
+	doc := map[string]any{
+		"mmt": map[string]any{
+			"procs":          procs,
+			"events":         len(sink.SecEvents()),
+			"events_dropped": sink.EventsDropped(),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}

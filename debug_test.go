@@ -1,0 +1,175 @@
+package mmt
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mmt/internal/trace"
+)
+
+// get fetches one debug endpoint and returns the body.
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestDebugServer boots a traced cluster with the /debug endpoint, runs
+// the quickstart tour, and validates every endpoint: schema'd histogram
+// JSON, ledger JSONL, the expvar-style vars document, the text summary
+// and the pprof index. The server observes read-only snapshots, so none
+// of these requests disturb the simulated timeline.
+func TestDebugServer(t *testing.T) {
+	sink := NewTraceSink()
+	c, err := New(WithTreeLevels(2), WithRegions(6), WithTracing(sink), WithDebugServer("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := c.DebugAddr()
+	if addr == "" || !strings.HasPrefix(addr, "127.0.0.1:") {
+		t.Fatalf("bad DebugAddr: %q", addr)
+	}
+
+	// Drive the tour so the endpoints have something to show.
+	alice, err := c.AddMachine("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.AddMachine("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := c.Connect(alice.Spawn("p", nil), bob.Spawn("q", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := link.NewBuffer(link.Sender())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buf.Write(0, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	timelineBefore := c.Metrics().TotalCycles()
+	if err := link.Delegate(buf, OwnershipTransfer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.Receive(link.Receiver()); err != nil {
+		t.Fatal(err)
+	}
+
+	base := "http://" + addr
+
+	var hist struct {
+		Schema string `json:"schema"`
+		Procs  []struct {
+			Proc string `json:"proc"`
+			Ops  []struct {
+				Op    string `json:"op"`
+				Count uint64 `json:"count"`
+			} `json:"ops"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal(get(t, base+"/debug/mmt/hist"), &hist); err != nil {
+		t.Fatalf("hist endpoint: %v", err)
+	}
+	if hist.Schema != trace.HistSchema {
+		t.Fatalf("hist schema = %q, want %q", hist.Schema, trace.HistSchema)
+	}
+	if len(hist.Procs) != 2 || hist.Procs[0].Proc != "alice" {
+		t.Fatalf("hist procs: %+v", hist.Procs)
+	}
+
+	events := get(t, base+"/debug/mmt/events")
+	lines := strings.Split(strings.TrimSpace(string(events)), "\n")
+	var header struct {
+		Schema string `json:"schema"`
+		Events int    `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("events header: %v", err)
+	}
+	if header.Schema != trace.EventsSchema || header.Events != len(lines)-1 {
+		t.Fatalf("events header %+v for %d lines", header, len(lines))
+	}
+	if !strings.Contains(string(events), "migration-accept") {
+		t.Fatalf("ledger misses the delegation:\n%s", events)
+	}
+
+	var vars struct {
+		MMT struct {
+			Events int `json:"events"`
+		} `json:"mmt"`
+	}
+	if err := json.Unmarshal(get(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("vars endpoint: %v", err)
+	}
+	if vars.MMT.Events != header.Events {
+		t.Fatalf("vars events %d != ledger %d", vars.MMT.Events, header.Events)
+	}
+
+	if sum := get(t, base+"/debug/mmt/summary"); !strings.Contains(string(sum), "alice") {
+		t.Fatalf("summary misses alice:\n%s", sum)
+	}
+	if idx := get(t, base+"/debug/pprof/"); !strings.Contains(string(idx), "goroutine") {
+		t.Fatal("pprof index not served")
+	}
+
+	// Serving is free on the simulated timeline: the only cycles since the
+	// pre-transfer snapshot are the delegation's own.
+	delegated := c.Metrics().TotalCycles() - timelineBefore
+	again := get(t, base+"/debug/mmt/hist")
+	if c.Metrics().TotalCycles()-timelineBefore != delegated {
+		t.Fatal("serving /debug charged simulated cycles")
+	}
+	_ = again
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/debug/vars"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestDebugServerWithoutTracing: the endpoint works (empty documents) on
+// an untraced cluster, and a second Close is a no-op.
+func TestDebugServerWithoutTracing(t *testing.T) {
+	c, err := New(WithTreeLevels(2), WithRegions(2), WithDebugServer("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hist struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(get(t, "http://"+c.DebugAddr()+"/debug/mmt/hist"), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Schema != trace.HistSchema {
+		t.Fatalf("schema = %q", hist.Schema)
+	}
+}
+
+// TestDebugServerBadAddr: an unusable listen address surfaces as a New
+// error instead of a background panic.
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := New(WithDebugServer("256.0.0.1:bad")); err == nil {
+		t.Fatal("want listen error")
+	}
+}

@@ -7,34 +7,55 @@
 //
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -trace trace.json   # + Chrome trace export
+//	go run ./examples/quickstart -stats hist.json -events events.jsonl
+//	go run ./examples/quickstart -debug 127.0.0.1:6060
 //
 // With -trace, the run records cycle-stamped spans and counters from
 // every layer (all timed on the simulated clocks) and writes a Chrome
-// trace-event JSON file — open it in chrome://tracing or Perfetto.
+// trace-event JSON file — open it in chrome://tracing or Perfetto. With
+// -stats / -events the same run also exports the per-operation latency
+// histograms (schema mmt-hist/v1) and the security-event ledger (schema
+// mmt-events/v1) — both render as text tables with `mmt-stat`. With
+// -debug the run serves the live /debug endpoint on the given address
+// and keeps serving after the scenario completes, until interrupted —
+// point `mmt-stat -addr` or a browser at it. Any of these flags enables
+// tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
 
 	"mmt"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	statsPath := flag.String("stats", "", "write the latency-histogram export (mmt-hist/v1 JSON)")
+	eventsPath := flag.String("events", "", "write the security-event ledger export (mmt-events/v1 JSONL)")
+	debugAddr := flag.String("debug", "", "serve the read-only /debug endpoint on this address")
 	flag.Parse()
 
 	var opts []mmt.Option
 	var sink *mmt.TraceSink
-	if *tracePath != "" {
+	if *tracePath != "" || *statsPath != "" || *eventsPath != "" || *debugAddr != "" {
 		sink = mmt.NewTraceSink()
 		opts = append(opts, mmt.WithTracing(sink))
+	}
+	if *debugAddr != "" {
+		opts = append(opts, mmt.WithDebugServer(*debugAddr))
 	}
 	cluster, err := mmt.New(opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if addr := cluster.DebugAddr(); addr != "" {
+		fmt.Printf("debug endpoint: http://%s/debug/mmt/summary\n", addr)
 	}
 	alice, err := cluster.AddMachine("alice")
 	if err != nil {
@@ -82,18 +103,32 @@ func main() {
 		fmt.Println("alice's copy is gone (ownership transferred), as it should be")
 	}
 
-	if sink != nil {
-		f, err := os.Create(*tracePath)
+	export := func(path, what string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := sink.WriteChromeTrace(f); err != nil {
+		if err := write(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s — open in chrome://tracing or https://ui.perfetto.dev\n", *tracePath)
+		fmt.Printf("wrote %s — %s\n", path, what)
+	}
+	export(*tracePath, "open in chrome://tracing or https://ui.perfetto.dev", sink.WriteChromeTrace)
+	export(*statsPath, "latency histograms, render with `mmt-stat`", sink.WriteHistJSON)
+	export(*eventsPath, "security-event ledger, render with `mmt-stat`", sink.WriteEventsJSONL)
+	if sink != nil {
 		fmt.Print(sink.Summary())
+	}
+	if addr := cluster.DebugAddr(); addr != "" {
+		fmt.Printf("serving http://%s/debug — interrupt (Ctrl-C) to exit\n", addr)
+		wait := make(chan os.Signal, 1)
+		signal.Notify(wait, os.Interrupt)
+		<-wait
 	}
 }

@@ -1,4 +1,4 @@
-// Package analyzers is the mmt-vet static-analysis suite: six custom
+// Package analyzers is the mmt-vet static-analysis suite: seven custom
 // analyzers that machine-enforce the repository's determinism and
 // crypto-safety invariants.
 //
@@ -19,6 +19,8 @@
 //   - parclock: par.Map/par.ForEach work units must own the sim.Clocks
 //     they touch; a clock captured from the enclosing scope is shared
 //     across goroutines and breaks the determinism contract.
+//   - eventkind: security-ledger record sites must pass compile-time
+//     constant event kinds, keeping the auditable vocabulary closed.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is self-contained: the module has no
@@ -81,6 +83,7 @@ func All() []*Analyzer {
 		NoPanic,
 		MapOrder,
 		ParClock,
+		EventKind,
 	}
 }
 

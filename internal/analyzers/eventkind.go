@@ -1,0 +1,52 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// EventKind requires every security-ledger record site to name its event
+// kind as a compile-time constant. The ledger is an audit surface: its
+// vocabulary is closed (trace.EventKindByName, mmt-tracecheck's schema
+// check and the mmt-stat renderer all enumerate it), and the exporter
+// writes whatever kind value it is handed. A kind computed at runtime —
+// from an error value, an index, or arithmetic — can silently step
+// outside that vocabulary or, worse, misclassify a rejection, and no
+// schema check downstream can tell. Classification logic must therefore
+// branch explicitly (one constant kind per verdict branch), which is
+// also what keeps the reject paths reviewable.
+var EventKind = &Analyzer{
+	Name: "eventkind",
+	Doc: "require (*trace.Probe).Event call sites to pass a compile-time " +
+		"constant event kind; runtime-computed kinds can leave the ledger's " +
+		"closed vocabulary or misclassify a security verdict",
+	Run: runEventKind,
+}
+
+func runEventKind(pass *Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Event" || fn.Pkg() == nil ||
+				fn.Pkg().Path() != "mmt/internal/trace" || fn.Signature().Recv() == nil {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			kind := call.Args[0]
+			if tv, ok := pass.TypesInfo.Types[kind]; !ok || tv.Value == nil {
+				pass.Reportf(kind.Pos(), "event kind must be a compile-time constant "+
+					"(trace.Ev*); classify verdicts with explicit branches, not computed kinds")
+			}
+			return true
+		})
+	}
+	return nil
+}

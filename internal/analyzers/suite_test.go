@@ -35,6 +35,10 @@ func TestParClock(t *testing.T) {
 	analysistest.Run(t, analyzers.ParClock, "parclock")
 }
 
+func TestEventKind(t *testing.T) {
+	analysistest.Run(t, analyzers.EventKind, "eventkind")
+}
+
 // TestDriverOnRealPackage smoke-tests the go-list driver end to end: the
 // shipped tree must be clean under the full suite for at least one real
 // package (the crypto core, which is also the most invariant-dense).

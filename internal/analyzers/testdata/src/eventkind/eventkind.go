@@ -1,0 +1,62 @@
+// Package eventkind exercises the eventkind analyzer: every
+// (*trace.Probe).Event call site must pass a compile-time constant kind.
+package eventkind
+
+import (
+	"errors"
+
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+)
+
+var errReplay = errors.New("replay")
+
+// constantKinds is the sanctioned shape: classification branches
+// explicitly and each branch names its kind as a constant.
+func constantKinds(p *trace.Probe, now sim.Time, addr uint64, err error) {
+	switch {
+	case errors.Is(err, errReplay):
+		p.Event(trace.EvReplayReject, now, addr, "replayed closure")
+	case err != nil:
+		p.Event(trace.EvMigrationReject, now, addr, err.Error())
+	default:
+		p.Event(trace.EvMigrationAccept, now, addr, "closure installed")
+	}
+}
+
+// localConst: a named constant of the right type is still compile-time.
+func localConst(p *trace.Probe, now sim.Time) {
+	const mine = trace.EvCapDestroy
+	p.Event(mine, now, 0, "capability freed")
+}
+
+// computedKind derives the kind from data — exactly the shape that can
+// leave the ledger's closed vocabulary or mislabel a verdict.
+func computedKind(p *trace.Probe, now sim.Time, rejected bool) {
+	kind := trace.EvMigrationAccept
+	if rejected {
+		kind = trace.EvMigrationReject
+	}
+	p.Event(kind, now, 0, "verdict") // want "event kind must be a compile-time constant"
+}
+
+// arithmeticKind: offsets into the enum are just as unauditable.
+func arithmeticKind(p *trace.Probe, now sim.Time, verdict int) {
+	p.Event(trace.EvIntegrityFail+trace.EventKind(verdict), now, 0, "x") // want "event kind must be a compile-time constant"
+}
+
+// allowed demonstrates suppression for a justified dynamic site.
+func allowed(p *trace.Probe, now sim.Time, kind trace.EventKind) {
+	//mmt:allow eventkind: fixture exercises the suppression path
+	p.Event(kind, now, 0, "suppressed")
+}
+
+// notTheProbe: other methods named Event (or functions) stay out of
+// scope.
+type fake struct{}
+
+func (fake) Event(kind int) {}
+
+func notTheProbe(f fake, k int) {
+	f.Event(k)
+}

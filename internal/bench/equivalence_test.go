@@ -82,6 +82,43 @@ func TestFig11TraceSerialParallelEquivalence(t *testing.T) {
 	}
 }
 
+// TestFig11HistEventsSerialParallelEquivalence: the observability layer
+// rides the same determinism contract — the mmt-hist/v1 histogram export
+// and the mmt-events/v1 security-event ledger export of a fig11 sweep
+// (including its migration-latency scenario, which exercises the full
+// delegation protocol) are byte-identical at 1/2/4/8 workers.
+func TestFig11HistEventsSerialParallelEquivalence(t *testing.T) {
+	exports := func(workers int) ([]byte, []byte) {
+		SetWorkers(workers)
+		defer SetWorkers(1)
+		sink := trace.NewSink()
+		if _, _, err := fig11Traced(2_000, sink); err != nil {
+			t.Fatal(err)
+		}
+		var hist, events bytes.Buffer
+		if err := sink.WriteHistJSON(&hist); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.WriteEventsJSONL(&events); err != nil {
+			t.Fatal(err)
+		}
+		return hist.Bytes(), events.Bytes()
+	}
+	serialHist, serialEvents := exports(1)
+	if len(serialEvents) == 0 || !bytes.Contains(serialEvents, []byte("migration-send")) {
+		t.Fatalf("expected migration events in the ledger export, got:\n%s", serialEvents)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		hist, events := exports(workers)
+		if !bytes.Equal(serialHist, hist) {
+			t.Errorf("workers=%d: mmt-hist/v1 export differs from serial", workers)
+		}
+		if !bytes.Equal(serialEvents, events) {
+			t.Errorf("workers=%d: mmt-events/v1 export differs from serial", workers)
+		}
+	}
+}
+
 // TestMapReduceSerialParallelEquivalence: one traced MMT-shuffle job —
 // output, simulated times, shuffle bytes and the full trace — is
 // identical whether Config.Workers is 1 or saturated.

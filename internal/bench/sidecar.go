@@ -38,6 +38,22 @@ type SidecarCounter struct {
 	Value   uint64 `json:"value"`
 }
 
+// SidecarHist is one (process, operation) latency-histogram summary:
+// the quantiles a dashboard wants without shipping every bucket. Exact
+// bucket counts live in the mmt-hist/v1 export (trace.WriteHistJSON);
+// the sidecar carries the summary so figure results and latency
+// distributions travel in one file.
+type SidecarHist struct {
+	Proc  string     `json:"proc"`
+	Op    string     `json:"op"`
+	Count uint64     `json:"count"`
+	P50   sim.Cycles `json:"p50_cycles"`
+	P90   sim.Cycles `json:"p90_cycles"`
+	P99   sim.Cycles `json:"p99_cycles"`
+	Max   sim.Cycles `json:"max_cycles"`
+	Mean  sim.Cycles `json:"mean_cycles"`
+}
+
 // SidecarProc is one traced process's breakdown (nonzero entries only,
 // in enum order).
 type SidecarProc struct {
@@ -64,6 +80,9 @@ type Sidecar struct {
 	// orders); Sidecar.Check verifies the match.
 	CheckTotalCycles sim.Cycles    `json:"check_total_cycles,omitempty"`
 	Procs            []SidecarProc `json:"procs,omitempty"`
+	// Hists summarizes every nonempty per-operation latency histogram
+	// (proc-major, operation enum order).
+	Hists []SidecarHist `json:"hists,omitempty"`
 }
 
 // Check verifies the phase-sum invariant: when the figure reports a
@@ -78,6 +97,15 @@ func (sc *Sidecar) Check() error {
 	if diff := math.Abs(a - b); diff > 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
 		return fmt.Errorf("fig %s: phase sum %.6f cycles != reported total %.6f cycles",
 			sc.Figure, a, b)
+	}
+	for _, h := range sc.Hists {
+		if h.Count == 0 {
+			return fmt.Errorf("fig %s: empty histogram %s/%s in sidecar", sc.Figure, h.Proc, h.Op)
+		}
+		if !(h.P50 <= h.P90 && h.P90 <= h.P99 && h.P99 <= h.Max) {
+			return fmt.Errorf("fig %s: %s/%s quantiles not monotone: p50=%v p90=%v p99=%v max=%v",
+				sc.Figure, h.Proc, h.Op, h.P50, h.P90, h.P99, h.Max)
+		}
 	}
 	return nil
 }
@@ -114,6 +142,22 @@ func (sc *Sidecar) fillFromMetrics(m trace.Metrics) {
 			}
 		}
 		sc.Procs = append(sc.Procs, proc)
+		for op := trace.Op(0); int(op) < trace.NumOps; op++ {
+			h := &p.Ops[op]
+			if h.Count == 0 {
+				continue
+			}
+			sc.Hists = append(sc.Hists, SidecarHist{
+				Proc:  p.Proc,
+				Op:    op.String(),
+				Count: h.Count,
+				P50:   h.Quantile(0.50),
+				P90:   h.Quantile(0.90),
+				P99:   h.Quantile(0.99),
+				Max:   h.Max,
+				Mean:  h.Mean(),
+			})
+		}
 	}
 }
 
@@ -185,6 +229,10 @@ func sidecarFig11(accesses int) (*Sidecar, error) {
 			{Name: "avg-overhead-3-level", Value: res.Average[3], Unit: "x"},
 			{Name: "avg-overhead-4-level", Value: res.Average[4], Unit: "x"},
 			{Name: "protected-memory", Value: float64(protected), Unit: "cycles"},
+			{Name: "read-p50-idle-cycles", Value: float64(res.Latency.Idle.Quantile(0.50)), Unit: "cycles"},
+			{Name: "read-p99-idle-cycles", Value: float64(res.Latency.Idle.Quantile(0.99)), Unit: "cycles"},
+			{Name: "read-p50-migration-cycles", Value: float64(res.Latency.Busy.Quantile(0.50)), Unit: "cycles"},
+			{Name: "read-p99-migration-cycles", Value: float64(res.Latency.Busy.Quantile(0.99)), Unit: "cycles"},
 		},
 		CheckTotalCycles: protected,
 	}

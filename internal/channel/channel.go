@@ -87,6 +87,7 @@ func NewNonSecure(ep *netsim.Endpoint, peer string, prof *sim.Profile) *NonSecur
 // Send pushes payload to the peer: one remote write, no crypto, no copies.
 func (c *NonSecure) Send(payload []byte) error {
 	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(payload)))
+	c.probe.RecordOp(trace.OpRemoteWrite, c.prof.RemoteWriteCost(len(payload)))
 	c.stats.Messages++
 	c.stats.Bytes += len(payload)
 	c.ep.Send(c.peer, netsim.KindData, payload)

@@ -60,6 +60,9 @@ func (c *Secure) Send(payload []byte) error {
 	c.charge(&c.stats.Memcpy, trace.PhaseMemcpy, c.prof.MemcpyCost(n))
 	// Remote write of the shared buffer.
 	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(wire)))
+	// One send-side op: the sum of the three charges above.
+	c.probe.RecordOp(trace.OpRemoteWrite,
+		c.prof.EncryptCost(n)+c.prof.MemcpyCost(n)+c.prof.RemoteWriteCost(len(wire)))
 	c.stats.Messages++
 	c.stats.Bytes += n
 	c.ep.Send(c.peer, netsim.KindData, wire)
@@ -79,6 +82,11 @@ func (c *Secure) Recv() ([]byte, error) {
 	}
 	seq := binary.LittleEndian.Uint64(m.Payload)
 	if seq != c.recvSeq {
+		if seq < c.recvSeq {
+			c.probe.Event(trace.EvReplayReject, c.ep.Clock().Now(), seq, "secure channel: stale sequence")
+		} else {
+			c.probe.Event(trace.EvReorderReject, c.ep.Clock().Now(), seq, "secure channel: sequence gap")
+		}
 		return nil, fmt.Errorf("channel: sequence %d, want %d (replay or re-order)", seq, c.recvSeq)
 	}
 	n := len(m.Payload) - 8 - c.aead.Overhead()
@@ -86,10 +94,13 @@ func (c *Secure) Recv() ([]byte, error) {
 	c.charge(&c.stats.Memcpy, trace.PhaseMemcpy, c.prof.MemcpyCost(n))
 	// Decrypt and authenticate inside the enclave.
 	c.charge(&c.stats.Decrypt, trace.PhaseDecrypt, c.prof.DecryptCost(n))
+	// One receive-side op: the copy plus the decrypt.
+	c.probe.RecordOp(trace.OpRemoteRead, c.prof.MemcpyCost(n)+c.prof.DecryptCost(n))
 	nonce := make([]byte, c.aead.NonceSize())
 	binary.LittleEndian.PutUint64(nonce, seq)
 	pt, err := c.aead.Open(nil, nonce, m.Payload[8:], nil)
 	if err != nil {
+		c.probe.Event(trace.EvAuthFail, c.ep.Clock().Now(), seq, "secure channel: AEAD open failed")
 		return nil, fmt.Errorf("channel: %w", crypt.ErrAuth)
 	}
 	c.recvSeq++

@@ -20,6 +20,10 @@ var (
 	// ErrAuth: the sealed root failed authentication (tampered or wrong
 	// key).
 	ErrAuth = crypt.ErrAuth
+	// ErrIntegrity: a tree-node or line MAC inside the closure failed
+	// verification during install (re-exported so delegation endpoints
+	// can classify rejection verdicts without importing the tree).
+	ErrIntegrity = engine.ErrIntegrity
 	// ErrStaleCounter: the sender detected, before sealing, that this
 	// MMT's root counter can no longer satisfy the connection's freshness
 	// floor — a later delegation on the same connection already consumed a

@@ -279,9 +279,13 @@ func (c *Controller) SetMode(r int, m Mode) error {
 // MAC) so the trace layer can report the breakdown; every constant is a
 // dyadic rational, so the regrouped float sum is bit-identical to the
 // single-accumulator original.
-func (c *Controller) chargePath(r, line int, extraNodes int) {
+//
+// It returns the total charged cycles and the verification share (root
+// mount + MAC checks) so callers can mirror the same numbers into the
+// per-operation latency histograms. Both are 0 in quiet mode.
+func (c *Controller) chargePath(r, line int, extraNodes int) (total, verify sim.Cycles) {
 	if c.quiet {
-		return
+		return 0, 0
 	}
 	dataCost := c.prof.DRAMAccess + 2 // data line + OTP XOR
 	c.stats.DataAccesses++
@@ -325,6 +329,20 @@ func (c *Controller) chargePath(r, line int, extraNodes int) {
 	cost := dataCost + rootCost + walkCost + macCost
 	c.stats.Cycles += cost
 	c.clock.AdvanceCycles(cost)
+	return cost, rootCost + macCost
+}
+
+// recordAccess mirrors one access's charged cycles into the per-op
+// latency histograms: the whole access under op, the verification share
+// additionally under OpVerify. Quiet-mode accesses charge nothing and
+// arrive here as zeros, recording nothing.
+func (c *Controller) recordAccess(op trace.Op, total, verify sim.Cycles) {
+	if total > 0 {
+		c.probe.RecordOp(op, total)
+	}
+	if verify > 0 {
+		c.probe.RecordOp(trace.OpVerify, verify)
+	}
 }
 
 // Timing-model constants for the tree walk (see chargePath).
@@ -366,8 +384,10 @@ func (c *Controller) ReadInto(r, line int, dst []byte) error {
 		return ErrDisabled
 	}
 	c.stats.Reads++
-	c.chargePath(r, line, 0)
+	total, verify := c.chargePath(r, line, 0)
+	c.recordAccess(trace.OpLocalRead, total, verify)
 	if err := st.tr.VerifyPath(st.eng, st.guaddr, line); err != nil {
+		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "read: tree path")
 		return err
 	}
 	ct := c.mem.LineView(c.lineAddr(r, line))
@@ -375,6 +395,7 @@ func (c *Controller) ReadInto(r, line int, dst []byte) error {
 	// Constant-time compare: the stored line MAC is untrusted (meta-zone)
 	// and a variable-time == would leak matching tag bytes to a prober.
 	if !crypt.TagEqual(st.eng.LineMACBuf(tw, ct, &c.scr), st.lineMACs[line]) {
+		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "read: data line MAC")
 		return fmt.Errorf("%w: data line %d", ErrIntegrity, line)
 	}
 	st.eng.DecryptLineInto(tw, ct, dst, &c.scr)
@@ -396,10 +417,12 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	// Verify-before-write: the tree engine "checks data integrity before
 	// writing".
 	if err := st.tr.VerifyPath(st.eng, st.guaddr, line); err != nil {
+		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "write: tree path")
 		return err
 	}
 	res := st.tr.Update(st.eng, st.guaddr, line)
-	c.chargePath(r, line, res.NodesTouched)
+	total, verify := c.chargePath(r, line, res.NodesTouched)
+	c.recordAccess(trace.OpLocalWrite, total, verify)
 
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: res.LeafCounter}
 	ct := c.lineBuf[:]
@@ -448,6 +471,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	if !found {
 		// Integrity was already verified on the path; reaching here means
 		// the sibling was tampered with between checks.
+		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "overflow: sibling unrecoverable")
 		return fmt.Errorf("%w: sibling line %d unrecoverable during overflow re-encryption", ErrIntegrity, ln)
 	}
 	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: newCtr}
@@ -457,6 +481,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	c.stats.ReencryptedLines++
 	c.probe.Count(trace.CtrReencryptLines, 1)
 	c.probe.AddCycles(trace.PhaseReencrypt, c.prof.DRAMAccess+c.prof.AESLatency)
+	c.probe.RecordOp(trace.OpReencrypt, c.prof.DRAMAccess+c.prof.AESLatency)
 	c.stats.Cycles += c.prof.DRAMAccess + c.prof.AESLatency
 	c.clock.AdvanceCycles(c.prof.DRAMAccess + c.prof.AESLatency)
 	return nil
@@ -477,13 +502,16 @@ func (c *Controller) Access(r, line int, write bool) {
 	} else {
 		c.stats.Reads++
 	}
-	c.chargePath(r, line, 0)
+	total, verify := c.chargePath(r, line, 0)
 	if write {
 		cost := sim.Cycles(c.geo.Levels()) * writeUpdatePerLevel
 		c.probe.AddCycles(trace.PhaseTreeUpdate, cost)
 		c.probe.Count(trace.CtrMACUpdates, uint64(c.geo.Levels()))
 		c.stats.Cycles += cost
 		c.clock.AdvanceCycles(cost)
+		c.recordAccess(trace.OpLocalWrite, total+cost, verify)
+	} else {
+		c.recordAccess(trace.OpLocalRead, total, verify)
 	}
 }
 

@@ -78,7 +78,22 @@ func TestAccessTracedMatchesUntraced(t *testing.T) {
 		t.Fatalf("tracing changed the cost model: %v vs %v cycles",
 			plain.Stats().Cycles, traced.Stats().Cycles)
 	}
-	if got := sink.Snapshot().TotalCycles(); got != traced.Stats().Cycles {
+	m := sink.Snapshot()
+	if got := m.TotalCycles(); got != traced.Stats().Cycles {
 		t.Fatalf("phase totals %v cycles != charged %v cycles", got, traced.Stats().Cycles)
+	}
+	// The per-op latency histograms mirror the same charge points: every
+	// charged access recorded a sample, and the sampled cycles sum to the
+	// charged total (reads + writes cover the whole access path; the
+	// verify histogram re-counts the verification share of those samples).
+	reads, writes := m.Op(trace.OpLocalRead), m.Op(trace.OpLocalWrite)
+	if reads.Count == 0 || writes.Count == 0 {
+		t.Fatalf("histograms empty: reads %d writes %d", reads.Count, writes.Count)
+	}
+	if got := reads.Sum + writes.Sum; got != traced.Stats().Cycles {
+		t.Fatalf("histogram sums %v cycles != charged %v cycles", got, traced.Stats().Cycles)
+	}
+	if v := m.Op(trace.OpVerify); v.Count == 0 || v.Sum > traced.Stats().Cycles {
+		t.Fatalf("verify histogram implausible: %+v", v)
 	}
 }

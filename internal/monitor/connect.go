@@ -6,12 +6,14 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"mmt/internal/attest"
 	"mmt/internal/core"
 	"mmt/internal/crypt"
 	"mmt/internal/netsim"
+	"mmt/internal/sim"
 	"mmt/internal/trace"
 )
 
@@ -301,6 +303,9 @@ func (m *Monitor) SendPMO(caller EnclaveID, cap CapID, connID string, mode core.
 	}
 	closure, err := p.mmt.BeginSend(c.conn, mode)
 	if err != nil {
+		if errors.Is(err, core.ErrStaleCounter) {
+			m.ctl.Trace().Event(trace.EvStaleCounter, m.ctl.Clock().Now(), p.mmt.GUAddr(), "monitor: delegation aborted before seal")
+		}
 		return err
 	}
 	c.pending[p.mmt.GUAddr()] = p
@@ -314,8 +319,10 @@ func (m *Monitor) SendPMO(caller EnclaveID, cap CapID, connID string, mode core.
 	prof := m.ctl.Profile()
 	probe.AddCycles(trace.PhaseDMA, prof.RemoteWriteCost(len(frame)))
 	probe.AddCycles(trace.PhaseDelegation, prof.DelegationFixed)
+	probe.RecordOp(trace.OpMigrationSend, prof.RemoteWriteCost(len(frame))+prof.DelegationFixed)
 	m.ctl.Clock().AdvanceCycles(prof.RemoteWriteCost(len(frame)) + prof.DelegationFixed)
 	m.endpoint.Send(c.PeerMonitor, netsim.KindClosure, frame)
+	probe.Event(trace.EvMigrationSend, m.ctl.Clock().Now(), p.mmt.GUAddr(), "monitor: closure on wire")
 	sp.End(m.ctl.Clock().Now())
 	return nil
 }
@@ -350,10 +357,29 @@ func (m *Monitor) Pump() (bool, error) {
 		if err := c.recv.mmt.Accept(c.conn, wire); err != nil {
 			// Rejected: nack the specific delegation (its cleartext address
 			// hint is readable even when verification fails) and keep the
-			// buffer armed.
+			// buffer armed. Ledger verdicts take constant kinds (mmt-vet
+			// eventkind), hence the explicit classification branches.
 			probe.Count(trace.CtrClosuresRejected, 1)
-			if decoded, derr := core.DecodeClosure(wire); derr == nil {
-				m.sendAck(c, false, decoded.GUAddrHint)
+			now := m.ctl.Clock().Now()
+			var hint uint64
+			decoded, derr := core.DecodeClosure(wire)
+			if derr == nil {
+				hint = decoded.GUAddrHint
+			}
+			switch {
+			case errors.Is(err, core.ErrReplay):
+				probe.Event(trace.EvReplayReject, now, hint, "monitor: counter not fresh")
+			case errors.Is(err, core.ErrReorder):
+				probe.Event(trace.EvReorderReject, now, hint, "monitor: address not monotonic")
+			case errors.Is(err, core.ErrAuth):
+				probe.Event(trace.EvAuthFail, now, hint, "monitor: sealed root unauthentic")
+			case errors.Is(err, core.ErrIntegrity):
+				probe.Event(trace.EvIntegrityFail, now, hint, "monitor: closure contents tampered")
+			default:
+				probe.Event(trace.EvMigrationReject, now, hint, "monitor: malformed closure")
+			}
+			if derr == nil {
+				m.sendAck(c, false, hint)
 			}
 			sp.End(m.ctl.Clock().Now())
 			return true, err
@@ -362,7 +388,9 @@ func (m *Monitor) Pump() (bool, error) {
 		accepted := c.recv.mmt.GUAddr()
 		c.recv = nil
 		probe.Count(trace.CtrClosuresAccepted, 1)
-		m.sendAck(c, true, accepted)
+		ackCost := m.sendAck(c, true, accepted)
+		probe.RecordOp(trace.OpMigrationRecv, ackCost)
+		probe.Event(trace.EvMigrationAccept, m.ctl.Clock().Now(), accepted, "monitor: closure installed")
 		sp.End(m.ctl.Clock().Now())
 		// Re-arm for the next delegation if the pool allows it.
 		if len(m.pool) > 0 {
@@ -390,6 +418,11 @@ func (m *Monitor) Pump() (bool, error) {
 			return true, err
 		}
 		if am.OK {
+			m.ctl.Trace().Event(trace.EvDelegationAck, m.ctl.Clock().Now(), am.GUAddr, "monitor: transfer acknowledged")
+		} else {
+			m.ctl.Trace().Event(trace.EvDelegationAck, m.ctl.Clock().Now(), am.GUAddr, "monitor: transfer nacked")
+		}
+		if am.OK {
 			c.Acked++
 			if !p.mmt.ReadOnly() && p.mmt.State() == core.StateInvalid {
 				// Ownership moved to the peer: free the local region.
@@ -405,14 +438,18 @@ func (m *Monitor) Pump() (bool, error) {
 	}
 }
 
-func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) {
+// sendAck pushes an ack/nack control frame and reports the cycles it
+// charged, so the caller can mirror them into the per-op histograms.
+func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) sim.Cycles {
 	body, err := json.Marshal(ackMsg{Type: "ack", ConnID: c.ID, OK: ok, GUAddr: guaddr})
 	if err != nil {
-		return
+		return 0
 	}
-	m.ctl.Trace().AddCycles(trace.PhaseDelegation, m.ctl.Profile().RemoteWriteCost(len(body)))
-	m.ctl.Clock().AdvanceCycles(m.ctl.Profile().RemoteWriteCost(len(body)))
+	cost := m.ctl.Profile().RemoteWriteCost(len(body))
+	m.ctl.Trace().AddCycles(trace.PhaseDelegation, cost)
+	m.ctl.Clock().AdvanceCycles(cost)
 	m.endpoint.Send(c.PeerMonitor, netsim.KindControl, body)
+	return cost
 }
 
 // PumpAll drains the inbox, returning the first error but continuing to

@@ -22,6 +22,7 @@ import (
 	"mmt/internal/engine"
 	"mmt/internal/forest"
 	"mmt/internal/netsim"
+	"mmt/internal/trace"
 )
 
 // EnclaveID names an enclave on one node.
@@ -171,13 +172,18 @@ func (m *Monitor) DestroyEnclave(id EnclaveID) error {
 	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
 	for _, cap := range caps {
 		p := m.pmos[cap]
-		if p.mmt != nil && p.mmt.State() == core.StateValid {
-			if err := p.mmt.Reclaim(); err != nil {
-				return err
+		var guaddr uint64
+		if p.mmt != nil {
+			guaddr = p.mmt.GUAddr()
+			if p.mmt.State() == core.StateValid {
+				if err := p.mmt.Reclaim(); err != nil {
+					return err
+				}
 			}
 		}
 		m.pool = append(m.pool, p.Region)
 		delete(m.pmos, cap)
+		m.ctl.Trace().Event(trace.EvCapDestroy, m.ctl.Clock().Now(), guaddr, "monitor: enclave destroyed")
 	}
 	delete(m.enclaves, id)
 	return nil
@@ -215,14 +221,19 @@ func (m *Monitor) FreePMO(caller EnclaveID, cap CapID) error {
 	if err != nil {
 		return err
 	}
-	if p.mmt != nil && p.mmt.State() == core.StateValid {
-		if err := p.mmt.Reclaim(); err != nil {
-			return err
+	var guaddr uint64
+	if p.mmt != nil {
+		guaddr = p.mmt.GUAddr()
+		if p.mmt.State() == core.StateValid {
+			if err := p.mmt.Reclaim(); err != nil {
+				return err
+			}
 		}
 	}
 	delete(m.enclaves[p.Owner].caps, cap)
 	delete(m.pmos, cap)
 	m.pool = append(m.pool, p.Region)
+	m.ctl.Trace().Event(trace.EvCapDestroy, m.ctl.Clock().Now(), guaddr, "monitor: capability freed")
 	return nil
 }
 

@@ -171,7 +171,10 @@ func (e *Endpoint) Send(to string, kind Kind, payload []byte) {
 }
 
 // Recv pops the oldest pending message, advancing the receiver's clock to
-// the arrival instant. ok is false when the inbox is empty.
+// the arrival instant. ok is false when the inbox is empty. The wire wait
+// — how far SyncTo moved the receiver's clock — is recorded as an
+// OpRemoteRead latency sample: it is the receive-side charge point the
+// propagation delay mirrors into.
 func (e *Endpoint) Recv() (Message, bool) {
 	n := e.net
 	n.mu.Lock()
@@ -181,6 +184,9 @@ func (e *Endpoint) Recv() (Message, bool) {
 	}
 	m := e.inbox[0]
 	e.inbox = e.inbox[1:]
+	if wait := m.ArriveAt - e.clock.Now(); wait > 0 {
+		e.probe.RecordOp(trace.OpRemoteRead, sim.TimeToCycles(wait, e.clock.Freq()))
+	}
 	e.clock.SyncTo(m.ArriveAt)
 	return m, true
 }

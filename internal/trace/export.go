@@ -76,6 +76,7 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 		return bw.err
 	}
 	m := s.Snapshot()
+	events := s.Events()
 	pids := pidsByName(m.Procs)
 	first := true
 	emit := func(line string) {
@@ -92,7 +93,7 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":1,"args":{"name":%s}}`,
 			pids[p.Proc], jsonString(p.Proc)))
 	}
-	for _, ev := range s.events {
+	for _, ev := range events {
 		begin := ev.Begin.Microseconds()
 		dur := ev.End.Microseconds() - begin
 		if dur < 0 {
@@ -105,7 +106,7 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 	// Counter samples: one "C" event per process at its last span end (or
 	// 0 if the process recorded no spans), carrying final counter values.
 	lastEnd := make(map[string]sim.Time, len(m.Procs))
-	for _, ev := range s.events {
+	for _, ev := range events {
 		if ev.End > lastEnd[ev.Proc] {
 			lastEnd[ev.Proc] = ev.End
 		}

@@ -1,0 +1,192 @@
+package trace
+
+import "mmt/internal/sim"
+
+// EventKind classifies one entry in the security-event ledger. Kinds at
+// record sites must be compile-time constants (enforced by the mmt-vet
+// eventkind analyzer) so the set of auditable verdicts is statically
+// known.
+type EventKind uint8
+
+const (
+	// EvIntegrityFail: a data-line MAC or tree-path verification failed
+	// (engine ErrIntegrity).
+	EvIntegrityFail EventKind = iota
+	// EvAuthFail: a sealed root or AEAD frame failed authentication
+	// (ErrAuth).
+	EvAuthFail
+	// EvReplayReject: a closure was rejected for a non-fresh root counter
+	// (ErrReplay).
+	EvReplayReject
+	// EvReorderReject: a closure was rejected for a non-monotonic
+	// global-unique address (ErrReorder).
+	EvReorderReject
+	// EvStaleCounter: a sender aborted a delegation before sealing
+	// because the connection floor had passed the MMT's counter
+	// (ErrStaleCounter).
+	EvStaleCounter
+	// EvMigrationSend: an MMT closure was sealed and put on the wire.
+	EvMigrationSend
+	// EvMigrationAccept: an incoming MMT closure verified and installed.
+	EvMigrationAccept
+	// EvMigrationReject: an incoming MMT closure was rejected for a
+	// reason other than the specific verdicts above.
+	EvMigrationReject
+	// EvDelegationAck: a delegation ack (or nack) completed the sender
+	// side of a transfer.
+	EvDelegationAck
+	// EvCapDestroy: a capability was destroyed and its region reclaimed.
+	EvCapDestroy
+
+	// NumEventKinds is the number of ledger event kinds.
+	NumEventKinds = int(EvCapDestroy) + 1
+)
+
+var eventKindNames = [NumEventKinds]string{
+	EvIntegrityFail:   "integrity-fail",
+	EvAuthFail:        "auth-fail",
+	EvReplayReject:    "replay-reject",
+	EvReorderReject:   "reorder-reject",
+	EvStaleCounter:    "stale-counter",
+	EvMigrationSend:   "migration-send",
+	EvMigrationAccept: "migration-accept",
+	EvMigrationReject: "migration-reject",
+	EvDelegationAck:   "delegation-ack",
+	EvCapDestroy:      "cap-destroy",
+}
+
+func (k EventKind) String() string {
+	if int(k) < NumEventKinds {
+		return eventKindNames[k]
+	}
+	return "event?"
+}
+
+// EventKindByName reports the kind with the given exporter name.
+func EventKindByName(name string) (EventKind, bool) {
+	for i, n := range eventKindNames {
+		if n == name {
+			return EventKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// SecEvent is one cycle-stamped entry in the security-event ledger.
+type SecEvent struct {
+	// Seq numbers events in record order across the whole sink, starting
+	// at 1. Gaps at the front of a snapshot mean the bounded ledger
+	// dropped the oldest entries.
+	Seq  uint64
+	Proc string
+	Kind EventKind
+	// Time is the recording node's simulated clock at the event.
+	Time sim.Time
+	// Addr is the global-unique address (or region-derived address) the
+	// event concerns; 0 when not applicable.
+	Addr uint64
+	// Detail is a short constant tag chosen at the record site.
+	Detail string
+}
+
+// DefaultEventCap is the default bound of the ledger ring buffer. It is
+// a fixed constant (not tuned per run) so identical workloads keep
+// identical ledgers.
+const DefaultEventCap = 1024
+
+// secLedger is a bounded ring of SecEvents owned by a Sink.
+type secLedger struct {
+	buf  []SecEvent
+	head int    // index of the oldest entry once the ring is full
+	seq  uint64 // total events ever recorded
+	cap  int    // bound; 0 means DefaultEventCap
+}
+
+func (l *secLedger) bound() int {
+	if l.cap <= 0 {
+		return DefaultEventCap
+	}
+	return l.cap
+}
+
+func (l *secLedger) record(ev SecEvent) {
+	l.seq++
+	ev.Seq = l.seq
+	if n := l.bound(); len(l.buf) < n {
+		l.buf = append(l.buf, ev)
+		return
+	}
+	l.buf[l.head] = ev
+	l.head++
+	if l.head == len(l.buf) {
+		l.head = 0
+	}
+}
+
+// snapshot returns the retained events oldest-first.
+func (l *secLedger) snapshot() []SecEvent {
+	out := make([]SecEvent, 0, len(l.buf))
+	out = append(out, l.buf[l.head:]...)
+	out = append(out, l.buf[:l.head]...)
+	return out
+}
+
+func (l *secLedger) reset() {
+	l.buf = l.buf[:0]
+	l.head = 0
+	l.seq = 0
+}
+
+// dropped reports how many events fell off the bounded ring.
+func (l *secLedger) dropped() uint64 { return l.seq - uint64(len(l.buf)) }
+
+// Event appends one security event to the sink's ledger, stamped with
+// the recording node's simulated time. The kind argument must be a
+// compile-time constant (mmt-vet eventkind); detail should be a constant
+// tag so recording stays allocation-free. A nil probe records nothing.
+func (p *Probe) Event(kind EventKind, at sim.Time, addr uint64, detail string) {
+	if p == nil {
+		return
+	}
+	p.sink.mu.Lock()
+	p.sink.ledger.record(SecEvent{Proc: p.proc.name, Kind: kind, Time: at, Addr: addr, Detail: detail})
+	p.sink.mu.Unlock()
+}
+
+// SecEvents returns a copy of the retained security-event ledger,
+// oldest first. A nil sink returns nil.
+func (s *Sink) SecEvents() []SecEvent {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.snapshot()
+}
+
+// EventsDropped reports how many ledger entries were evicted by the
+// ring bound. A nil sink reports 0.
+func (s *Sink) EventsDropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ledger.dropped()
+}
+
+// SetEventCapacity bounds the ledger ring at n entries (n <= 0 restores
+// DefaultEventCap). It must be called before any events are recorded;
+// changing the bound mid-run would make retention depend on call timing.
+func (s *Sink) SetEventCapacity(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ledger.seq == 0 {
+		s.ledger.cap = n
+		s.ledger.buf = nil
+		s.ledger.head = 0
+	}
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mmt/internal/sim"
+)
+
+// TestEventKindNames: every kind has a distinct exporter name and the
+// reverse lookup round-trips (mmt-tracecheck validates against this set).
+func TestEventKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); int(k) < NumEventKinds; k++ {
+		n := k.String()
+		if n == "" || n == "event?" || seen[n] {
+			t.Fatalf("bad kind name %q for %d", n, k)
+		}
+		seen[n] = true
+		got, ok := EventKindByName(n)
+		if !ok || got != k {
+			t.Fatalf("EventKindByName(%q) = %v, %v", n, got, ok)
+		}
+	}
+	if _, ok := EventKindByName("no-such-kind"); ok {
+		t.Fatalf("EventKindByName accepted unknown name")
+	}
+}
+
+// TestLedgerRecordAndSnapshot: events carry monotonic sequence numbers
+// and snapshots are oldest-first copies.
+func TestLedgerRecordAndSnapshot(t *testing.T) {
+	s := NewSink()
+	p := s.Probe("alice")
+	p.Event(EvMigrationSend, sim.Time(1e-6), 0x100, "first")
+	p.Event(EvAuthFail, sim.Time(2e-6), 0x200, "second")
+	evs := s.SecEvents()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].Kind != EvMigrationSend || evs[0].Proc != "alice" || evs[0].Addr != 0x100 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Seq != 2 || evs[1].Detail != "second" {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if s.EventsDropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", s.EventsDropped())
+	}
+	// Snapshot is a copy.
+	evs[0].Detail = "mutated"
+	if s.SecEvents()[0].Detail != "first" {
+		t.Fatalf("SecEvents aliased ledger state")
+	}
+	s.Reset()
+	if len(s.SecEvents()) != 0 || s.EventsDropped() != 0 {
+		t.Fatalf("reset left ledger entries")
+	}
+	// Nil sink forms.
+	var nilSink *Sink
+	if nilSink.SecEvents() != nil || nilSink.EventsDropped() != 0 {
+		t.Fatalf("nil sink ledger not empty")
+	}
+	nilSink.SetEventCapacity(4) // no-op, must not panic
+}
+
+// TestLedgerRingWrap: the bounded ring keeps the newest entries,
+// oldest-first, and reports the eviction count.
+func TestLedgerRingWrap(t *testing.T) {
+	s := NewSink()
+	s.SetEventCapacity(4)
+	p := s.Probe("alice")
+	for i := 0; i < 10; i++ {
+		p.Event(EvReplayReject, sim.Time(float64(i)*1e-6), uint64(i), "e")
+	}
+	evs := s.SecEvents()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want || ev.Addr != want-1 {
+			t.Fatalf("retained[%d] = %+v, want seq %d", i, ev, want)
+		}
+	}
+	if got := s.EventsDropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	// Capacity changes after recording are refused (retention would
+	// otherwise depend on call timing).
+	s.SetEventCapacity(100)
+	p.Event(EvReplayReject, 0, 99, "e")
+	if len(s.SecEvents()) != 4 {
+		t.Fatalf("mid-run capacity change took effect")
+	}
+	// After Reset the bound may change.
+	s.Reset()
+	s.SetEventCapacity(2)
+	for i := 0; i < 3; i++ {
+		p.Event(EvReplayReject, 0, uint64(i), "e")
+	}
+	if got := s.SecEvents(); len(got) != 2 || got[0].Addr != 1 {
+		t.Fatalf("post-reset ring = %+v", got)
+	}
+}
+
+// TestLedgerMergeOrder: merging worker sinks serially in input order
+// reproduces the serial ledger — same kinds, times and sequence numbers.
+func TestLedgerMergeOrder(t *testing.T) {
+	serial := NewSink()
+	sp := serial.Probe("alice")
+	for i := 0; i < 6; i++ {
+		sp.Event(EvMigrationAccept, sim.Time(float64(i)*1e-6), uint64(i), "m")
+	}
+	want := serial.SecEvents()
+
+	root := NewSink()
+	for w := 0; w < 3; w++ {
+		part := NewSink()
+		pp := part.Probe("alice")
+		for i := w * 2; i < w*2+2; i++ {
+			pp.Event(EvMigrationAccept, sim.Time(float64(i)*1e-6), uint64(i), "m")
+		}
+		root.Merge(part)
+	}
+	got := root.SecEvents()
+	if len(got) != len(want) {
+		t.Fatalf("merged = %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEventsJSONLShape: header line carries schema/counts, each event
+// line parses, and the export is byte-deterministic.
+func TestEventsJSONLShape(t *testing.T) {
+	build := func() *Sink {
+		s := NewSink()
+		p := s.Probe("alice")
+		p.Event(EvIntegrityFail, sim.Time(1.5e-6), 0xdead, "read: data line MAC")
+		p.Event(EvCapDestroy, sim.Time(2e-6), 0, "monitor: capability freed")
+		return s
+	}
+	var out bytes.Buffer
+	if err := build().WriteEventsJSONL(&out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out.String())
+	}
+	var hdr struct {
+		Schema  string `json:"schema"`
+		Events  int    `json:"events"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Schema != EventsSchema || hdr.Events != 2 || hdr.Dropped != 0 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	var ev struct {
+		Seq    uint64  `json:"seq"`
+		Proc   string  `json:"proc"`
+		Kind   string  `json:"kind"`
+		TimeUs float64 `json:"time_us"`
+		Addr   string  `json:"addr"`
+		Detail string  `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatalf("event line: %v", err)
+	}
+	if ev.Seq != 1 || ev.Kind != "integrity-fail" || ev.Addr != "0xdead" || ev.TimeUs != 1.5 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if _, ok := EventKindByName(ev.Kind); !ok {
+		t.Fatalf("exported kind %q not resolvable", ev.Kind)
+	}
+	var again bytes.Buffer
+	if err := build().WriteEventsJSONL(&again); err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatalf("identical sinks exported differently")
+	}
+	// Nil sink writes a header with zero events.
+	var empty bytes.Buffer
+	if err := (*Sink)(nil).WriteEventsJSONL(&empty); err != nil {
+		t.Fatalf("nil export: %v", err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(empty.Bytes()))
+	if !sc.Scan() || !strings.Contains(sc.Text(), `"events":0`) || sc.Scan() {
+		t.Fatalf("nil export = %q", empty.String())
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders the histogram and security-event views of a Sink as
+// machine-readable JSON, under the same determinism contract as
+// export.go: hand-assembled output, no map iteration, no wall-clock
+// reads, fixed float formatting — identical runs serialize to identical
+// bytes at any worker count.
+
+// HistSchema identifies the histogram export format.
+const HistSchema = "mmt-hist/v1"
+
+// EventsSchema identifies the security-event ledger export format
+// (JSON Lines: one header object, then one object per event).
+const EventsSchema = "mmt-events/v1"
+
+// WriteHistJSON serializes every non-empty per-operation histogram as a
+// single JSON object (schema mmt-hist/v1). Processes appear in name
+// order, operations in enum order, and only occupied buckets are
+// listed, each with its exclusive upper bound in cycles. Safe on a nil
+// sink (writes an empty procs list).
+func (s *Sink) WriteHistJSON(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.str("{\n  \"schema\": \"" + HistSchema + "\",\n  \"procs\": [")
+	if s != nil {
+		m := s.Snapshot()
+		firstProc := true
+		for i := range m.Procs {
+			p := &m.Procs[i]
+			if !procHasSamples(p) {
+				continue
+			}
+			if !firstProc {
+				bw.str(",")
+			}
+			firstProc = false
+			bw.str("\n    {\"proc\": " + jsonString(p.Proc) + ", \"ops\": [")
+			firstOp := true
+			for op := Op(0); int(op) < NumOps; op++ {
+				h := &p.Ops[op]
+				if h.Count == 0 {
+					continue
+				}
+				if !firstOp {
+					bw.str(",")
+				}
+				firstOp = false
+				bw.str("\n      ")
+				writeHistObject(bw, op, h)
+			}
+			bw.str("\n    ]}")
+		}
+		if !firstProc {
+			bw.str("\n  ")
+		}
+	}
+	bw.str("]\n}\n")
+	return bw.err
+}
+
+func procHasSamples(p *ProcMetrics) bool {
+	for op := range p.Ops {
+		if p.Ops[op].Count != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func writeHistObject(bw *errWriter, op Op, h *Histogram) {
+	bw.str("{\"op\": " + jsonString(op.String()) +
+		", \"count\": " + strconv.FormatUint(h.Count, 10) +
+		", \"sum_cycles\": " + cyc(h.Sum) +
+		", \"min_cycles\": " + cyc(h.Min) +
+		", \"max_cycles\": " + cyc(h.Max) +
+		", \"mean_cycles\": " + cyc(h.Mean()) +
+		", \"p50_cycles\": " + cyc(h.Quantile(0.50)) +
+		", \"p90_cycles\": " + cyc(h.Quantile(0.90)) +
+		", \"p99_cycles\": " + cyc(h.Quantile(0.99)) +
+		", \"buckets\": [")
+	first := true
+	for i := 0; i < HistBuckets; i++ {
+		if h.Buckets[i] == 0 {
+			continue
+		}
+		if !first {
+			bw.str(", ")
+		}
+		first = false
+		bw.str("{\"le_cycles\": " + cyc(BucketBound(i)) +
+			", \"count\": " + strconv.FormatUint(h.Buckets[i], 10) + "}")
+	}
+	bw.str("]}")
+}
+
+// WriteEventsJSONL serializes the security-event ledger as JSON Lines
+// (schema mmt-events/v1): a header object carrying the schema name, the
+// retained event count and the dropped count, then one object per event,
+// oldest first. Safe on a nil sink (writes a header with zero events).
+func (s *Sink) WriteEventsJSONL(w io.Writer) error {
+	bw := &errWriter{w: w}
+	events := s.SecEvents()
+	var dropped uint64
+	if s != nil {
+		dropped = s.EventsDropped()
+	}
+	bw.str(fmt.Sprintf(`{"schema":"%s","events":%d,"dropped":%d}`+"\n",
+		EventsSchema, len(events), dropped))
+	for i := range events {
+		writeSecEventLine(bw, &events[i])
+	}
+	return bw.err
+}
+
+func writeSecEventLine(bw *errWriter, ev *SecEvent) {
+	bw.str(`{"seq":` + strconv.FormatUint(ev.Seq, 10) +
+		`,"proc":` + jsonString(ev.Proc) +
+		`,"kind":` + jsonString(ev.Kind.String()) +
+		`,"time_us":` + usec(ev.Time) +
+		`,"addr":"0x` + strconv.FormatUint(ev.Addr, 16) + `"` +
+		`,"detail":` + jsonString(ev.Detail) + "}\n")
+}

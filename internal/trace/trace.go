@@ -24,12 +24,23 @@
 //	...
 //	sp.End(clk.Now())                             // span end
 //
-// Like sim.Clock, a Sink is not safe for concurrent use: simulated nodes
-// are single-threaded, as in the paper's Gem5 model.
+// Beyond phases and counters, a Sink also aggregates per-operation
+// cycle-latency histograms (hist.go) and a bounded security-event ledger
+// (ledger.go), recorded through the same nil-safe probes.
+//
+// Concurrency: simulated nodes are single-threaded (as in the paper's
+// Gem5 model), but a Sink may be *observed* — Snapshot, Events,
+// SecEvents, the exporters — from other goroutines while a run is in
+// flight (the /debug endpoint does exactly that), and the parallel
+// runner merges worker sinks into a shared root. All mutating and
+// reading entry points therefore take an internal mutex; a nil probe
+// still short-circuits before the lock, so the disabled hot path stays
+// a single branch with zero allocations.
 package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"mmt/internal/sim"
 )
@@ -126,6 +137,9 @@ const (
 	// CtrTreeNodeVerifies: functional node-MAC verifications in the tree
 	// (unlike CtrMACVerifies these ignore the cost model's cache).
 	CtrTreeNodeVerifies
+	// CtrTreeNodeVerifyFails: functional node-MAC verifications that
+	// failed — direct tamper evidence, rendered by mmt-attack.
+	CtrTreeNodeVerifyFails
 	// CtrTreeNodeRehashes: functional node-MAC recomputations.
 	CtrTreeNodeRehashes
 	// CtrClosuresSent / Accepted / Rejected: delegation outcomes.
@@ -150,26 +164,27 @@ const (
 )
 
 var counterNames = [NumCounters]string{
-	CtrTreeNodeWalks:      "tree-node-walks",
-	CtrMACVerifies:        "mac-verifies",
-	CtrMACUpdates:         "mac-updates",
-	CtrNodeCacheHits:      "node-cache-hits",
-	CtrNodeCacheMisses:    "node-cache-misses",
-	CtrRootMounts:         "root-mounts",
-	CtrReencryptLines:     "reencrypt-lines",
-	CtrTreeNodeVerifies:   "tree-node-verifies",
-	CtrTreeNodeRehashes:   "tree-node-rehashes",
-	CtrClosuresSent:       "closures-sent",
-	CtrClosuresAccepted:   "closures-accepted",
-	CtrClosuresRejected:   "closures-rejected",
-	CtrClosureEncodeBytes: "closure-encode-bytes",
-	CtrClosureDecodeBytes: "closure-decode-bytes",
-	CtrWireMsgsData:       "wire-msgs-data",
-	CtrWireMsgsClosure:    "wire-msgs-closure",
-	CtrWireMsgsControl:    "wire-msgs-control",
-	CtrWireBytesData:      "wire-bytes-data",
-	CtrWireBytesClosure:   "wire-bytes-closure",
-	CtrWireBytesControl:   "wire-bytes-control",
+	CtrTreeNodeWalks:       "tree-node-walks",
+	CtrMACVerifies:         "mac-verifies",
+	CtrMACUpdates:          "mac-updates",
+	CtrNodeCacheHits:       "node-cache-hits",
+	CtrNodeCacheMisses:     "node-cache-misses",
+	CtrRootMounts:          "root-mounts",
+	CtrReencryptLines:      "reencrypt-lines",
+	CtrTreeNodeVerifies:    "tree-node-verifies",
+	CtrTreeNodeVerifyFails: "tree-node-verify-fails",
+	CtrTreeNodeRehashes:    "tree-node-rehashes",
+	CtrClosuresSent:        "closures-sent",
+	CtrClosuresAccepted:    "closures-accepted",
+	CtrClosuresRejected:    "closures-rejected",
+	CtrClosureEncodeBytes:  "closure-encode-bytes",
+	CtrClosureDecodeBytes:  "closure-decode-bytes",
+	CtrWireMsgsData:        "wire-msgs-data",
+	CtrWireMsgsClosure:     "wire-msgs-closure",
+	CtrWireMsgsControl:     "wire-msgs-control",
+	CtrWireBytesData:       "wire-bytes-data",
+	CtrWireBytesClosure:    "wire-bytes-closure",
+	CtrWireBytesControl:    "wire-bytes-control",
 }
 
 func (c Counter) String() string {
@@ -192,15 +207,18 @@ type procMetrics struct {
 	name     string
 	counters [NumCounters]uint64
 	cycles   [NumPhases]sim.Cycles
+	ops      [NumOps]Histogram
 }
 
 // Sink aggregates trace data for one cluster or testbed. The zero value
 // is not usable; construct with NewSink. A nil *Sink is valid and means
 // tracing is disabled everywhere it is handed out.
 type Sink struct {
+	mu     sync.Mutex
 	procs  []*procMetrics // registration order; exports sort by name
 	byName map[string]*procMetrics
 	events []Event
+	ledger secLedger
 }
 
 // NewSink returns an empty sink.
@@ -214,6 +232,8 @@ func (s *Sink) Probe(name string) *Probe {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.byName[name]
 	if !ok {
 		p = &procMetrics{name: name}
@@ -229,24 +249,34 @@ func (s *Sink) Reset() {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, p := range s.procs {
 		p.counters = [NumCounters]uint64{}
 		p.cycles = [NumPhases]sim.Cycles{}
+		p.ops = [NumOps]Histogram{}
 	}
 	s.events = nil
+	s.ledger.reset()
 }
 
-// Merge folds src's accumulators and events into s: counters and cycle
-// totals add per process (new processes append in src registration
-// order), events append in src record order. It is the reduction step of
-// the deterministic parallel runner (internal/par): work units record
-// into private sinks and the caller merges them serially in input order,
-// which reproduces the serial run's registration order, float addition
-// order and event order exactly. Nil-safe on either side.
+// Merge folds src's accumulators, events and ledger into s: counters,
+// cycle totals and histograms add per process (new processes append in
+// src registration order), span events and security events append in src
+// record order (ledger sequence numbers are reassigned to s's sequence).
+// It is the reduction step of the deterministic parallel runner
+// (internal/par): work units record into private sinks and the caller
+// merges them serially in input order, which reproduces the serial run's
+// registration order, float addition order and event order exactly.
+// Nil-safe on either side; src must not be concurrently mutated.
 func (s *Sink) Merge(src *Sink) {
 	if s == nil || src == nil {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src.mu.Lock()
+	defer src.mu.Unlock()
 	for _, sp := range src.procs {
 		dst, ok := s.byName[sp.name]
 		if !ok {
@@ -260,8 +290,14 @@ func (s *Sink) Merge(src *Sink) {
 		for ph := range sp.cycles {
 			dst.cycles[ph] += sp.cycles[ph]
 		}
+		for op := range sp.ops {
+			dst.ops[op].MergeFrom(&sp.ops[op])
+		}
 	}
 	s.events = append(s.events, src.events...)
+	for _, ev := range src.ledger.snapshot() {
+		s.ledger.record(ev)
+	}
 }
 
 // Events returns a copy of the recorded spans in record order.
@@ -269,6 +305,8 @@ func (s *Sink) Events() []Event {
 	if s == nil {
 		return nil
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]Event(nil), s.events...)
 }
 
@@ -288,7 +326,9 @@ func (p *Probe) Count(c Counter, n uint64) {
 	if p == nil || c >= NumCounters {
 		return
 	}
+	p.sink.mu.Lock()
 	p.proc.counters[c] += n
+	p.sink.mu.Unlock()
 }
 
 // AddCycles adds n simulated cycles to a phase accumulator.
@@ -296,7 +336,9 @@ func (p *Probe) AddCycles(ph Phase, n sim.Cycles) {
 	if p == nil || ph >= NumPhases {
 		return
 	}
+	p.sink.mu.Lock()
 	p.proc.cycles[ph] += n
+	p.sink.mu.Unlock()
 }
 
 // Begin opens a span at the given simulated instant. The returned Span
@@ -316,7 +358,9 @@ func (p *Probe) Span(ph Phase, begin, end sim.Time) {
 	if end < begin {
 		end = begin
 	}
+	p.sink.mu.Lock()
 	p.sink.events = append(p.sink.events, Event{Proc: p.proc.name, Phase: ph, Begin: begin, End: end})
+	p.sink.mu.Unlock()
 }
 
 // Span is an open interval started by Probe.Begin. The zero value (from
@@ -340,6 +384,7 @@ type ProcMetrics struct {
 	Proc     string
 	Counters [NumCounters]uint64
 	Cycles   [NumPhases]sim.Cycles
+	Ops      [NumOps]Histogram
 }
 
 // Metrics is a copied, immutable snapshot of a sink's accumulators,
@@ -355,9 +400,11 @@ func (s *Sink) Snapshot() Metrics {
 	if s == nil {
 		return Metrics{}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m := Metrics{Procs: make([]ProcMetrics, 0, len(s.procs))}
 	for _, p := range s.procs {
-		m.Procs = append(m.Procs, ProcMetrics{Proc: p.name, Counters: p.counters, Cycles: p.cycles})
+		m.Procs = append(m.Procs, ProcMetrics{Proc: p.name, Counters: p.counters, Cycles: p.cycles, Ops: p.ops})
 	}
 	sortProcs(m.Procs)
 	return m
@@ -404,4 +451,17 @@ func (m Metrics) TotalCycles() sim.Cycles {
 		total += m.PhaseCycles(ph)
 	}
 	return total
+}
+
+// Op merges the named operation's histogram across all processes
+// (process-name order, which is deterministic).
+func (m Metrics) Op(op Op) Histogram {
+	var h Histogram
+	if int(op) >= NumOps {
+		return h
+	}
+	for i := range m.Procs {
+		h.MergeFrom(&m.Procs[i].Ops[op])
+	}
+	return h
 }

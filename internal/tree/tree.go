@@ -200,6 +200,7 @@ func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
 	t.probe.Count(trace.CtrTreeNodeVerifies, 1)
 	want := e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
 	if !crypt.TagEqual(t.levels[l][i].MAC, want) {
+		t.probe.Count(trace.CtrTreeNodeVerifyFails, 1)
 		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
 	}
 	return nil
@@ -240,6 +241,7 @@ func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
 	for l := L - 1; l >= 0; l-- {
 		t.probe.Count(trace.CtrTreeNodeVerifies, 1)
 		if !crypt.TagEqual(t.levels[l][s.nodeIdx[l]].MAC, s.macs[l]) {
+			t.probe.Count(trace.CtrTreeNodeVerifyFails, 1)
 			return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, s.nodeIdx[l])
 		}
 	}

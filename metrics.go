@@ -17,9 +17,26 @@ func (c *Cluster) Metrics() Metrics {
 
 // TraceSink reports the sink installed with WithTracing (nil when
 // tracing is disabled). Use it for the exporters: sink.WriteChromeTrace
-// renders the span timeline for chrome://tracing / Perfetto, and
-// sink.Summary the compact text form.
+// renders the span timeline for chrome://tracing / Perfetto,
+// sink.WriteHistJSON the latency histograms, sink.WriteEventsJSONL the
+// security-event ledger, and sink.Summary the compact text form.
 func (c *Cluster) TraceSink() *TraceSink { return c.opts.Trace }
+
+// Events returns a copy of the cluster's bounded security-event ledger,
+// oldest first: every integrity/authenticity/freshness verdict, every
+// migration and delegation outcome, and every capability destroy, each
+// stamped with the recording machine's simulated clock. Without
+// WithTracing the ledger is empty. The copy never aliases live state.
+func (c *Cluster) Events() []SecurityEvent {
+	return c.opts.Trace.SecEvents()
+}
+
+// EventsDropped reports how many ledger entries the bounded ring evicted
+// (0 without WithTracing). A nonzero value means Events returns only the
+// newest entries; sequence numbers show the gap.
+func (c *Cluster) EventsDropped() uint64 {
+	return c.opts.Trace.EventsDropped()
+}
 
 // BufferStats is a read-only snapshot of one buffer's protection state.
 type BufferStats struct {

@@ -75,6 +75,9 @@ type Options struct {
 	NetLatency sim.Time
 	// Trace, when non-nil, enables cycle-stamped tracing on every machine.
 	Trace *TraceSink
+	// DebugAddr, when non-empty, starts the read-only /debug HTTP server
+	// on that address (see WithDebugServer).
+	DebugAddr string
 }
 
 // Cluster is a set of attested machines on a shared untrusted network,
@@ -87,6 +90,7 @@ type Cluster struct {
 	measurement attest.Measurement
 	net         *netsim.Network
 	machines    map[string]*Machine
+	debug       *debugServer
 }
 
 // NewCluster builds the trust roots and the interconnect.
@@ -121,7 +125,7 @@ func newCluster(opts Options) (*Cluster, error) {
 	}
 	measurement := attest.MeasureSoftware([]byte("mmt-monitor-v1"))
 	authority.AllowMeasurement(measurement)
-	return &Cluster{
+	c := &Cluster{
 		opts:        opts,
 		geometry:    geo,
 		mfr:         mfr,
@@ -129,7 +133,35 @@ func newCluster(opts Options) (*Cluster, error) {
 		measurement: measurement,
 		net:         netsim.NewNetwork(opts.NetLatency),
 		machines:    make(map[string]*Machine),
-	}, nil
+	}
+	if opts.DebugAddr != "" {
+		dbg, err := startDebugServer(opts.DebugAddr, opts.Trace)
+		if err != nil {
+			return nil, err
+		}
+		c.debug = dbg
+	}
+	return c, nil
+}
+
+// DebugAddr reports the listening address of the /debug server ("" when
+// WithDebugServer was not used). With a ":0" request this is the actual
+// port picked by the kernel.
+func (c *Cluster) DebugAddr() string {
+	if c.debug == nil {
+		return ""
+	}
+	return c.debug.addr()
+}
+
+// Close releases host-side resources — today that is only the /debug
+// HTTP server. The simulated state is unaffected; a cluster without a
+// debug server needs no Close.
+func (c *Cluster) Close() error {
+	if c.debug == nil {
+		return nil
+	}
+	return c.debug.close()
 }
 
 // Network exposes the untrusted interconnect, mainly so callers can attach

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -201,6 +202,136 @@ func TestBufferStats(t *testing.T) {
 	}
 	if st2.Machine != "bob" || st2.RootCounter <= before {
 		t.Fatalf("post-transfer stats wrong: %+v (sender counter was %d)", st2, before)
+	}
+}
+
+// TestMidRunSnapshotConsistency drives a stream of delegations while a
+// concurrent observer goroutine polls Metrics() and Events() (the /debug
+// server's access pattern). Every snapshot must be internally consistent
+// — histogram bucket sums match counts, ledger sequence numbers strictly
+// increase, cycle totals never go backwards — and must be a detached
+// copy: mutating a returned snapshot never leaks into later ones. Run
+// with -race this also proves the sink's locking discipline.
+// BufferStats snapshots are taken on the driving goroutine (buffers are
+// single-owner objects; only the trace accessors are concurrency-safe).
+func TestMidRunSnapshotConsistency(t *testing.T) {
+	sink := NewTraceSink()
+	c, err := New(WithTreeLevels(2), WithRegions(8), WithTracing(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := c.AddMachine("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := c.AddMachine("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := c.Connect(alice.Spawn("p", nil), bob.Spawn("q", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	obsErr := make(chan error, 1)
+	go func() {
+		var lastTotal float64
+		for {
+			m := c.Metrics()
+			for i := range m.Procs {
+				p := &m.Procs[i]
+				for op := range p.Ops {
+					h := &p.Ops[op]
+					var n uint64
+					for _, b := range h.Buckets {
+						n += b
+					}
+					if n != h.Count {
+						obsErr <- fmt.Errorf("proc %s op %d: bucket sum %d != count %d", p.Proc, op, n, h.Count)
+						return
+					}
+					if h.Count > 0 && h.Min > h.Max {
+						obsErr <- fmt.Errorf("proc %s op %d: min %v > max %v", p.Proc, op, h.Min, h.Max)
+						return
+					}
+				}
+			}
+			if tot := float64(m.TotalCycles()); tot < lastTotal {
+				obsErr <- fmt.Errorf("cycle total went backwards: %v -> %v", lastTotal, tot)
+				return
+			} else {
+				lastTotal = tot
+			}
+			evs := c.Events()
+			for i := range evs {
+				if evs[i].Detail == "poisoned by observer" {
+					obsErr <- fmt.Errorf("mutated snapshot leaked into the live ledger")
+					return
+				}
+				if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+					obsErr <- fmt.Errorf("ledger seq not increasing: %d after %d", evs[i].Seq, evs[i-1].Seq)
+					return
+				}
+			}
+			// Poison the copies; later snapshots must not see it.
+			for i := range evs {
+				evs[i].Detail = "poisoned by observer"
+			}
+			for i := range m.Procs {
+				m.Procs[i].Ops[0].Count += 1 << 40
+				m.Procs[i].Cycles[0] += 1e12
+			}
+			select {
+			case <-stop:
+				obsErr <- nil
+				return
+			default:
+			}
+		}
+	}()
+
+	for round := 0; round < 6; round++ {
+		buf, err := link.NewBuffer(link.Sender())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := buf.Write(0, []byte("round")); err != nil {
+			t.Fatal(err)
+		}
+		st, err := buf.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Machine != "alice" || st.Mode != "read-write" {
+			t.Fatalf("round %d: bad pre-transfer stats: %+v", round, st)
+		}
+		if err := link.Delegate(buf, OwnershipTransfer); err != nil {
+			t.Fatal(err)
+		}
+		got, err := link.Receive(link.Receiver())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := got.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Machine != "bob" {
+			t.Fatalf("round %d: bad post-transfer stats: %+v", round, st2)
+		}
+		if err := got.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-obsErr; err != nil {
+		t.Fatal(err)
+	}
+	// The poisoned copies never reached the sink: the final snapshot's
+	// totals are sane (a leaked 1e12-cycle bump would dwarf the run).
+	if tot := float64(c.Metrics().TotalCycles()); tot > 1e11 {
+		t.Fatalf("cycle total %v suggests a poisoned snapshot leaked back", tot)
 	}
 }
 

@@ -44,6 +44,24 @@ func WithTracing(sink *TraceSink) Option {
 	return func(o *Options) { o.Trace = sink }
 }
 
+// WithDebugServer starts a read-only HTTP introspection endpoint on addr
+// (e.g. "localhost:6070", or "127.0.0.1:0" to pick a free port — read it
+// back with Cluster.DebugAddr). The server exposes:
+//
+//	/debug/mmt/hist     per-operation latency histograms (mmt-hist/v1)
+//	/debug/mmt/events   the security-event ledger (mmt-events/v1 JSONL)
+//	/debug/mmt/summary  the compact text summary
+//	/debug/vars         expvar-style metrics JSON
+//	/debug/pprof/       the standard Go profiling endpoints
+//
+// Every response is rendered from a copied snapshot: serving never blocks
+// a running simulation, never mutates it, and never charges simulated
+// cycles — the simulated timeline is byte-identical with and without the
+// server attached. Shut it down with Cluster.Close.
+func WithDebugServer(addr string) Option {
+	return func(o *Options) { o.DebugAddr = addr }
+}
+
 // TraceSink collects cycle-stamped events and monotonic counters from
 // every component of a traced cluster. See package mmt/internal/trace
 // for the schema; DESIGN.md documents the phase and counter names.
@@ -61,6 +79,47 @@ func NewTraceSink() *TraceSink { return trace.NewSink() }
 type (
 	TracePhase   = trace.Phase
 	TraceCounter = trace.Counter
+)
+
+// TraceOp labels one operation kind with a cycle-latency histogram in
+// Metrics (see the Op* re-exports); Histogram is the fixed-bucket
+// power-of-two latency distribution itself.
+type (
+	TraceOp   = trace.Op
+	Histogram = trace.Histogram
+)
+
+// Operation re-exports for Metrics.Op.
+const (
+	OpLocalRead     = trace.OpLocalRead
+	OpLocalWrite    = trace.OpLocalWrite
+	OpRemoteRead    = trace.OpRemoteRead
+	OpRemoteWrite   = trace.OpRemoteWrite
+	OpMigrationSend = trace.OpMigrationSend
+	OpMigrationRecv = trace.OpMigrationRecv
+	OpVerify        = trace.OpVerify
+	OpReencrypt     = trace.OpReencrypt
+)
+
+// SecurityEvent is one cycle-stamped entry of the bounded security-event
+// ledger (returned by Cluster.Events); SecurityEventKind classifies it.
+type (
+	SecurityEvent     = trace.SecEvent
+	SecurityEventKind = trace.EventKind
+)
+
+// Security-event kind re-exports for Cluster.Events.
+const (
+	EvIntegrityFail   = trace.EvIntegrityFail
+	EvAuthFail        = trace.EvAuthFail
+	EvReplayReject    = trace.EvReplayReject
+	EvReorderReject   = trace.EvReorderReject
+	EvStaleCounter    = trace.EvStaleCounter
+	EvMigrationSend   = trace.EvMigrationSend
+	EvMigrationAccept = trace.EvMigrationAccept
+	EvMigrationReject = trace.EvMigrationReject
+	EvDelegationAck   = trace.EvDelegationAck
+	EvCapDestroy      = trace.EvCapDestroy
 )
 
 // Phase re-exports for Metrics.PhaseCycles.
@@ -86,26 +145,27 @@ const (
 // adversary's view: messages and bytes per traffic kind, counted at the
 // sending endpoint — exactly what an interposer on the interconnect sees.
 const (
-	CtrTreeNodeWalks      = trace.CtrTreeNodeWalks
-	CtrMACVerifies        = trace.CtrMACVerifies
-	CtrMACUpdates         = trace.CtrMACUpdates
-	CtrNodeCacheHits      = trace.CtrNodeCacheHits
-	CtrNodeCacheMisses    = trace.CtrNodeCacheMisses
-	CtrRootMounts         = trace.CtrRootMounts
-	CtrReencryptLines     = trace.CtrReencryptLines
-	CtrTreeNodeVerifies   = trace.CtrTreeNodeVerifies
-	CtrTreeNodeRehashes   = trace.CtrTreeNodeRehashes
-	CtrClosuresSent       = trace.CtrClosuresSent
-	CtrClosuresAccepted   = trace.CtrClosuresAccepted
-	CtrClosuresRejected   = trace.CtrClosuresRejected
-	CtrClosureEncodeBytes = trace.CtrClosureEncodeBytes
-	CtrClosureDecodeBytes = trace.CtrClosureDecodeBytes
-	CtrWireMsgsData       = trace.CtrWireMsgsData
-	CtrWireMsgsClosure    = trace.CtrWireMsgsClosure
-	CtrWireMsgsControl    = trace.CtrWireMsgsControl
-	CtrWireBytesData      = trace.CtrWireBytesData
-	CtrWireBytesClosure   = trace.CtrWireBytesClosure
-	CtrWireBytesControl   = trace.CtrWireBytesControl
+	CtrTreeNodeWalks       = trace.CtrTreeNodeWalks
+	CtrMACVerifies         = trace.CtrMACVerifies
+	CtrMACUpdates          = trace.CtrMACUpdates
+	CtrNodeCacheHits       = trace.CtrNodeCacheHits
+	CtrNodeCacheMisses     = trace.CtrNodeCacheMisses
+	CtrRootMounts          = trace.CtrRootMounts
+	CtrReencryptLines      = trace.CtrReencryptLines
+	CtrTreeNodeVerifies    = trace.CtrTreeNodeVerifies
+	CtrTreeNodeVerifyFails = trace.CtrTreeNodeVerifyFails
+	CtrTreeNodeRehashes    = trace.CtrTreeNodeRehashes
+	CtrClosuresSent        = trace.CtrClosuresSent
+	CtrClosuresAccepted    = trace.CtrClosuresAccepted
+	CtrClosuresRejected    = trace.CtrClosuresRejected
+	CtrClosureEncodeBytes  = trace.CtrClosureEncodeBytes
+	CtrClosureDecodeBytes  = trace.CtrClosureDecodeBytes
+	CtrWireMsgsData        = trace.CtrWireMsgsData
+	CtrWireMsgsClosure     = trace.CtrWireMsgsClosure
+	CtrWireMsgsControl     = trace.CtrWireMsgsControl
+	CtrWireBytesData       = trace.CtrWireBytesData
+	CtrWireBytesClosure    = trace.CtrWireBytesClosure
+	CtrWireBytesControl    = trace.CtrWireBytesControl
 )
 
 // New builds the trust roots and the interconnect. With no options it
