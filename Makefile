@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-smoke check trace-demo par-demo stat-demo
+.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,21 @@ race:
 vet:
 	$(GO) vet ./...
 
-# mmt-vet: the project's own analyzer suite (simclock, cryptocompare,
-# checkverify, nopanic, maporder, parclock, eventkind). Non-zero exit on
-# any finding.
+# mmt-vet: the project's own ten-analyzer suite (simclock,
+# cryptocompare, checkverify, nopanic, maporder, parclock, eventkind,
+# noalloc, lockorder, phasecharge) plus the //mmt:allow suppression
+# audit. Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mmt-vet ./...
+
+# vet-json: same run, but also writes the machine-readable mmt-vet/v1
+# findings document (CI uploads it as an artifact).
+vet-json:
+	$(GO) run ./cmd/mmt-vet -json -out mmt-vet.json ./...
+
+# allow-prune: list stale //mmt:allow comments ready for removal.
+allow-prune:
+	$(GO) run ./cmd/mmt-vet -fix allow-prune ./...
 
 # bench: measured run of the hot-path kernels (crypt scratch kernels,
 # engine read/write path, cache) plus the public API. The scratch-path

@@ -1,6 +1,6 @@
-// Package analyzers is the mmt-vet static-analysis suite: seven custom
-// analyzers that machine-enforce the repository's determinism and
-// crypto-safety invariants.
+// Package analyzers is the mmt-vet static-analysis suite: ten custom
+// analyzers that machine-enforce the repository's determinism,
+// crypto-safety and hot-path invariants.
 //
 // Every figure and table this repository reproduces must be a pure
 // function of the seed and the internal/sim clock, and every security
@@ -21,6 +21,22 @@
 //     across goroutines and breaks the determinism contract.
 //   - eventkind: security-ledger record sites must pass compile-time
 //     constant event kinds, keeping the auditable vocabulary closed.
+//
+// Three analyzers are built on the shared intra-procedural CFG/dataflow
+// layer (cfg.go, dataflow.go) and see the whole module at once:
+//
+//   - noalloc: functions annotated //mmt:hotpath — and everything they
+//     statically call within the module — must contain no allocation
+//     sites on any path that can reach a success exit, statically
+//     proving the 0-allocs/op claims the crypt/engine benchmarks assert
+//     dynamically.
+//   - lockorder: derives the global mutex-acquisition order from every
+//     Lock/RLock pair and flags pairs acquired in inconsistent order,
+//     plus re-acquisition of a mutex already held.
+//   - phasecharge: every sim.Clock.AdvanceCycles charge site must be
+//     mirrored into exactly one trace phase (Probe.AddCycles) on all
+//     CFG paths, making PR 2's charge-mirror contract a compile-time
+//     guarantee.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is self-contained: the module has no
@@ -44,13 +60,23 @@ import (
 
 // Analyzer describes one static check, mirroring the shape of
 // golang.org/x/tools/go/analysis.Analyzer.
+//
+// Exactly one of Run and RunModule is set: Run analyzers see one package
+// at a time, RunModule analyzers (the call-graph walkers) see every
+// loaded package in a single pass.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //mmt:allow comments.
 	Name string
+	// ID is the stable machine-readable diagnostic ID (MMT001…) used in
+	// -json and -sarif output. IDs are append-only: an analyzer keeps its
+	// ID forever so CI baselines and suppressions stay comparable.
+	ID string
 	// Doc is the one-paragraph description shown by mmt-vet -list.
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// RunModule applies the analyzer to the whole loaded module.
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one package's syntax and type information to an analyzer.
@@ -74,17 +100,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// All returns the full mmt-vet suite in stable order.
+// PackageUnit is one typechecked package inside a ModulePass.
+type PackageUnit struct {
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// ModulePass carries every loaded package to a module-wide analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*PackageUnit
+	Report   func(Diagnostic)
+	// Suppressed reports whether a //mmt:allow comment for this analyzer
+	// covers pos, and marks that comment as used. Analyzers query it to
+	// prune traversals (e.g. noalloc stopping at an allowed call site)
+	// without emitting a diagnostic first; Report applies the same check
+	// automatically.
+	Suppressed func(token.Pos) bool
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full mmt-vet suite in stable order. Diagnostic IDs are
+// assigned in this order and are append-only.
 func All() []*Analyzer {
 	return []*Analyzer{
-		SimClock,
-		CryptoCompare,
-		CheckVerify,
-		NoPanic,
-		MapOrder,
-		ParClock,
-		EventKind,
+		SimClock,      // MMT001
+		CryptoCompare, // MMT002
+		CheckVerify,   // MMT003
+		NoPanic,       // MMT004
+		MapOrder,      // MMT005
+		ParClock,      // MMT006
+		EventKind,     // MMT007
+		NoAlloc,       // MMT008
+		LockOrder,     // MMT009
+		PhaseCharge,   // MMT010
 	}
+}
+
+// UnusedAllowID is the pseudo-rule ID of the suppression audit: an
+// //mmt:allow comment that suppressed nothing in a full run is itself a
+// finding (analyzer name "unusedallow").
+const UnusedAllowID = "MMT900"
+
+// analyzerID resolves an analyzer name to its stable diagnostic ID.
+func analyzerID(name string) string {
+	if name == "unusedallow" {
+		return UnusedAllowID
+	}
+	for _, a := range All() {
+		if a.Name == name {
+			return a.ID
+		}
+	}
+	return "MMT000"
 }
 
 // inScope reports whether a package path is simulation/library code the

@@ -12,6 +12,7 @@ import (
 // the tamper and replay experiments while leaving every test green.
 var CheckVerify = &Analyzer{
 	Name: "checkverify",
+	ID:   "MMT003",
 	Doc: "error/bool results of Verify* functions, AEAD Open and Unseal must " +
 		"not be discarded (no bare call statements, no assignment to _)",
 	Run: runCheckVerify,

@@ -15,6 +15,7 @@ import (
 // bytes.Equal.
 var CryptoCompare = &Analyzer{
 	Name: "cryptocompare",
+	ID:   "MMT002",
 	Doc: "MAC/tag values from crypt.Engine.LineMAC/NodeMAC must not be compared " +
 		"with == / != / bytes.Equal in verification paths; use crypt.TagEqual " +
 		"(constant time) instead",

@@ -30,6 +30,18 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// ID reports the finding's stable diagnostic ID (MMT001…).
+func (f Finding) ID() string { return analyzerID(f.Analyzer) }
+
+// Options tunes a driver run.
+type Options struct {
+	// Audit reports //mmt:allow comments that suppressed nothing during
+	// the run (for analyzers that actually ran) and comments naming
+	// analyzers that do not exist. The findings carry analyzer name
+	// "unusedallow".
+	Audit bool
+}
+
 // listedPackage is the subset of `go list -json` output the driver uses.
 type listedPackage struct {
 	ImportPath  string
@@ -40,21 +52,32 @@ type listedPackage struct {
 	Standard    bool
 	ForTest     string
 	Error       *packageError
+	DepsErrors  []*packageError
 }
 
 // packageError mirrors go list's PackageError JSON shape.
 type packageError struct {
-	Err string
+	ImportStack []string
+	Err         string
 }
 
 // Run loads the packages matching patterns (resolved relative to dir,
 // which must lie inside the module), typechecks them, applies every
-// analyzer, and returns the surviving findings sorted by position.
+// analyzer, and returns the surviving findings sorted by position, with
+// the suppression audit enabled.
+func Run(dir string, patterns []string, as []*Analyzer) ([]Finding, error) {
+	return RunWith(dir, patterns, as, Options{Audit: true})
+}
+
+// RunWith is Run with explicit Options.
 //
 // Packages are enumerated and compiled with `go list -export`; imports
 // are satisfied from the resulting export data, so the driver needs no
 // dependencies beyond the go toolchain already required by tier-1.
-func Run(dir string, patterns []string, as []*Analyzer) ([]Finding, error) {
+// Per-package analyzers see one package at a time; module analyzers see
+// every matched package in one pass (their cross-package call-graph
+// coverage is therefore only complete under ./...).
+func RunWith(dir string, patterns []string, as []*Analyzer, opts Options) ([]Finding, error) {
 	exports, err := exportData(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -68,31 +91,46 @@ func Run(dir string, patterns []string, as []*Analyzer) ([]Finding, error) {
 	}
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, exports)
+	allow := newAllowIndex()
+	var units []*PackageUnit
 	var findings []Finding
 	for _, pkg := range targets {
 		// go list -e tolerates broken patterns so ./... keeps working in a
 		// partially broken tree, but a pattern that resolves to nothing or
 		// to a load error must not pass vacuously.
 		if pkg.Error != nil {
-			return nil, fmt.Errorf("%s: %s", pkg.ImportPath, pkg.Error.Err)
+			return nil, fmt.Errorf("%s: %s", pkg.ImportPath, strings.TrimSpace(pkg.Error.Err))
 		}
 		fs, err := parsePackage(fset, pkg.Dir, append(append([]string{}, pkg.GoFiles...), pkg.TestGoFiles...))
 		if err != nil {
 			return nil, err
 		}
-		pf, err := checkAndRun(fset, fs, pkg.ImportPath, imp, as)
+		unit, err := checkPackage(fset, fs, pkg.ImportPath, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		allow.collect(fset, fs)
+		units = append(units, unit)
+		pf, err := runPackageAnalyzers(fset, unit, as, allow)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
 		}
 		findings = append(findings, pf...)
 	}
+	mf, err := runModuleAnalyzers(fset, units, as, allow)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, mf...)
+	if opts.Audit {
+		findings = append(findings, allow.auditFindings(as)...)
+	}
 	sortFindings(findings)
-	return findings, nil
+	return dedupeFindings(findings), nil
 }
 
-// checkAndRun typechecks one parsed package and applies the analyzers,
-// returning unsorted findings. The analysistest harness shares it.
-func checkAndRun(fset *token.FileSet, files []*ast.File, pkgPath string, imp types.Importer, as []*Analyzer) ([]Finding, error) {
+// checkPackage typechecks one parsed package into a PackageUnit.
+func checkPackage(fset *token.FileSet, files []*ast.File, pkgPath string, imp types.Importer) (*PackageUnit, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -105,28 +143,63 @@ func checkAndRun(fset *token.FileSet, files []*ast.File, pkgPath string, imp typ
 	if err != nil {
 		return nil, fmt.Errorf("typecheck: %w", err)
 	}
-	allow := collectAllows(fset, files)
+	return &PackageUnit{Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// report wraps an analyzer's Report callback with the shared filters:
+// findings in _test.go files are dropped (invariants bind non-test code
+// only) and //mmt:allow suppressions are honored and marked used.
+func report(fset *token.FileSet, name string, allow *allowIndex, findings *[]Finding) func(Diagnostic) {
+	return func(d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			return
+		}
+		if allow.use(name, pos) {
+			return
+		}
+		*findings = append(*findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+	}
+}
+
+func runPackageAnalyzers(fset *token.FileSet, unit *PackageUnit, as []*Analyzer, allow *allowIndex) ([]Finding, error) {
 	var findings []Finding
 	for _, a := range as {
-		a := a
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			Report: func(d Diagnostic) {
-				pos := fset.Position(d.Pos)
-				if strings.HasSuffix(pos.Filename, "_test.go") {
-					return // invariants bind non-test code only
-				}
-				if allow.allows(a.Name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
-			},
+			Files:     unit.Files,
+			Pkg:       unit.Pkg,
+			TypesInfo: unit.TypesInfo,
+			Report:    report(fset, a.Name, allow, &findings),
 		}
 		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+func runModuleAnalyzers(fset *token.FileSet, units []*PackageUnit, as []*Analyzer, allow *allowIndex) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range as {
+		if a.RunModule == nil {
+			continue
+		}
+		name := a.Name
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     fset,
+			Units:    units,
+			Report:   report(fset, name, allow, &findings),
+			Suppressed: func(pos token.Pos) bool {
+				return allow.use(name, fset.Position(pos))
+			},
+		}
+		if err := a.RunModule(mp); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
@@ -145,27 +218,65 @@ func sortFindings(fs []Finding) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
-// allowSet records //mmt:allow comments: analyzer names allowed per
-// (file, line). A comment suppresses findings on its own line and, for
-// standalone comment lines, on the line below.
-type allowSet map[string]map[int]map[string]bool
-
-var allowRe = regexp.MustCompile(`mmt:allow\s+([a-z][a-z0-9_,\s]*)`)
-
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := allowSet{}
-	add := func(file string, line int, name string) {
-		if set[file] == nil {
-			set[file] = map[int]map[string]bool{}
+// dedupeFindings drops findings that repeat an already-reported message
+// at the same position — either the same analyzer firing twice (e.g. a
+// module analyzer reaching one allocation site from two hot roots) or
+// two analyzers wording the same defect identically. Input must be
+// sorted; position order is preserved.
+func dedupeFindings(fs []Finding) []Finding {
+	seen := map[string]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		key := fmt.Sprintf("%s:%d:%d\x00%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+		if seen[key] {
+			continue
 		}
-		if set[file][line] == nil {
-			set[file][line] = map[string]bool{}
+		seen[key] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// allowRecord is one //mmt:allow comment for one analyzer name.
+type allowRecord struct {
+	analyzer string
+	pos      token.Position // the comment's own position
+	used     bool
+}
+
+// allowIndex holds every //mmt:allow comment seen during a run. A
+// comment suppresses findings on its own line and, for standalone
+// comment lines, on the line below; both lines resolve to the same
+// record so a use through either marks the comment live for the audit.
+type allowIndex struct {
+	records []*allowRecord
+	byLine  map[string]map[int]map[string]*allowRecord
+}
+
+// A suppression comment begins with the marker — prose that merely
+// mentions //mmt:allow mid-sentence is not a suppression.
+var allowRe = regexp.MustCompile(`^//mmt:allow\s+([a-z][a-z0-9_]*(?:\s*,\s*[a-z][a-z0-9_]*)*)`)
+
+func newAllowIndex() *allowIndex {
+	return &allowIndex{byLine: map[string]map[int]map[string]*allowRecord{}}
+}
+
+func (ai *allowIndex) collect(fset *token.FileSet, files []*ast.File) {
+	put := func(file string, line int, rec *allowRecord) {
+		if ai.byLine[file] == nil {
+			ai.byLine[file] = map[int]map[string]*allowRecord{}
 		}
-		set[file][line][name] = true
+		if ai.byLine[file][line] == nil {
+			ai.byLine[file][line] = map[string]*allowRecord{}
+		}
+		ai.byLine[file][line][rec.analyzer] = rec
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -180,17 +291,61 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 				}
 				pos := fset.Position(c.Pos())
 				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
-					add(pos.Filename, pos.Line, name)
-					add(pos.Filename, pos.Line+1, name)
+					rec := &allowRecord{analyzer: name, pos: pos}
+					ai.records = append(ai.records, rec)
+					put(pos.Filename, pos.Line, rec)
+					put(pos.Filename, pos.Line+1, rec)
 				}
 			}
 		}
 	}
-	return set
 }
 
-func (s allowSet) allows(analyzer string, pos token.Position) bool {
-	return s[pos.Filename][pos.Line][analyzer]
+// use reports whether an allow for analyzer covers pos, marking the
+// comment used.
+func (ai *allowIndex) use(analyzer string, pos token.Position) bool {
+	rec := ai.byLine[pos.Filename][pos.Line][analyzer]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
+}
+
+// auditFindings turns stale suppressions into findings: allows naming an
+// analyzer that ran but suppressed nothing, and allows naming analyzers
+// that do not exist at all. Allows for known analyzers outside the run
+// set are left alone — a partial -run invocation must not flag them.
+func (ai *allowIndex) auditFindings(ran []*Analyzer) []Finding {
+	ranSet := map[string]bool{}
+	for _, a := range ran {
+		ranSet[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, rec := range ai.records {
+		if rec.used || strings.HasSuffix(rec.pos.Filename, "_test.go") {
+			continue
+		}
+		switch {
+		case !known[rec.analyzer]:
+			out = append(out, Finding{
+				Analyzer: "unusedallow",
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("//mmt:allow names unknown analyzer %q", rec.analyzer),
+			})
+		case ranSet[rec.analyzer]:
+			out = append(out, Finding{
+				Analyzer: "unusedallow",
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("unused //mmt:allow %s: comment suppresses nothing and should be removed", rec.analyzer),
+			})
+		}
+	}
+	return out
 }
 
 func parsePackage(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
@@ -207,38 +362,53 @@ func parsePackage(fset *token.FileSet, dir string, names []string) ([]*ast.File,
 
 // listPackages enumerates the target packages for analysis.
 func listPackages(dir string, patterns []string) ([]listedPackage, error) {
-	return goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,Error"}, patterns...))
+	pkgs, _, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,TestGoFiles,Error"}, patterns...))
+	return pkgs, err
 }
 
 // exportData compiles the patterns (with their test dependencies) and
 // returns import path -> export data file for every reachable package.
-func exportData(dir string, patterns []string) (map[string]string, error) {
-	pkgs, err := goList(dir, append([]string{"-deps", "-test", "-export", "-json=ImportPath,Export,ForTest"}, patterns...))
+// Compile failures in dependencies do not fail the load here — the
+// importer surfaces them with context when the package is actually
+// needed (see exportProblem).
+func exportData(dir string, patterns []string) (map[string]exportEntry, error) {
+	pkgs, stderr, err := goList(dir, append([]string{"-deps", "-test", "-export", "-json=ImportPath,Export,ForTest,Error,DepsErrors"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
-	exports := map[string]string{}
+	exports := map[string]exportEntry{}
 	for _, p := range pkgs {
 		// Skip per-test package variants ("p [p.test]"): importers want
 		// the plain build of p, and test mains are not importable.
 		if p.ForTest != "" || strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
 			continue
 		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+		e := exportEntry{file: p.Export, stderr: stderr}
+		if p.Error != nil {
+			e.problem = strings.TrimSpace(p.Error.Err)
 		}
+		exports[p.ImportPath] = e
 	}
 	return exports, nil
 }
 
-func goList(dir string, args []string) ([]listedPackage, error) {
+// exportEntry is one package's compile outcome from `go list -export`:
+// the export data file when it compiled, and everything known about why
+// it did not otherwise.
+type exportEntry struct {
+	file    string
+	problem string // the package's own load/compile error, if any
+	stderr  string // full go list stderr, for errors reported only there
+}
+
+func goList(dir string, args []string) ([]listedPackage, string, error) {
 	cmd := exec.Command("go", append([]string{"list", "-e"}, args...)...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, stderr.String(), fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
 	var pkgs []listedPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -247,22 +417,35 @@ func goList(dir string, args []string) ([]listedPackage, error) {
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list output: %v", err)
+			return nil, stderr.String(), fmt.Errorf("go list output: %v", err)
 		}
 		pkgs = append(pkgs, p)
 	}
-	return pkgs, nil
+	return pkgs, stderr.String(), nil
 }
 
 // newExportImporter returns a types.Importer backed by gc export data
-// files produced by `go list -export`.
-func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+// files produced by `go list -export`. A missing export (the package
+// failed to compile) produces an error carrying the compiler's own
+// diagnostics instead of an opaque lookup failure: `go list -e -export`
+// exits 0 on compile errors, so without this the only symptom would be
+// "no export data" with the cause swallowed.
+func newExportImporter(fset *token.FileSet, exports map[string]exportEntry) types.Importer {
 	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
+		e, ok := exports[path]
 		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+			return nil, fmt.Errorf("no export data for %q (package not reachable from the analysis patterns)", path)
 		}
-		return os.Open(file)
+		if e.file == "" {
+			if e.problem != "" {
+				return nil, fmt.Errorf("no export data for %q: %s", path, e.problem)
+			}
+			if s := strings.TrimSpace(e.stderr); s != "" {
+				return nil, fmt.Errorf("no export data for %q; go list -export reported:\n%s", path, s)
+			}
+			return nil, fmt.Errorf("no export data for %q (package failed to compile)", path)
+		}
+		return os.Open(e.file)
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 // also what keeps the reject paths reviewable.
 var EventKind = &Analyzer{
 	Name: "eventkind",
+	ID:   "MMT007",
 	Doc: "require (*trace.Probe).Event call sites to pass a compile-time " +
 		"constant event kind; runtime-computed kinds can leave the ledger's " +
 		"closed vocabulary or misclassify a security verdict",

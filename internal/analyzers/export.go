@@ -18,21 +18,48 @@ func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, e
 // ExportData compiles patterns and returns import path -> export data
 // file. dir resolves the patterns ("" means the current directory).
 func ExportData(dir string, patterns []string) (map[string]string, error) {
-	return exportData(dir, patterns)
+	entries, err := exportData(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for path, e := range entries {
+		if e.file != "" {
+			out[path] = e.file
+		}
+	}
+	return out, nil
 }
 
 // NewExportImporter builds a types.Importer over ExportData output.
 func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
-	return newExportImporter(fset, exports)
+	entries := map[string]exportEntry{}
+	for path, file := range exports {
+		entries[path] = exportEntry{file: file}
+	}
+	return newExportImporter(fset, entries)
 }
 
 // CheckAndRun typechecks one parsed package under pkgPath and applies
-// the analyzers, returning position-sorted, unsuppressed findings.
+// the analyzers — per-package and module analyzers alike, the latter
+// over a single-package module view — returning position-sorted,
+// unsuppressed findings.
 func CheckAndRun(fset *token.FileSet, files []*ast.File, pkgPath string, imp types.Importer, as []*Analyzer) ([]Finding, error) {
-	findings, err := checkAndRun(fset, files, pkgPath, imp, as)
+	unit, err := checkPackage(fset, files, pkgPath, imp)
 	if err != nil {
 		return nil, err
 	}
+	allow := newAllowIndex()
+	allow.collect(fset, files)
+	findings, err := runPackageAnalyzers(fset, unit, as, allow)
+	if err != nil {
+		return nil, err
+	}
+	mf, err := runModuleAnalyzers(fset, []*PackageUnit{unit}, as, allow)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, mf...)
 	sortFindings(findings)
-	return findings, nil
+	return dedupeFindings(findings), nil
 }

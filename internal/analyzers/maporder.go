@@ -19,6 +19,7 @@ import (
 // explaining why order cannot matter.
 var MapOrder = &Analyzer{
 	Name: "maporder",
+	ID:   "MMT005",
 	Doc: "flag range over a map whose body has order-dependent effects " +
 		"(hashing, serialization, sends, cycle charging, appends to shared state); " +
 		"iterate sorted keys instead",

@@ -17,6 +17,7 @@ import (
 // //mmt:allow nopanic comment.
 var NoPanic = &Analyzer{
 	Name: "nopanic",
+	ID:   "MMT004",
 	Doc: "no panic() in library packages under internal/; constructors and " +
 		"verifiers must return errors (suppress impossible-state guards with " +
 		"//mmt:allow nopanic: <reason>)",

@@ -15,6 +15,7 @@ import (
 // exactly the nondeterminism the runner is designed to rule out.
 var ParClock = &Analyzer{
 	Name: "parclock",
+	ID:   "MMT006",
 	Doc: "forbid par.Map/par.ForEach work-unit literals from touching a " +
 		"sim.Clock declared outside the literal; each work unit must build " +
 		"and own its clocks so simulated time is independent of scheduling",

@@ -12,6 +12,7 @@ import (
 // calibrated cost model silently stops being reproducible.
 var SimClock = &Analyzer{
 	Name: "simclock",
+	ID:   "MMT001",
 	Doc: "forbid time.Now/time.Sleep/etc. and unseeded math/rand globals in " +
 		"internal/ simulation code; all timing must flow through internal/sim " +
 		"and all randomness through a seeded *rand.Rand",

@@ -39,6 +39,18 @@ func TestEventKind(t *testing.T) {
 	analysistest.Run(t, analyzers.EventKind, "eventkind")
 }
 
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analyzers.NoAlloc, "noalloc")
+}
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analyzers.LockOrder, "lockorder")
+}
+
+func TestPhaseCharge(t *testing.T) {
+	analysistest.Run(t, analyzers.PhaseCharge, "phasecharge")
+}
+
 // TestDriverOnRealPackage smoke-tests the go-list driver end to end: the
 // shipped tree must be clean under the full suite for at least one real
 // package (the crypto core, which is also the most invariant-dense).

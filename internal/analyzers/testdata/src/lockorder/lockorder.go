@@ -1,0 +1,108 @@
+// Package lockorder exercises the lockorder analyzer: a global
+// acquisition order is derived from every Lock/RLock site, and both
+// inconsistent orders (ABBA) and re-acquisitions while held are flagged.
+package lockorder
+
+import "sync"
+
+type shared struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.RWMutex
+}
+
+// ab and ba acquire the same pair in opposite orders — the classic ABBA
+// shape, flagged at both witnessing acquisition sites.
+func ab(s *shared) {
+	s.a.Lock()
+	s.b.Lock() // want "lock order conflict"
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func ba(s *shared) {
+	s.b.Lock()
+	s.a.Lock() // want "lock order conflict"
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// again re-acquires a mutex that is still held.
+func again(s *shared) {
+	s.a.Lock()
+	s.a.Lock() // want "self-deadlock"
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// rlockFirst orders the read lock before a consistently; one direction
+// only, so it is silent.
+func rlockFirst(s *shared) {
+	s.mu.RLock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.mu.RUnlock()
+}
+
+// other exercises the interprocedural summaries on a separate lock pair.
+type other struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func lockD(o *other) {
+	o.d.Lock()
+	o.d.Unlock()
+}
+
+// cThenD acquires d via lockD's summary while holding c; dThenC acquires
+// them directly in the opposite order — a cross-function ABBA.
+func cThenD(o *other) {
+	o.c.Lock()
+	lockD(o) // want "lock order conflict"
+	o.c.Unlock()
+}
+
+func dThenC(o *other) {
+	o.d.Lock()
+	o.c.Lock() // want "lock order conflict"
+	o.c.Unlock()
+	o.d.Unlock()
+}
+
+// reacquire calls a function whose summary re-acquires the held mutex.
+func reacquire(o *other) {
+	o.d.Lock()
+	lockD(o) // want "may re-acquire"
+	o.d.Unlock()
+}
+
+// reacquireAllowed is the suppression idiom: the justification must
+// argue the instances are provably distinct.
+func reacquireAllowed(o *other, p *other) {
+	o.d.Lock()
+	//mmt:allow lockorder: p is a distinct instance passed by the caller
+	lockD(p)
+	o.d.Unlock()
+}
+
+// pair is consistently ordered everywhere — silent, including with
+// deferred unlocks (which hold until return) and early unlock.
+type pair struct {
+	f sync.Mutex
+	g sync.Mutex
+}
+
+func fg1(p *pair) {
+	p.f.Lock()
+	p.g.Lock()
+	p.f.Unlock()
+	p.g.Unlock()
+}
+
+func fg2(p *pair) {
+	p.f.Lock()
+	defer p.f.Unlock()
+	p.g.Lock()
+	defer p.g.Unlock()
+}

@@ -1,0 +1,10 @@
+package lockorder
+
+// Test files are exempt from the ordering policy: this opposite-order
+// acquisition must produce no findings.
+func testOnlyOrder(p *pair) {
+	p.g.Lock()
+	p.f.Lock()
+	p.f.Unlock()
+	p.g.Unlock()
+}

@@ -1,0 +1,9 @@
+package noalloc
+
+// Test files are exempt: hot-path promises bind non-test code only, so
+// this annotated allocating function must produce no findings.
+
+//mmt:hotpath
+func hotTestOnly(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,91 @@
+// Package phasecharge exercises the phasecharge analyzer: every
+// sim.Clock.AdvanceCycles charge must be mirrored into a trace phase
+// (Probe.AddCycles of the same cost expression) on all paths reaching
+// it, and each mirror attributes exactly one charge.
+package phasecharge
+
+import (
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+)
+
+// unmirrored charges with no mirror anywhere.
+func unmirrored(clk *sim.Clock, n sim.Cycles) {
+	clk.AdvanceCycles(n) // want "not mirrored into a trace phase"
+}
+
+// mirrored is the contract shape: mirror, then charge.
+func mirrored(clk *sim.Clock, p *trace.Probe, n sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, n)
+	clk.AdvanceCycles(n)
+}
+
+// branchOnly mirrors on one branch only; the must-join over paths drops
+// the fact, so the charge is flagged.
+func branchOnly(clk *sim.Clock, p *trace.Probe, n sim.Cycles, ok bool) {
+	if ok {
+		p.AddCycles(trace.PhaseMAC, n)
+	}
+	clk.AdvanceCycles(n) // want "not mirrored into a trace phase"
+}
+
+// bothBranches mirrors on every path — silent.
+func bothBranches(clk *sim.Clock, p *trace.Probe, n sim.Cycles, ok bool) {
+	if ok {
+		p.AddCycles(trace.PhaseMAC, n)
+	} else {
+		p.AddCycles(trace.PhaseData, n)
+	}
+	clk.AdvanceCycles(n)
+}
+
+// double mirrors the same cost into two phases — double attribution.
+func double(p *trace.Probe, n sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, n)
+	p.AddCycles(trace.PhaseData, n) // want "double attribution"
+}
+
+// summed charges a+b with the summands mirrored into different phases.
+func summed(clk *sim.Clock, p *trace.Probe, a, b sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, a)
+	p.AddCycles(trace.PhaseData, b)
+	clk.AdvanceCycles(a + b)
+}
+
+// alias is the `cost := a + b` idiom: the alias inherits the mirrors.
+func alias(clk *sim.Clock, p *trace.Probe, a, b sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, a)
+	p.AddCycles(trace.PhaseData, b)
+	cost := a + b
+	clk.AdvanceCycles(cost)
+}
+
+// consumed shows that one mirror attributes one charge: the second
+// charge of the same cost has no live mirror left.
+func consumed(clk *sim.Clock, p *trace.Probe, n sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, n)
+	clk.AdvanceCycles(n)
+	clk.AdvanceCycles(n) // want "not mirrored into a trace phase"
+}
+
+// clobbered rewrites the cost after mirroring, invalidating the fact.
+func clobbered(clk *sim.Clock, p *trace.Probe, n sim.Cycles) {
+	p.AddCycles(trace.PhaseMAC, n)
+	n = n * 2
+	clk.AdvanceCycles(n) // want "not mirrored into a trace phase"
+}
+
+// inLiteral: literals are analyzed independently — a mirror in the
+// enclosing function does not cover a charge inside the literal.
+func inLiteral(clk *sim.Clock, p *trace.Probe, n sim.Cycles) func() {
+	p.AddCycles(trace.PhaseMAC, n)
+	return func() {
+		clk.AdvanceCycles(n) // want "not mirrored into a trace phase"
+	}
+}
+
+// allowedCharge is the suppression idiom for costs accounted elsewhere.
+func allowedCharge(clk *sim.Clock, n sim.Cycles) {
+	//mmt:allow phasecharge: cost is attributed by the caller's wrapper
+	clk.AdvanceCycles(n)
+}

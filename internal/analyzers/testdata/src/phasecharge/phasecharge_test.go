@@ -1,0 +1,8 @@
+package phasecharge
+
+import "mmt/internal/sim"
+
+// Test files are exempt: unmirrored charges here must stay silent.
+func testOnlyCharge(clk *sim.Clock, n sim.Cycles) {
+	clk.AdvanceCycles(n)
+}

@@ -64,6 +64,7 @@ func (e *Engine) macMaskBuf(tw Tweak, domain byte, s *Scratch) uint64 {
 // shot: all four PRF input blocks are staged first, then encrypted block
 // by block straight into s.pad — no per-block output copies, unlike the
 // incremental pad() path. Identical keystream to pad().
+//mmt:hotpath
 func (e *Engine) PadLine(tw Tweak, s *Scratch) *[LineSize]byte {
 	e.tweakBaseInto(tw.GUAddr, tw.Line, 0x01, s)
 	in := s.stage[:]
@@ -87,6 +88,7 @@ func (e *Engine) PadLine(tw Tweak, s *Scratch) *[LineSize]byte {
 // EncryptLineInto is EncryptLine without the allocation: it XORs line
 // with the OTP for tw into dst. line and dst must be LineSize bytes and
 // may alias (in-place re-encryption).
+//mmt:hotpath
 func (e *Engine) EncryptLineInto(tw Tweak, line, dst []byte, s *Scratch) {
 	if len(line) != LineSize || len(dst) != LineSize {
 		//mmt:allow nopanic: caller bug, equivalent to built-in bounds check
@@ -99,12 +101,14 @@ func (e *Engine) EncryptLineInto(tw Tweak, line, dst []byte, s *Scratch) {
 }
 
 // DecryptLineInto is the inverse of EncryptLineInto (XOR is symmetric).
+//mmt:hotpath
 func (e *Engine) DecryptLineInto(tw Tweak, ct, dst []byte, s *Scratch) {
 	e.EncryptLineInto(tw, ct, dst, s)
 }
 
 // LineMACBuf is LineMAC computed through the caller's scratch buffers
 // instead of fresh slices. Identical output to LineMAC.
+//mmt:hotpath
 func (e *Engine) LineMACBuf(tw Tweak, ct []byte, s *Scratch) uint64 {
 	words := s.lineWords[:0]
 	for off := 0; off+8 <= len(ct); off += 8 {
@@ -117,9 +121,11 @@ func (e *Engine) LineMACBuf(tw Tweak, ct []byte, s *Scratch) uint64 {
 
 // NodeMACBuf is NodeMAC computed through the caller's scratch buffers.
 // Identical output to NodeMAC.
+//mmt:hotpath
 func (e *Engine) NodeMACBuf(guaddr uint64, nodeID uint32, parentCounter uint64, counters []uint64, s *Scratch) uint64 {
 	need := len(counters) + 2
 	if cap(s.nodeWords) < need {
+		//mmt:allow noalloc: guarded grow-once; steady state reuses the node word buffer
 		s.nodeWords = make([]uint64, 0, need)
 	}
 	w := s.nodeWords[:0]
@@ -147,15 +153,18 @@ type NodeMACJob struct {
 // the canonical caller: all L node MACs of one walk in one batch.
 //
 // len(out) must be >= len(jobs).
+//mmt:hotpath
 func (e *Engine) NodeMACBatch(guaddr uint64, jobs []NodeMACJob, out []uint64, s *Scratch) {
 	total := 0
 	for i := range jobs {
 		total += len(jobs[i].Counters) + 2
 	}
 	if cap(s.flat) < total {
+		//mmt:allow noalloc: guarded grow-once; steady state reuses the flattened word buffer
 		s.flat = make([]uint64, 0, total)
 	}
 	if cap(s.polys) < len(jobs) {
+		//mmt:allow noalloc: guarded grow-once; steady state reuses the batch poly slots
 		s.polys = make([][]uint64, len(jobs))
 	}
 	flat := s.flat[:0]

@@ -290,6 +290,7 @@ func (c *Controller) chargePath(r, line int, extraNodes int) (total, verify sim.
 	dataCost := c.prof.DRAMAccess + 2 // data line + OTP XOR
 	c.stats.DataAccesses++
 	var rootCost, walkCost, macCost sim.Cycles
+	//mmt:allow noalloc: root-table LRU models the SoC root-mount slots; bounded by table capacity
 	if !c.roots.touch(r) {
 		// Penglai-style root mount: the region's root counter is loaded
 		// into the SoC root table, verified against the sealed copy.
@@ -301,6 +302,7 @@ func (c *Controller) chargePath(r, line int, extraNodes int) (total, verify sim.
 	for l := 0; l < c.geo.Levels(); l++ {
 		walkCost += queuePerLevel
 		key := nodeKey{region: r, level: l, index: c.nodeIndexAt(line, l)}
+		//mmt:allow noalloc: LRU bookkeeping models on-chip SRAM lookup state, not per-access DRAM traffic; entries are bounded by cache capacity
 		if c.cache.touch(key, c.geo.NodeSize(l)) {
 			c.stats.NodeHits++
 			c.probe.Count(trace.CtrNodeCacheHits, 1)
@@ -378,6 +380,7 @@ func (c *Controller) Read(r, line int) ([]byte, error) {
 // verification, line MAC check, OTP decryption — runs through the
 // controller's scratch buffers and performs zero heap allocations
 // (TestReadWriteZeroAlloc), matching the hardware data path it models.
+//mmt:hotpath
 func (c *Controller) ReadInto(r, line int, dst []byte) error {
 	st := c.region(r)
 	if st.mode == ModeDisabled {
@@ -405,6 +408,7 @@ func (c *Controller) ReadInto(r, line int, dst []byte) error {
 // Write verifies the path, advances the counters and stores the encrypted
 // line. Counter overflow triggers the re-encryption of sibling lines
 // (§V-A2's global-counter exhaustion procedure).
+//mmt:hotpath
 func (c *Controller) Write(r, line int, plaintext []byte) error {
 	st := c.region(r)
 	switch st.mode {
@@ -431,6 +435,7 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	st.lineMACs[line] = st.eng.LineMACBuf(tw, ct, &c.scr)
 
 	for _, ln := range res.ReencryptLines {
+		//mmt:allow noalloc: counter-overflow recovery is the rare cold path (once per 2^LocalBits writes per line at worst); its copies are charged to PhaseReencrypt
 		if err := c.reencryptLine(st, r, ln); err != nil {
 			return err
 		}
@@ -496,6 +501,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 // increments a counter and recomputes a MAC at every level and enqueues
 // the dirty nodes for write-back (§V-A2), so deeper trees spend more
 // write-queue occupancy per store.
+//mmt:hotpath
 func (c *Controller) Access(r, line int, write bool) {
 	if write {
 		c.stats.Writes++

@@ -23,6 +23,7 @@ import (
 	"mmt/internal/mem"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// Epsilon, when positive, stops early once the L1 rank delta of an
 	// iteration falls below it (convergence-based termination).
 	Epsilon float64
+	// Trace, when non-nil, receives each machine's compute charges as
+	// app-compute phase cycles (probe "gas-m<i>"). Nil disables tracing
+	// with no overhead.
+	Trace *trace.Sink
 }
 
 // PhaseBreakdown records where one machine's cycles went — the Figure 14b
@@ -142,6 +147,7 @@ type machine struct {
 	id        int
 	clock     *sim.Clock
 	node      *core.Node
+	probe     *trace.Probe
 	sendTo    map[int]channel.Transport
 	recvFrom  map[int]channel.Transport
 	breakdown PhaseBreakdown
@@ -182,6 +188,7 @@ func PageRank(cfg Config, g *workload.Graph) (*Result, error) {
 	machines := make([]*machine, cfg.Machines)
 	for i := range machines {
 		m := &machine{id: i, clock: sim.NewClock(cfg.Profile.FreqHz),
+			probe:  cfg.Trace.Probe(fmt.Sprintf("gas-m%d", i)),
 			sendTo: map[int]channel.Transport{}, recvFrom: map[int]channel.Transport{}}
 		if cfg.Mode == MMT {
 			peers := cfg.Machines - 1
@@ -282,7 +289,9 @@ func PageRank(cfg Config, g *workload.Graph) (*Result, error) {
 					outbox[mi][owner[dst]] = append(outbox[mi][owner[dst]], vertexMsg{Dst: int32(dst), Mass: mass})
 				}
 			}
-			m.clock.AdvanceCycles(sim.Cycles(float64(len(localEdges[mi])) * cfg.ScatterCyclesPerEdge))
+			cost := sim.Cycles(float64(len(localEdges[mi])) * cfg.ScatterCyclesPerEdge)
+			m.probe.AddCycles(trace.PhaseApp, cost)
+			m.clock.AdvanceCycles(cost)
 			chargePhase(m, &m.breakdown.Scatter, start)
 		}
 
@@ -338,10 +347,14 @@ func PageRank(cfg Config, g *workload.Graph) (*Result, error) {
 		}
 		for mi, m := range machines {
 			start := m.clock.Now()
-			m.clock.AdvanceCycles(sim.Cycles(float64(msgsPerMachine[mi]) * cfg.GatherCyclesPerMsg))
+			gatherCost := sim.Cycles(float64(msgsPerMachine[mi]) * cfg.GatherCyclesPerMsg)
+			m.probe.AddCycles(trace.PhaseApp, gatherCost)
+			m.clock.AdvanceCycles(gatherCost)
 			chargePhase(m, &m.breakdown.Gather, start)
 			start = m.clock.Now()
-			m.clock.AdvanceCycles(sim.Cycles(float64(verticesPer[mi]) * cfg.ApplyCyclesPerVertex))
+			applyCost := sim.Cycles(float64(verticesPer[mi]) * cfg.ApplyCyclesPerVertex)
+			m.probe.AddCycles(trace.PhaseApp, applyCost)
+			m.clock.AdvanceCycles(applyCost)
 			chargePhase(m, &m.breakdown.Apply, start)
 		}
 		if cfg.Epsilon > 0 && delta < cfg.Epsilon {

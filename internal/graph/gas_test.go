@@ -2,9 +2,11 @@ package graph
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"mmt/internal/sim"
+	"mmt/internal/trace"
 	"mmt/internal/tree"
 	"mmt/internal/workload"
 )
@@ -206,5 +208,39 @@ func TestEpsilonConvergence(t *testing.T) {
 		if math.Abs(res.Ranks[v]-long[v]) > 1e-12 {
 			t.Fatalf("converged ranks diverge from reference at v%d", v)
 		}
+	}
+}
+
+func TestTraceMirrorsComputePhases(t *testing.T) {
+	g := workload.RandomGraph(5, 500, 4)
+	sink := trace.NewSink()
+	cfg := testConfig(MMT, 3)
+	cfg.Trace = sink
+	res, err := PageRank(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := sink.Snapshot().Procs
+	var mirrored sim.Cycles
+	seen := 0
+	for _, p := range procs {
+		if !strings.HasPrefix(p.Proc, "gas-m") {
+			continue
+		}
+		seen++
+		mirrored += p.Cycles[trace.PhaseApp]
+	}
+	if seen != cfg.Machines {
+		t.Fatalf("expected %d gas-m* probes, saw %d", cfg.Machines, seen)
+	}
+	// Every compute charge (gather, apply, scatter) is mirrored into the
+	// sink as PhaseApp; remote transfer is clock-only, so the sums match
+	// the compute slice of the breakdown exactly.
+	compute := res.Breakdown.Gather + res.Breakdown.Apply + res.Breakdown.Scatter
+	if mirrored != compute {
+		t.Fatalf("mirrored PhaseApp cycles %v != breakdown compute %v", mirrored, compute)
+	}
+	if mirrored == 0 {
+		t.Fatal("mirrored PhaseApp cycles are zero; probes not charging")
 	}
 }

@@ -197,6 +197,7 @@ func (h *Histogram) Mean() sim.Cycles {
 
 // RecordOp adds one cycle-latency sample for op to the probe's process.
 // A nil probe records nothing and costs nothing.
+//mmt:hotpath
 func (p *Probe) RecordOp(op Op, c sim.Cycles) {
 	if p == nil {
 		return

@@ -275,6 +275,10 @@ func (s *Sink) Merge(src *Sink) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// s and src are distinct instances by contract: src is a worker's
+	// private sink being folded into the shared one, and merges run
+	// serially on the coordinating goroutine (see internal/par).
+	//mmt:allow lockorder: distinct Sink instances, serial merge protocol
 	src.mu.Lock()
 	defer src.mu.Unlock()
 	for _, sp := range src.procs {
@@ -322,6 +326,7 @@ type Probe struct {
 func (p *Probe) Enabled() bool { return p != nil }
 
 // Count adds n to a monotonic counter.
+//mmt:hotpath
 func (p *Probe) Count(c Counter, n uint64) {
 	if p == nil || c >= NumCounters {
 		return
@@ -332,6 +337,7 @@ func (p *Probe) Count(c Counter, n uint64) {
 }
 
 // AddCycles adds n simulated cycles to a phase accumulator.
+//mmt:hotpath
 func (p *Probe) AddCycles(ph Phase, n sim.Cycles) {
 	if p == nil || ph >= NumPhases {
 		return

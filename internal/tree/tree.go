@@ -135,6 +135,7 @@ func (t *Tree) counter(l, i, s int) uint64 {
 // this is the counter the crypto engine mixes into the line's OTP and MAC.
 // Called once per protected access, so it computes the leaf coordinates
 // directly instead of materialising the whole path.
+//mmt:hotpath
 func (t *Tree) LeafCounter(line int) uint64 {
 	t.geo.checkLine(line)
 	L := t.geo.Levels()
@@ -161,6 +162,7 @@ func nodeID(level, index int) uint32 { return uint32(level)<<24 | uint32(index)&
 // into the scratch single-node buffer and returns it. The result is valid
 // until the next effCountersInto call.
 func (t *Tree) effCountersInto(l, i int) []uint64 {
+	//mmt:allow noalloc: scratch grows once per geometry change, then steady-state reuse
 	t.ensureScratch()
 	n := &t.levels[l][i]
 	out := t.scr.eff[:len(n.Local)]
@@ -217,7 +219,9 @@ func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
 // then run leaf to root exactly like the serial loop, stopping at the
 // first mismatch, so traces and errors are identical to the unbatched
 // implementation in both success and failure.
+//mmt:hotpath
 func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
+	//mmt:allow noalloc: scratch grows once per geometry change, then steady-state reuse
 	t.ensureScratch()
 	s := &t.scr
 	t.geo.pathInto(line, s.nodeIdx, s.slot)
@@ -280,7 +284,9 @@ type UpdateResult struct {
 // interior slot, and the root counter — handling local-counter overflow,
 // then recomputes the affected node MACs. This is the write path of the
 // integrity tree engine.
+//mmt:hotpath
 func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
+	//mmt:allow noalloc: scratch grows once per geometry change, then steady-state reuse
 	t.ensureScratch()
 	nodeIdx, slot := t.scr.nodeIdx, t.scr.slot
 	t.geo.pathInto(line, nodeIdx, slot)
@@ -325,6 +331,7 @@ func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
 			base := nodeIdx[l] * t.geo.Arities[l]
 			for s := 0; s < t.geo.Arities[l]; s++ {
 				if ln := base + s; ln != line {
+					//mmt:allow noalloc: overflow re-encryption list is the rare cold path; grows once per global-counter exhaustion
 					res.ReencryptLines = append(res.ReencryptLines, ln)
 				}
 			}
