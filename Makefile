@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo
+.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo snapshot-demo crash-sim
 
 build:
 	$(GO) build ./...
@@ -74,5 +74,21 @@ stat-demo:
 	$(GO) run ./cmd/mmt-stat .bench/hist.json .bench/events.jsonl
 	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -out .bench
 	$(GO) run ./cmd/mmt-stat .bench/BENCH_fig11.json
+
+# snapshot-demo: the persistence lifecycle end to end — run the scenario
+# with a store attached (checkpointing as it goes), resume the same
+# cluster from disk in a second process, and validate the exported
+# manifest against its schema.
+snapshot-demo:
+	rm -rf .bench/snapstore
+	$(GO) run ./examples/snapshot -store .bench/snapstore -manifest .bench/manifest.json
+	$(GO) run ./examples/snapshot -store .bench/snapstore -manifest .bench/manifest.json
+	$(GO) run ./cmd/mmt-tracecheck .bench/manifest.json
+
+# crash-sim: the crash simulator — every kill point of a checkpoint
+# sequence under every disk-replay model must recover to a committed,
+# hash-verified snapshot — plus the cross-process migration test.
+crash-sim:
+	$(GO) test -run 'TestCheckpointCrashConsistency|TestCrossProcessMigration|TestCrash' -v . ./internal/store
 
 check: build vet lint test race

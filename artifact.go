@@ -1,0 +1,166 @@
+package mmt
+
+// Artifact is the single-buffer counterpart of a full snapshot: one
+// exported MMT closure, sealed under a link's key, that can leave the
+// process as bytes and be imported by the link's other endpoint in a
+// different process ("save on machine A, load on machine B, delegation
+// resumes"). The closure inside is exactly what delegation puts on the
+// wire, so an imported artifact goes through the same freshness,
+// ordering, authenticity and integrity checks as a live transfer — a
+// stale, replayed or tampered artifact is rejected with the same typed
+// errors.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// artifactMagic tags the serialized artifact framing.
+const artifactMagic = "mmt-artifact/v1\x00"
+
+// ErrBadArtifact: the artifact framing is malformed or its checksum fails
+// (the sealed closure inside has its own cryptographic protection; this
+// error is about the plain file framing around it).
+var ErrBadArtifact = errors.New("mmt: malformed artifact")
+
+// Artifact is one exported MMT closure bound to a link.
+type Artifact struct {
+	linkID string
+	mode   TransferMode
+	wire   []byte
+}
+
+// LinkID reports the link the artifact was exported on; Import must be
+// called on the same link (the closure is sealed under its key).
+func (a *Artifact) LinkID() string { return a.linkID }
+
+// Mode reports the delegation semantics the artifact carries.
+func (a *Artifact) Mode() TransferMode { return a.mode }
+
+// Export seals the buffer's MMT closure into an Artifact instead of
+// sending it over the interconnect. With OwnershipTransfer the local
+// buffer is consumed (its region returns to the pool) the moment the
+// artifact exists — ownership now lives in the artifact until Import
+// accepts it. With OwnershipCopy the local buffer stays live and
+// writable, and the artifact carries a read-only snapshot.
+func (l *Link) Export(b *Buffer, mode TransferMode) (*Artifact, error) {
+	var from *Enclave
+	switch b.machine {
+	case l.a.machine:
+		from = l.a
+	case l.b.machine:
+		from = l.b
+	default:
+		return nil, ErrNotOnLink
+	}
+	if b.owner != from.id {
+		return nil, ErrNotOnLink
+	}
+	wire, err := from.machine.mon.ExportPMO(from.id, b.cap, l.id, mode)
+	if err != nil {
+		return nil, err
+	}
+	l.cluster.markStructural()
+	return &Artifact{linkID: l.id, mode: mode, wire: wire}, nil
+}
+
+// Import accepts an artifact at the link's other endpoint, exactly as if
+// it had arrived by delegation: the receiving monitor verifies freshness
+// against the link's counter floor, ordering against the GUAddr
+// monotonicity rule, and the sealed root's authenticity and integrity
+// before any byte becomes readable. e must be an endpoint of the link
+// and must not be on the exporting machine.
+func (l *Link) Import(a *Artifact, e *Enclave) (*Buffer, error) {
+	if a.linkID != l.id {
+		return nil, fmt.Errorf("mmt: artifact belongs to link %s, not %s", a.linkID, l.id)
+	}
+	if e != l.a && e != l.b {
+		return nil, ErrNotOnLink
+	}
+	p, err := e.machine.mon.ImportClosure(l.id, a.wire)
+	if err != nil {
+		return nil, err
+	}
+	l.cluster.markStructural()
+	return &Buffer{machine: e.machine, owner: p.Owner, cap: p.Cap}, nil
+}
+
+// WriteTo serializes the artifact: magic, mode, link id, sealed closure,
+// CRC-32 over everything before it. (The checksum catches file-level
+// corruption early with a clear error; security does not rest on it —
+// the closure's own MACs do that at Import.)
+func (a *Artifact) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 0, len(artifactMagic)+1+8+len(a.linkID)+len(a.wire)+4)
+	buf = append(buf, artifactMagic...)
+	buf = append(buf, byte(a.mode))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.linkID)))
+	buf = append(buf, a.linkID...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.wire)))
+	buf = append(buf, a.wire...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadArtifact deserializes an artifact written by WriteTo.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(artifactMagic)+1+4+4+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the fixed framing", ErrBadArtifact, len(data))
+	}
+	if string(data[:len(artifactMagic)]) != artifactMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadArtifact)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrBadArtifact, got, sum)
+	}
+	off := len(artifactMagic)
+	mode := TransferMode(body[off])
+	off++
+	take := func(n int) ([]byte, error) {
+		if n < 0 || off+n > len(body) {
+			return nil, fmt.Errorf("%w: truncated field at offset %d", ErrBadArtifact, off)
+		}
+		b := body[off : off+n]
+		off += n
+		return b, nil
+	}
+	lenField := func() (int, error) {
+		b, err := take(4)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.LittleEndian.Uint32(b)), nil
+	}
+	n, err := lenField()
+	if err != nil {
+		return nil, err
+	}
+	linkID, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	n, err = lenField()
+	if err != nil {
+		return nil, err
+	}
+	wire, err := take(n)
+	if err != nil {
+		return nil, err
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadArtifact, len(body)-off)
+	}
+	return &Artifact{
+		linkID: string(linkID),
+		mode:   mode,
+		wire:   append([]byte(nil), wire...),
+	}, nil
+}

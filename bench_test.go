@@ -177,7 +177,7 @@ func BenchmarkAblations(b *testing.B) {
 // ownership-transfer delegation — acquire, seal, wire, verify, install —
 // in host time (the simulated cost is Table IV's 437k cycles).
 func BenchmarkDelegation2M(b *testing.B) {
-	cluster, err := mmt.NewCluster(mmt.Options{RegionsPerMachine: 4})
+	cluster, err := mmt.New(mmt.WithRegions(4))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -20,24 +20,103 @@ import (
 	"os"
 
 	"mmt"
-	"mmt/internal/netsim"
 )
+
+// The adversaries below are written entirely against the public API —
+// mmt.Interposer and mmt.WireMessage — the same surface any user of the
+// package has for building their own wire-level threat models.
+
+// spy copies every payload it sees without modifying anything — the
+// passive eavesdropper. The demo asserts its captures reveal nothing.
+type spy struct {
+	Captured [][]byte
+}
+
+func (s *spy) Intercept(m mmt.WireMessage) []mmt.WireMessage {
+	s.Captured = append(s.Captured, append([]byte(nil), m.Payload...))
+	return []mmt.WireMessage{m}
+}
+
+// tamperer flips one bit at Offset (negative counts from the end) in
+// every payload of the matching kind.
+type tamperer struct {
+	Kind   mmt.WireKind
+	Offset int
+	Bit    uint
+}
+
+func (t *tamperer) Intercept(m mmt.WireMessage) []mmt.WireMessage {
+	if m.Kind == t.Kind && len(m.Payload) > 0 {
+		p := append([]byte(nil), m.Payload...)
+		off := t.Offset % len(p)
+		if off < 0 {
+			off += len(p)
+		}
+		p[off] ^= 1 << (t.Bit % 8)
+		m.Payload = p
+	}
+	return []mmt.WireMessage{m}
+}
+
+// replayer delivers every matching message and, once armed, re-injects a
+// recorded copy of the first one it saw after every subsequent delivery.
+type replayer struct {
+	Kind     mmt.WireKind
+	recorded *mmt.WireMessage
+}
+
+func (r *replayer) Intercept(m mmt.WireMessage) []mmt.WireMessage {
+	if m.Kind != r.Kind {
+		return []mmt.WireMessage{m}
+	}
+	if r.recorded == nil {
+		cp := m
+		cp.Payload = append([]byte(nil), m.Payload...)
+		r.recorded = &cp
+		return []mmt.WireMessage{m}
+	}
+	replay := *r.recorded
+	replay.ArriveAt = m.ArriveAt
+	return []mmt.WireMessage{m, replay}
+}
+
+// reorderer buffers matching messages in pairs and delivers each pair
+// swapped — the re-order attack.
+type reorderer struct {
+	Kind mmt.WireKind
+	held *mmt.WireMessage
+}
+
+func (r *reorderer) Intercept(m mmt.WireMessage) []mmt.WireMessage {
+	if m.Kind != r.Kind {
+		return []mmt.WireMessage{m}
+	}
+	if r.held == nil {
+		cp := m
+		r.held = &cp
+		return nil
+	}
+	first := *r.held
+	r.held = nil
+	first.ArriveAt = m.ArriveAt
+	return []mmt.WireMessage{m, first}
+}
 
 // scenario is one attack demonstration.
 type scenario struct {
 	name       string
-	interposer netsim.Interposer
+	interposer mmt.Interposer
 	// wantReject: the delegation must fail under this adversary.
 	wantReject bool
 }
 
 func scenarios() []scenario {
 	return []scenario{
-		{"passive spy (confidentiality)", &netsim.Spy{}, false},
-		{"bit flip in closure data", &netsim.Tamperer{Kind: netsim.KindClosure, Offset: -3}, true},
-		{"bit flip in sealed root", &netsim.Tamperer{Kind: netsim.KindClosure, Offset: 40}, true},
-		{"replay of a recorded closure", &netsim.Replayer{Kind: netsim.KindClosure}, true},
-		{"re-ordering of two closures", &netsim.Reorderer{Kind: netsim.KindClosure}, true},
+		{"passive spy (confidentiality)", &spy{}, false},
+		{"bit flip in closure data", &tamperer{Kind: mmt.WireClosure, Offset: -3}, true},
+		{"bit flip in sealed root", &tamperer{Kind: mmt.WireClosure, Offset: 40}, true},
+		{"replay of a recorded closure", &replayer{Kind: mmt.WireClosure}, true},
+		{"re-ordering of two closures", &reorderer{Kind: mmt.WireClosure}, true},
 	}
 }
 
@@ -139,18 +218,18 @@ func run(s scenario) (string, error) {
 		return link.Delegate(buf, mmt.OwnershipTransfer)
 	}
 
-	cluster.Network().SetInterposer(s.interposer)
+	cluster.SetInterposer(s.interposer)
 	err = send()
 	if err == nil {
 		switch s.interposer.(type) {
-		case *netsim.Reorderer, *netsim.Replayer:
+		case *reorderer, *replayer:
 			// These adversaries need a second message: the reorderer holds
 			// the first closure until it can swap a pair; the replayer
 			// re-injects its recording after the next delivery.
 			err = send()
 		}
 	}
-	cluster.Network().SetInterposer(nil)
+	cluster.SetInterposer(nil)
 	// Snapshot before the clean retry: this is the traffic the adversary
 	// itself was exposed to, and the verdicts it caused.
 	line := wireView(cluster.Metrics()) + " | " + ledgerView(cluster.Events())
@@ -182,7 +261,7 @@ func run(s scenario) (string, error) {
 	if !bytes.Equal(data, secret) {
 		return "", fmt.Errorf("payload corrupted")
 	}
-	if spy, ok := s.interposer.(*netsim.Spy); ok {
+	if spy, ok := s.interposer.(*spy); ok {
 		for _, p := range spy.Captured {
 			if bytes.Contains(p, secret[:16]) {
 				return "", fmt.Errorf("plaintext leaked on the wire")

@@ -14,6 +14,8 @@
 //	mmt-bench -fig 10,11 -out . # several sidecars into a directory
 //	mmt-bench -fig 11 -parallel 8   # same bytes, less wall-clock
 //	mmt-bench -wallclock -parallel 8 # write the BENCH_wallclock.json host-speed sidecar
+//	mmt-bench -exp all -checkpoint ck        # commit each result durably as it lands
+//	mmt-bench -exp all -checkpoint ck -resume # after a crash: reprint done, run the rest
 //
 // Sidecars are machine-readable companions to the rendered figures: the
 // headline numbers plus the trace-layer breakdown (per-phase simulated
@@ -134,6 +136,8 @@ func main() {
 	out := flag.String("out", ".", "output directory for -fig sidecars")
 	parallel := flag.Int("parallel", 1, "worker goroutines for figure sweeps (results are byte-identical at any setting)")
 	wallclock := flag.Bool("wallclock", false, "write the BENCH_wallclock.json host-speed sidecar and exit")
+	checkpoint := flag.String("checkpoint", "", "directory for the crash-consistent experiment checkpoint store")
+	resume := flag.Bool("resume", false, "with -checkpoint: skip experiments already committed there and reprint their stored output")
 	flag.Parse()
 
 	bench.SetWorkers(*parallel)
@@ -161,7 +165,21 @@ func main() {
 		return
 	}
 
-	runExperiments(opts{accesses: *accesses}, *exp)
+	var bs *benchStore
+	if *checkpoint != "" {
+		var err error
+		bs, err = openBenchStore(*checkpoint, *resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer bs.close()
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint <dir>")
+		os.Exit(2)
+	}
+
+	runExperiments(opts{accesses: *accesses}, *exp, bs)
 }
 
 // writeSidecars emits BENCH_fig<N>.json for each requested figure.
@@ -189,8 +207,11 @@ func writeSidecars(figs, dir string, accesses int) error {
 	return nil
 }
 
-// runExperiments runs the selected rendered tables/figures.
-func runExperiments(o opts, exp string) {
+// runExperiments runs the selected rendered tables/figures. With a
+// checkpoint store, completed experiments come back from the store
+// byte-identically and each fresh result is committed as soon as it
+// renders.
+func runExperiments(o opts, exp string, bs *benchStore) {
 	selected := map[string]bool{}
 	runAll := exp == "all"
 	for _, name := range strings.Split(exp, ",") {
@@ -217,11 +238,24 @@ func runExperiments(o opts, exp string) {
 		if !runAll && !selected[e.name] {
 			continue
 		}
+		if bs != nil {
+			if out, done := bs.resumed(e.name); done {
+				fmt.Fprintf(os.Stderr, "mmt-bench: %s resumed from checkpoint\n", e.name)
+				fmt.Println(out)
+				continue
+			}
+		}
 		out, err := e.run(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			failed = true
 			continue
+		}
+		if bs != nil {
+			if err := bs.complete(e.name, out); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: checkpoint: %v\n", e.name, err)
+				failed = true
+			}
 		}
 		fmt.Println(out)
 	}

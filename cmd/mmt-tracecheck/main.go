@@ -18,6 +18,9 @@
 //     `quickstart -events`): schema "mmt-events/v1", a JSONL header plus
 //     one cycle-stamped event per line with strictly increasing
 //     sequence numbers and known event kinds.
+//   - Snapshot manifests (from Manifest.WriteJSON or Cluster.Save):
+//     schema "mmt-manifest/v1", the root hash plus per-machine summary
+//     of one persisted cluster snapshot.
 //
 // The file kind is detected from the JSON shape (array = Chrome trace;
 // object with a "schema" field = that schema; other object = metrics
@@ -83,6 +86,8 @@ func checkFile(path string) error {
 				return checkHist(data)
 			case "mmt-events/v1":
 				return checkEvents(data)
+			case "mmt-manifest/v1":
+				return checkManifest(data)
 			case "":
 				return checkSidecar(data)
 			default:
@@ -424,6 +429,85 @@ func checkWallclock(data []byte, schema string) error {
 		}
 		if *m.Value < 0 || math.IsNaN(*m.Value) || math.IsInf(*m.Value, 0) {
 			return fmt.Errorf("metric %q: value %v out of range", m.Name, *m.Value)
+		}
+	}
+	return nil
+}
+
+// manifest mirrors mmt.Manifest's JSON form (Manifest.WriteJSON).
+type manifest struct {
+	Schema        string  `json:"schema"`
+	Epoch         *uint64 `json:"epoch"`
+	RootHash      string  `json:"root_hash"`
+	SnapshotBytes *int    `json:"snapshot_bytes"`
+	TreeLevels    int     `json:"tree_levels"`
+	Regions       int     `json:"regions"`
+	Profile       string  `json:"profile"`
+	Machines      []struct {
+		Name        string   `json:"name"`
+		NodeID      *uint16  `json:"node_id"`
+		Clock       *float64 `json:"clock_seconds"`
+		LiveRegions *int     `json:"live_regions"`
+	} `json:"machines"`
+	Links []string `json:"links"`
+}
+
+func checkManifest(data []byte) error {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("not a snapshot manifest: %w", err)
+	}
+	if m.Schema != "mmt-manifest/v1" {
+		return fmt.Errorf("unknown schema %q (want mmt-manifest/v1)", m.Schema)
+	}
+	if m.Epoch == nil || m.SnapshotBytes == nil {
+		return fmt.Errorf("epoch and snapshot_bytes are required")
+	}
+	if len(m.RootHash) != 64 {
+		return fmt.Errorf("root_hash %q is not 64 hex chars", m.RootHash)
+	}
+	for _, c := range m.RootHash {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return fmt.Errorf("root_hash %q is not lowercase hex", m.RootHash)
+		}
+	}
+	if *m.SnapshotBytes <= len(m.RootHash)/2 {
+		return fmt.Errorf("snapshot_bytes %d cannot hold the hash trailer", *m.SnapshotBytes)
+	}
+	if m.TreeLevels < 2 || m.TreeLevels > 4 {
+		return fmt.Errorf("tree_levels %d outside [2,4]", m.TreeLevels)
+	}
+	if m.Regions < 1 {
+		return fmt.Errorf("regions must be >= 1, got %d", m.Regions)
+	}
+	if m.Profile == "" {
+		return fmt.Errorf("profile is required")
+	}
+	if len(m.Machines) == 0 {
+		return fmt.Errorf("no machines")
+	}
+	lastName := ""
+	for i, mc := range m.Machines {
+		if mc.Name == "" {
+			return fmt.Errorf("machine %d: empty name", i)
+		}
+		if lastName != "" && mc.Name <= lastName {
+			return fmt.Errorf("machines not in name order: %q after %q", mc.Name, lastName)
+		}
+		lastName = mc.Name
+		if mc.NodeID == nil || mc.Clock == nil || mc.LiveRegions == nil {
+			return fmt.Errorf("machine %q: node_id, clock_seconds and live_regions are required", mc.Name)
+		}
+		if *mc.Clock < 0 || math.IsNaN(*mc.Clock) || math.IsInf(*mc.Clock, 0) {
+			return fmt.Errorf("machine %q: clock_seconds %v out of range", mc.Name, *mc.Clock)
+		}
+		if *mc.LiveRegions < 0 || *mc.LiveRegions > m.Regions {
+			return fmt.Errorf("machine %q: live_regions %d outside [0,%d]", mc.Name, *mc.LiveRegions, m.Regions)
+		}
+	}
+	for i, l := range m.Links {
+		if l == "" {
+			return fmt.Errorf("link %d: empty id", i)
 		}
 	}
 	return nil

@@ -114,11 +114,23 @@ func runNoAlloc(pass *ModulePass) error {
 
 // isHotPath reports whether decl's doc comment carries //mmt:hotpath.
 func isHotPath(decl *ast.FuncDecl) bool {
+	return hasDocDirective(decl, "//mmt:hotpath")
+}
+
+// isColdPath reports whether decl's doc comment carries //mmt:coldpath —
+// the declaration-side opt-out: the function runs off the critical path
+// (checkpointing, persistence, teardown) and the hot-path walk does not
+// descend into it, however it is reached.
+func isColdPath(decl *ast.FuncDecl) bool {
+	return hasDocDirective(decl, "//mmt:coldpath")
+}
+
+func hasDocDirective(decl *ast.FuncDecl, directive string) bool {
 	if decl.Doc == nil {
 		return false
 	}
 	for _, ln := range decl.Doc.List {
-		if strings.HasPrefix(strings.TrimSpace(ln.Text), "//mmt:hotpath") {
+		if strings.HasPrefix(strings.TrimSpace(ln.Text), directive) {
 			return true
 		}
 	}
@@ -454,12 +466,14 @@ func (c *noallocChecker) checkCall(key funcKey, f *indexedFunc, call *ast.CallEx
 
 	if strings.HasPrefix(pkg.Path(), "mmt/") {
 		// Module callee: traverse, unless the call site is suppressed —
-		// the pruning idiom for amortized/slow-path callees.
+		// the pruning idiom for amortized/slow-path callees — or the callee
+		// itself is declared cold (//mmt:coldpath), the idiom for rare
+		// maintenance work like checkpoint I/O reached from hot code.
 		if c.pass.Suppressed(call.Pos()) {
 			return
 		}
 		callee, calleeKey := c.idx.lookupCall(unit, call)
-		if callee != nil {
+		if callee != nil && !isColdPath(callee.decl) {
 			c.check(calleeKey, callee)
 		}
 		return

@@ -135,3 +135,16 @@ func hotStdlib(b []byte, v int) string {
 	_ = binary.LittleEndian.Uint64(b)
 	return fmt.Sprintf("%d", v) // want "call to fmt.Sprintf may allocate"
 }
+
+// checkpointFlush is declared cold: checkpoint I/O runs off the critical
+// path, so the traversal never descends into it — no call-site
+// suppression needed at its hot callers.
+//mmt:coldpath
+func checkpointFlush(n int) []byte {
+	return make([]byte, n)
+}
+
+//mmt:hotpath
+func hotCallsColdpath(n int) int {
+	return len(checkpointFlush(n))
+}

@@ -1,0 +1,112 @@
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sort"
+
+	"mmt/internal/forest"
+)
+
+// This file is the snapshot layer's view of the attestation identities.
+// Keys are persisted as SEC1 EC private key DER (deterministic encoding,
+// so a save→load→save round trip is byte-identical); everything signed —
+// certificates and reports — is persisted verbatim and re-verified on
+// restore instead of re-signed, because ECDSA signing is randomized and
+// re-signing would break snapshot byte stability.
+
+// MarshalKey exports the manufacturer's signing key.
+func (m *Manufacturer) MarshalKey() ([]byte, error) {
+	return x509.MarshalECPrivateKey(m.priv)
+}
+
+// RestoreManufacturer rebuilds a manufacturer from a MarshalKey blob.
+func RestoreManufacturer(keyDER []byte) (*Manufacturer, error) {
+	priv, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, fmt.Errorf("attest: manufacturer key: %w", err)
+	}
+	return &Manufacturer{priv: priv}, nil
+}
+
+// MarshalKey exports the machine's sealed private key.
+func (m *Machine) MarshalKey() ([]byte, error) {
+	return x509.MarshalECPrivateKey(m.priv)
+}
+
+// RestoreMachine rebuilds a machine identity from its persisted key and
+// certificate, re-verifying the certificate against the manufacturer and
+// checking that it certifies exactly the restored key.
+func RestoreMachine(manufacturer *ecdsa.PublicKey, name string, keyDER []byte, cert Certificate) (*Machine, error) {
+	priv, err := x509.ParseECPrivateKey(keyDER)
+	if err != nil {
+		return nil, fmt.Errorf("attest: machine key: %w", err)
+	}
+	pub, err := VerifyCertificate(manufacturer, &cert)
+	if err != nil {
+		return nil, err
+	}
+	if !pub.Equal(&priv.PublicKey) {
+		return nil, errors.New("attest: restored certificate does not certify the restored machine key")
+	}
+	if cert.Subject != name {
+		return nil, fmt.Errorf("attest: restored certificate subject %q != machine %q", cert.Subject, name)
+	}
+	return &Machine{Name: name, priv: priv, Cert: cert}, nil
+}
+
+// AuthorityState is the authority's persistable state: signing key,
+// measurement whitelist (sorted for deterministic encoding) and the next
+// node id to issue.
+type AuthorityState struct {
+	KeyDER []byte
+	Policy []Measurement
+	NextID forest.NodeID
+}
+
+// MarshalState exports the authority for a snapshot.
+func (a *Authority) MarshalState() (*AuthorityState, error) {
+	keyDER, err := x509.MarshalECPrivateKey(a.signing)
+	if err != nil {
+		return nil, err
+	}
+	policy := make([]Measurement, 0, len(a.policy))
+	for m, ok := range a.policy {
+		if ok {
+			policy = append(policy, m)
+		}
+	}
+	sort.Slice(policy, func(i, j int) bool {
+		for k := range policy[i] {
+			if policy[i][k] != policy[j][k] {
+				return policy[i][k] < policy[j][k]
+			}
+		}
+		return false
+	})
+	return &AuthorityState{KeyDER: keyDER, Policy: policy, NextID: a.nextID}, nil
+}
+
+// RestoreAuthority rebuilds an authority trusting manufacturer from a
+// persisted state.
+func RestoreAuthority(manufacturer *ecdsa.PublicKey, st *AuthorityState) (*Authority, error) {
+	priv, err := x509.ParseECPrivateKey(st.KeyDER)
+	if err != nil {
+		return nil, fmt.Errorf("attest: authority key: %w", err)
+	}
+	if st.NextID < 1 {
+		return nil, fmt.Errorf("attest: authority next id %d < 1", st.NextID)
+	}
+	a := &Authority{
+		manufacturer: manufacturer,
+		signing:      priv,
+		policy:       make(map[Measurement]bool, len(st.Policy)),
+		nextID:       st.NextID,
+	}
+	for _, m := range st.Policy {
+		a.policy[m] = true
+	}
+	return a, nil
+}

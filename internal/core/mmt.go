@@ -75,6 +75,13 @@ func (m *MMT) State() State { return m.state }
 // GUAddr reports the MMT's global-unique address.
 func (m *MMT) GUAddr() uint64 { return m.guaddr }
 
+// Key reports the MMT key. The snapshot layer persists it: it is the only
+// durable copy (hardware would keep it in the sealed root).
+func (m *MMT) Key() crypt.Key { return m.key }
+
+// Mode reports how this MMT arrived / is being sent.
+func (m *MMT) Mode() TransferMode { return m.mode }
+
 // ReadOnly reports whether this MMT arrived as an ownership copy.
 func (m *MMT) ReadOnly() bool { return m.readOnly }
 
@@ -105,6 +112,34 @@ func (n *Node) Get(region int) (*MMT, bool) {
 		return nil, false
 	}
 	return m, true
+}
+
+// AllocNext reports the allocator's next monotonic number (persisted so a
+// reloaded node keeps its strictly-increasing address guarantee).
+func (n *Node) AllocNext() uint64 { return n.alloc.NextValue() }
+
+// RestoreNode rebuilds a core runtime from persisted state: the attested
+// node id plus the allocator's next monotonic number. MMT records are
+// reattached with RestoreMMT.
+func RestoreNode(id forest.NodeID, ctl *engine.Controller, allocNext uint64) (*Node, error) {
+	alloc, err := forest.RestoreAllocator(id, allocNext)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{id: id, ctl: ctl, alloc: alloc, mmts: make(map[int]*MMT)}, nil
+}
+
+// RestoreMMT reattaches a persisted MMT record to region. It only rebuilds
+// the root-state bookkeeping; the region's engine state (tree, ciphertext,
+// MACs) must already have been installed — and therefore cryptographically
+// verified — through the controller before calling this.
+func (n *Node) RestoreMMT(region int, st State, key crypt.Key, guaddr uint64, mode TransferMode, readOnly bool) (*MMT, error) {
+	if old := n.mmts[region]; old != nil && old.state != StateInvalid {
+		return nil, fmt.Errorf("%w: region %d is %v", ErrState, region, old.state)
+	}
+	m := &MMT{node: n, region: region, state: st, key: key, guaddr: guaddr, mode: mode, readOnly: readOnly}
+	n.mmts[region] = m
+	return m, nil
 }
 
 // Read decrypts one line of the MMT's region (verifying the path).
@@ -182,6 +217,20 @@ func NewConn(key crypt.Key, initCounter uint64) *Conn {
 
 // Key reports the agreed MMT key.
 func (c *Conn) Key() crypt.Key { return c.key }
+
+// LastCounter reports the freshness floor (last accepted root counter).
+func (c *Conn) LastCounter() uint64 { return c.lastCounter }
+
+// LastGUAddr reports the ordering floor (last accepted global-unique
+// address).
+func (c *Conn) LastGUAddr() uint64 { return c.lastGUAddr }
+
+// RestoreConn rebuilds a connection endpoint from persisted floors, so a
+// reloaded cluster keeps rejecting exactly the replays and re-orderings
+// the live one would have.
+func RestoreConn(key crypt.Key, lastCounter, lastGUAddr uint64) *Conn {
+	return &Conn{key: key, lastCounter: lastCounter, lastGUAddr: lastGUAddr}
+}
 
 // NextCounter returns a root-counter initial value guaranteed fresh for
 // the next buffer acquired on this connection.

@@ -52,6 +52,13 @@ func (rt *Runtime) Spawn(name string, image []byte) *Enclave {
 	return &Enclave{rt: rt, id: e.ID}
 }
 
+// Adopt wraps an enclave id that already exists in the monitor — snapshot
+// recovery restores the monitor's enclave table first, then rebuilds the
+// runtime handles with Adopt instead of minting fresh ids via Spawn.
+func (rt *Runtime) Adopt(id monitor.EnclaveID) *Enclave {
+	return &Enclave{rt: rt, id: id}
+}
+
 // ID reports the enclave's monitor-assigned id.
 func (e *Enclave) ID() monitor.EnclaveID { return e.id }
 

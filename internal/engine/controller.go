@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"mmt/internal/crypt"
 	"mmt/internal/mem"
@@ -77,6 +78,16 @@ type regionState struct {
 	tr       *tree.Tree
 	guaddr   uint64
 	lineMACs []uint64
+	// dirtyLines is a preallocated bitset of data lines mutated since the
+	// last checkpoint commit; together with the tree's dirty-node bits it
+	// drives the mmt-store/v1 delta stream. Marked on the hot write path
+	// (pure bit arithmetic, no allocation).
+	dirtyLines []uint64
+}
+
+// markLine flags a line as dirty for the checkpoint stream.
+func (st *regionState) markLine(line int) {
+	st.dirtyLines[line>>6] |= uint64(1) << (uint(line) & 63)
 }
 
 // Controller is one node's MMT-extended memory controller.
@@ -215,7 +226,11 @@ func (c *Controller) Enable(r int, key crypt.Key, guaddr, rootCounter uint64) er
 		eng.XORPad(tw, buf)
 		macs[line] = eng.LineMAC(tw, buf)
 	}
-	*st = regionState{mode: ModeReadWrite, eng: eng, tr: tr, guaddr: guaddr, lineMACs: macs}
+	*st = regionState{mode: ModeReadWrite, eng: eng, tr: tr, guaddr: guaddr, lineMACs: macs,
+		dirtyLines: make([]uint64, (c.geo.Lines()+63)/64)}
+	for line := range c.geo.Lines() {
+		st.markLine(line) // freshly encrypted contents have never been checkpointed
+	}
 	c.mem.SetRegionKind(r, mem.KindSecure)
 	c.cache.invalidateRegion(r)
 	return nil
@@ -433,9 +448,9 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	st.eng.EncryptLineInto(tw, plaintext, ct, &c.scr)
 	c.mem.WriteLine(c.lineAddr(r, line), ct)
 	st.lineMACs[line] = st.eng.LineMACBuf(tw, ct, &c.scr)
+	st.markLine(line)
 
 	for _, ln := range res.ReencryptLines {
-		//mmt:allow noalloc: counter-overflow recovery is the rare cold path (once per 2^LocalBits writes per line at worst); its copies are charged to PhaseReencrypt
 		if err := c.reencryptLine(st, r, ln); err != nil {
 			return err
 		}
@@ -451,6 +466,10 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 // the old values are gone. This software rendition recovers oldLocal by
 // checking the stored line MAC against each candidate — the local space is
 // small by construction.
+//
+// This is the rare cold path (once per 2^LocalBits writes per line at
+// worst); its copies are charged to PhaseReencrypt.
+//mmt:coldpath
 func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	a := c.lineAddr(r, ln)
 	ct := c.mem.ReadLine(a)
@@ -483,6 +502,7 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	nct := st.eng.EncryptLine(tw, plaintext)
 	c.mem.WriteLine(a, nct)
 	st.lineMACs[ln] = st.eng.LineMAC(tw, nct)
+	st.markLine(ln)
 	c.stats.ReencryptedLines++
 	c.probe.Count(trace.CtrReencryptLines, 1)
 	c.probe.AddCycles(trace.PhaseReencrypt, c.prof.DRAMAccess+c.prof.AESLatency)
@@ -601,7 +621,12 @@ func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, t
 		}
 	}
 	c.mem.Write(c.mem.RegionBase(r), data)
-	*st = regionState{mode: mode, eng: eng, tr: tr, guaddr: guaddr, lineMACs: append([]uint64(nil), lineMACs...)}
+	*st = regionState{mode: mode, eng: eng, tr: tr, guaddr: guaddr, lineMACs: append([]uint64(nil), lineMACs...),
+		dirtyLines: make([]uint64, (c.geo.Lines()+63)/64)}
+	tr.MarkAllDirty()
+	for line := range c.geo.Lines() {
+		st.markLine(line) // transferred contents have never been checkpointed here
+	}
 	c.mem.SetRegionKind(r, mem.KindSecure)
 	c.cache.invalidateRegion(r)
 	return nil
@@ -644,6 +669,64 @@ func (c *Controller) LoadMeta(r int) error {
 	}
 	c.cache.invalidateRegion(r)
 	return nil
+}
+
+// RestoreStats overwrites the activity counters; snapshot recovery uses it
+// so a reloaded cluster reports the same cumulative figures it saved.
+func (c *Controller) RestoreStats(s Stats) { c.stats = s }
+
+// RegionDirty reports whether region r has uncheckpointed state: dirty
+// tree nodes or dirty data lines since the last ClearRegionDirty.
+func (c *Controller) RegionDirty(r int) bool {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return false
+	}
+	if st.tr.DirtyCount() > 0 {
+		return true
+	}
+	for _, w := range st.dirtyLines {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLines calls fn for every dirty data line of region r in ascending
+// order — the deterministic enumeration the checkpoint stream relies on.
+func (c *Controller) DirtyLines(r int, fn func(line int)) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return
+	}
+	for w, word := range st.dirtyLines {
+		for word != 0 {
+			fn(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// ClearRegionDirty resets region r's dirty-node and dirty-line tracking;
+// the store layer calls it once the commit covering them is durable.
+func (c *Controller) ClearRegionDirty(r int) {
+	st := c.region(r)
+	if st.mode == ModeDisabled {
+		return
+	}
+	st.tr.ClearDirty()
+	for i := range st.dirtyLines {
+		st.dirtyLines[i] = 0
+	}
+}
+
+// LineState exposes region r's stored ciphertext (a view, valid until the
+// next write) and line MAC for one line — the unit of the checkpoint
+// stream's data-line records.
+func (c *Controller) LineState(r, line int) (ciphertext []byte, mac uint64) {
+	st := c.region(r)
+	return c.mem.LineView(c.lineAddr(r, line)), st.lineMACs[line]
 }
 
 // LineSize re-exports the protected line granularity for callers that

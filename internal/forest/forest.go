@@ -69,6 +69,23 @@ func (a *Allocator) Next() uint64 {
 	return g
 }
 
+// NextValue reports the next monotonic number without consuming it; the
+// snapshot layer persists it so a reloaded node never reuses an address.
+func (a *Allocator) NextValue() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// RestoreAllocator rebuilds an allocator from persisted state. next must
+// be at least 1 (0 means "unassigned" in the address scheme).
+func RestoreAllocator(node NodeID, next uint64) (*Allocator, error) {
+	if next < 1 || next >= 1<<monotonicBits {
+		return nil, fmt.Errorf("forest: restored monotonic number %d out of range", next)
+	}
+	return &Allocator{node: node, next: next}, nil
+}
+
 // Entry describes one tree in the integrity forest: where a live MMT with
 // a given global-unique address currently resides.
 type Entry struct {

@@ -205,3 +205,17 @@ func (n *Network) Delivered() int {
 	defer n.mu.Unlock()
 	return n.delivered
 }
+
+// PendingTotal reports the number of undelivered messages across every
+// endpoint. The snapshot layer uses it as its quiesce check: a cluster
+// with traffic still in flight has state on the wire that no node-local
+// enumeration can capture, so Save/Checkpoint refuse until it drains.
+func (n *Network) PendingTotal() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, ep := range n.endpoints {
+		total += len(ep.inbox)
+	}
+	return total
+}

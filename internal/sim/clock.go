@@ -95,6 +95,10 @@ func (c *Clock) SyncTo(t Time) {
 // Reset rewinds the clock to time zero. Benchmarks use it between trials.
 func (c *Clock) Reset() { c.now = 0 }
 
+// SetNow forces the clock to an absolute instant. Snapshot recovery uses
+// it to resume a reloaded node at exactly its saved simulated time.
+func (c *Clock) SetNow(t Time) { c.now = t }
+
 // CyclesToTime converts a cycle count to simulated seconds at freqHz.
 func CyclesToTime(n Cycles, freqHz float64) Time {
 	if freqHz <= 0 {

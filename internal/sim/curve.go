@@ -46,6 +46,14 @@ func NewCurve(points ...CurvePoint) *Curve {
 	return &Curve{points: ps}
 }
 
+// Points returns a copy of the curve's anchor points in size order, for
+// serializing a profile into a snapshot.
+func (c *Curve) Points() []CurvePoint {
+	out := make([]CurvePoint, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
 // PerByte reports the interpolated per-byte cost for a transfer of n bytes.
 func (c *Curve) PerByte(n int) float64 {
 	ps := c.points

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+)
+
+// File names inside a store directory.
+const (
+	DataFileName   = "data.mmt"
+	CommitFileName = "commit.mmt"
+)
+
+// batchBytes is the staging threshold: appended records are buffered and
+// written to the data file in batches of at least this size (sequential
+// I/O, as in the mpt disk design), with a final flush at commit time.
+const batchBytes = 64 << 10
+
+// Store is an open mmt-store/v1: an append-only record log (data.mmt)
+// pinned by a dual-slot commit file (commit.mmt). The data file is never
+// compacted in v1 — every committed byte stays where the previous commit
+// record saw it, which is what makes "old state or new state, never torn"
+// a purely local property of the commit slots.
+//
+// A Store is not safe for concurrent use; the cluster layer serializes
+// checkpoints.
+type Store struct {
+	fs        FS
+	data      File
+	commit    File
+	committed CommitRecord
+	hasCommit bool
+	staged    []byte
+	appendOff int64 // next data-file write offset (>= committed.DataLen)
+}
+
+// Open opens (or creates) a store in fs and recovers its committed state:
+// both commit slots are read, the valid one with the highest epoch wins,
+// and appends resume from its committed data length — discarding any
+// bytes a crashed run had flushed but never committed.
+func Open(fsys FS) (*Store, error) {
+	data, err := fsys.OpenFile(DataFileName)
+	if err != nil {
+		return nil, err
+	}
+	commit, err := fsys.OpenFile(CommitFileName)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{fs: fsys, data: data, commit: commit}
+
+	dataSize, err := data.Size()
+	if err != nil {
+		return nil, err
+	}
+	commitSize, err := commit.Size()
+	if err != nil {
+		return nil, err
+	}
+	var slots [2 * CommitSlotSize]byte
+	if n := commitSize; n > 0 {
+		if n > int64(len(slots)) {
+			n = int64(len(slots))
+		}
+		if _, err := commit.ReadAt(slots[:n], 0); err != nil {
+			return nil, err
+		}
+	}
+	for off := 0; off+CommitSlotSize <= len(slots); off += CommitSlotSize {
+		cr, ok := decodeCommit(slots[off : off+CommitSlotSize])
+		if !ok {
+			continue
+		}
+		// A commit record is only trustworthy if the data it pins is all
+		// present: dataLen beyond the file means the slot survived a crash
+		// that lost data writes — impossible under the sync protocol, so
+		// treat it as an invalid slot rather than torn data.
+		if cr.DataLen < HeaderSize || cr.DataLen > uint64(dataSize) {
+			continue
+		}
+		if !s.hasCommit || cr.Epoch > s.committed.Epoch {
+			s.committed, s.hasCommit = cr, true
+		}
+	}
+
+	if s.hasCommit {
+		hdr := make([]byte, HeaderSize)
+		if _, err := data.ReadAt(hdr, 0); err != nil {
+			return nil, err
+		}
+		if err := checkHeader(hdr); err != nil {
+			return nil, err
+		}
+		s.appendOff = int64(s.committed.DataLen)
+	} else {
+		// Fresh store (or a crash before the first commit, which is the
+		// same thing): (re)write the header and start empty.
+		h := header()
+		if _, err := data.WriteAt(h[:], 0); err != nil {
+			return nil, err
+		}
+		s.appendOff = HeaderSize
+	}
+	return s, nil
+}
+
+// HasCommit reports whether the store holds a committed state.
+func (s *Store) HasCommit() bool { return s.hasCommit }
+
+// Committed reports the recovered (or last written) commit record.
+func (s *Store) Committed() (CommitRecord, error) {
+	if !s.hasCommit {
+		return CommitRecord{}, ErrNoCommit
+	}
+	return s.committed, nil
+}
+
+// Epoch reports the committed epoch (0 when nothing is committed yet).
+func (s *Store) Epoch() uint64 {
+	if !s.hasCommit {
+		return 0
+	}
+	return s.committed.Epoch
+}
+
+// CommittedRecords reads and verifies every record inside the committed
+// prefix of the data file, in append order.
+func (s *Store) CommittedRecords() ([]Record, error) {
+	if !s.hasCommit {
+		return nil, ErrNoCommit
+	}
+	n := int(s.committed.DataLen) - HeaderSize
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, n)
+	if _, err := s.data.ReadAt(buf, HeaderSize); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return parseRecords(buf)
+}
+
+// Append stages one record for the next commit, flushing full batches to
+// the data file as it goes. Staged and flushed bytes are invisible to
+// readers until Commit.
+func (s *Store) Append(r Record) error {
+	s.staged = appendRecord(s.staged, r)
+	if len(s.staged) >= batchBytes {
+		return s.flush()
+	}
+	return nil
+}
+
+// flush writes the staged batch at the append offset.
+func (s *Store) flush() error {
+	if len(s.staged) == 0 {
+		return nil
+	}
+	if _, err := s.data.WriteAt(s.staged, s.appendOff); err != nil {
+		return err
+	}
+	s.appendOff += int64(len(s.staged))
+	s.staged = s.staged[:0]
+	return nil
+}
+
+// Commit makes everything appended so far durable and visible: flush the
+// tail batch, fsync the data file, then write the next commit record into
+// the alternate slot and fsync that. rootHash pins the state the records
+// encode; reload verifies it. If Commit returns an error the previous
+// committed state is still intact.
+func (s *Store) Commit(rootHash [32]byte) (CommitRecord, error) {
+	if err := s.flush(); err != nil {
+		return CommitRecord{}, err
+	}
+	if err := s.data.Sync(); err != nil {
+		return CommitRecord{}, err
+	}
+	cr := CommitRecord{Epoch: s.committed.Epoch + 1, DataLen: uint64(s.appendOff), RootHash: rootHash}
+	enc := cr.encode()
+	slot := int64(cr.Epoch%2) * CommitSlotSize
+	if _, err := s.commit.WriteAt(enc[:], slot); err != nil {
+		return CommitRecord{}, err
+	}
+	if err := s.commit.Sync(); err != nil {
+		return CommitRecord{}, err
+	}
+	s.committed, s.hasCommit = cr, true
+	return cr, nil
+}
+
+// Close closes the underlying files. Staged, uncommitted records are
+// dropped — exactly what a crash would do.
+func (s *Store) Close() error {
+	err1 := s.data.Close()
+	err2 := s.commit.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

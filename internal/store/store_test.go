@@ -1,0 +1,190 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func mustOpen(t *testing.T, fs FS) *Store {
+	t.Helper()
+	s, err := Open(fs)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestAppendCommitReload covers the happy path: records appended over
+// several commits survive a close/reopen with contents, epoch and root
+// hash intact.
+func TestAppendCommitReload(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs)
+	if s.HasCommit() {
+		t.Fatal("fresh store reports a commit")
+	}
+	if _, err := s.CommittedRecords(); err == nil {
+		t.Fatal("fresh store returned committed records")
+	}
+
+	var want []Record
+	var lastHash [32]byte
+	for epoch := 1; epoch <= 3; epoch++ {
+		for i := 0; i < 4; i++ {
+			r := Record{Type: RecordType(epoch), Payload: []byte(fmt.Sprintf("epoch-%d-rec-%d", epoch, i))}
+			if err := s.Append(r); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			want = append(want, r)
+		}
+		lastHash = [32]byte{byte(epoch)}
+		cr, err := s.Commit(lastHash)
+		if err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if cr.Epoch != uint64(epoch) {
+			t.Fatalf("epoch = %d, want %d", cr.Epoch, epoch)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := mustOpen(t, NewMemFSFrom(fs.Files()))
+	cr, err := r.Committed()
+	if err != nil {
+		t.Fatalf("Committed: %v", err)
+	}
+	if cr.Epoch != 3 || cr.RootHash != lastHash {
+		t.Fatalf("recovered commit %+v", cr)
+	}
+	got, err := r.CommittedRecords()
+	if err != nil {
+		t.Fatalf("CommittedRecords: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUncommittedTailDiscarded: records appended after the last commit
+// (even flushed ones) vanish on reopen, and the append offset rewinds so
+// the next run overwrites them.
+func TestUncommittedTailDiscarded(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs)
+	if err := s.Append(Record{Type: 1, Payload: []byte("committed")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([32]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// A tail larger than one batch, so some of it is flushed to the file.
+	big := make([]byte, 3*batchBytes/2)
+	if err := s.Append(Record{Type: 2, Payload: big}); err != nil {
+		t.Fatal(err)
+	}
+
+	rfs := NewMemFSFrom(fs.Files())
+	r := mustOpen(t, rfs)
+	got, err := r.CommittedRecords()
+	if err != nil {
+		t.Fatalf("CommittedRecords: %v", err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "committed" {
+		t.Fatalf("recovered %+v, want only the committed record", got)
+	}
+	if err := r.Append(Record{Type: 3, Payload: []byte("after-crash")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Commit([32]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	rr := mustOpen(t, NewMemFSFrom(rfs.Files()))
+	got, err = rr.CommittedRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[1].Payload) != "after-crash" {
+		t.Fatalf("post-recovery commit not visible: %+v", got)
+	}
+}
+
+// TestBatchedFlush checks that appends below the batch threshold stay
+// staged (no data-file writes) and that crossing it flushes.
+func TestBatchedFlush(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs)
+	opsAfterOpen := fs.Ops()
+	small := Record{Type: 1, Payload: make([]byte, 256)}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.Ops() != opsAfterOpen {
+		t.Fatalf("small appends wrote to disk: %d ops", fs.Ops()-opsAfterOpen)
+	}
+	if err := s.Append(Record{Type: 2, Payload: make([]byte, batchBytes)}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Ops() == opsAfterOpen {
+		t.Fatal("batch threshold crossing did not flush")
+	}
+}
+
+// TestDirFS exercises the OS-file implementation end to end.
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Dir{Path: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Append(Record{Type: 5, Payload: []byte("on real disk")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([32]byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(Dir{Path: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := r.CommittedRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "on real disk" {
+		t.Fatalf("recovered %+v", got)
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch = %d", r.Epoch())
+	}
+}
+
+// TestBadMagicRejected: a committed store whose header bytes were
+// clobbered must refuse to open.
+func TestBadMagicRejected(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs)
+	if err := s.Append(Record{Type: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([32]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	files := fs.Files()
+	files[DataFileName][0] ^= 0xFF
+	if _, err := Open(NewMemFSFrom(files)); err == nil {
+		t.Fatal("clobbered magic accepted")
+	}
+}

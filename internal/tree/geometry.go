@@ -124,6 +124,17 @@ func (g Geometry) TotalNodes() int {
 // 8-byte global counter, 2-byte locals, 8-byte MAC.
 func (g Geometry) NodeSize(l int) int { return 8 + 2*g.Arities[l] + 8 }
 
+// NodeOffset reports the byte offset of node (l, i) within the Serialize
+// layout (levels top-down, nodes in index order). The snapshot recovery
+// path uses it to patch dirty-node deltas into a serialized node set.
+func (g Geometry) NodeOffset(l, i int) int {
+	off := 0
+	for k := 0; k < l; k++ {
+		off += g.NodesAtLevel(k) * g.NodeSize(k)
+	}
+	return off + i*g.NodeSize(l)
+}
+
 // NodesSize reports the serialized size of all tree nodes.
 func (g Geometry) NodesSize() int {
 	total := 0

@@ -31,6 +31,77 @@ type Tree struct {
 	levels  [][]Node
 	probe   *trace.Probe // nil = tracing disabled
 	scr     treeScratch
+
+	// Dirty-node tracking for checkpoint streaming: one bit per node,
+	// flattened level-major (levelBase[l]+i). Bits are set in rehashNode —
+	// the single chokepoint every counter/MAC mutation funnels through —
+	// and cleared by the store layer after a successful commit. The bitset
+	// is preallocated at construction so the hot paths stay 0-alloc.
+	dirty      []uint64
+	dirtyCount int
+	levelBase  []int
+}
+
+// initDirty allocates the dirty bitset and per-level base offsets.
+func (t *Tree) initDirty() {
+	t.levelBase = make([]int, t.geo.Levels())
+	total := 0
+	for l := range t.levelBase {
+		t.levelBase[l] = total
+		total += t.geo.NodesAtLevel(l)
+	}
+	t.dirty = make([]uint64, (total+63)/64)
+}
+
+// markDirty sets the dirty bit for node (l, i). Pure arithmetic on the
+// preallocated bitset, safe on every hot path.
+func (t *Tree) markDirty(l, i int) {
+	bit := t.levelBase[l] + i
+	w, m := bit>>6, uint64(1)<<(uint(bit)&63)
+	if t.dirty[w]&m == 0 {
+		t.dirty[w] |= m
+		t.dirtyCount++
+	}
+}
+
+// DirtyCount reports how many nodes changed since the last ClearDirty.
+func (t *Tree) DirtyCount() int { return t.dirtyCount }
+
+// DirtyNodes calls fn for every dirty node in ascending (level, index)
+// order — the deterministic enumeration the checkpoint stream relies on.
+func (t *Tree) DirtyNodes(fn func(level, index int)) {
+	if t.dirtyCount == 0 {
+		return
+	}
+	for l := range t.levels {
+		base := t.levelBase[l]
+		for i := range t.levels[l] {
+			bit := base + i
+			if t.dirty[bit>>6]&(uint64(1)<<(uint(bit)&63)) != 0 {
+				fn(l, i)
+			}
+		}
+	}
+}
+
+// ClearDirty resets all dirty bits; the store layer calls it after the
+// commit record for the batch containing these nodes is durable.
+func (t *Tree) ClearDirty() {
+	for i := range t.dirty {
+		t.dirty[i] = 0
+	}
+	t.dirtyCount = 0
+}
+
+// MarkAllDirty flags every node, forcing the next checkpoint to stream
+// the full node set (used after structural changes and on fresh trees).
+func (t *Tree) MarkAllDirty() {
+	t.dirtyCount = 0
+	for l := range t.levels {
+		for i := range t.levels[l] {
+			t.markDirty(l, i)
+		}
+	}
 }
 
 // treeScratch holds the tree's reusable working buffers so the per-access
@@ -92,6 +163,7 @@ func New(geo Geometry, e *crypt.Engine, guaddr uint64) (*Tree, error) {
 		}
 		t.levels[l] = nodes
 	}
+	t.initDirty()
 	t.RehashAll(e, guaddr)
 	return t, nil
 }
@@ -176,6 +248,7 @@ func (t *Tree) effCountersInto(l, i int) []uint64 {
 // rehashNode recomputes the MAC of node (l, i).
 func (t *Tree) rehashNode(e *crypt.Engine, guaddr uint64, l, i int) {
 	t.probe.Count(trace.CtrTreeNodeRehashes, 1)
+	t.markDirty(l, i)
 	t.levels[l][i].MAC = e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
 }
 
@@ -401,7 +474,46 @@ func Deserialize(geo Geometry, data []byte) (*Tree, error) {
 		}
 		t.levels[l] = nodes
 	}
+	t.initDirty()
 	return t, nil
+}
+
+// AppendNode appends the serialized bytes of node (l, i) — the same
+// per-node layout Serialize uses (global u64, locals u16, MAC u64, little
+// endian) — to dst and returns the extended slice. This is the unit record
+// of the mmt-store/v1 dirty-node stream.
+func (t *Tree) AppendNode(dst []byte, l, i int) []byte {
+	n := &t.levels[l][i]
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], n.Global)
+	dst = append(dst, buf[:]...)
+	for _, lc := range n.Local {
+		binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
+		dst = append(dst, buf[:2]...)
+	}
+	binary.LittleEndian.PutUint64(buf[:], n.MAC)
+	return append(dst, buf[:]...)
+}
+
+// SetNodeFromBytes overwrites node (l, i) from its serialized form. Used
+// by snapshot recovery when patching a node delta into a reloaded tree;
+// callers re-verify with VerifyAll afterwards.
+func (t *Tree) SetNodeFromBytes(l, i int, b []byte) error {
+	if l < 0 || l >= t.geo.Levels() || i < 0 || i >= len(t.levels[l]) {
+		return fmt.Errorf("tree: node (%d,%d) out of range", l, i)
+	}
+	if len(b) != t.geo.NodeSize(l) {
+		return fmt.Errorf("tree: node bytes %d, want %d", len(b), t.geo.NodeSize(l))
+	}
+	n := &t.levels[l][i]
+	n.Global = binary.LittleEndian.Uint64(b)
+	off := 8
+	for s := range n.Local {
+		n.Local[s] = uint32(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+	}
+	n.MAC = binary.LittleEndian.Uint64(b[off:])
+	return nil
 }
 
 // Clone deep-copies the tree (used for read-only ownership-copy mode).
@@ -415,5 +527,7 @@ func (t *Tree) Clone() *Tree {
 		}
 		c.levels[l] = nodes
 	}
+	c.initDirty()
+	c.MarkAllDirty() // the clone has never been checkpointed
 	return c
 }

@@ -28,7 +28,33 @@ func (c *Cluster) Connect(a, b *Enclave) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Link{cluster: c, id: id, a: a, b: b}, nil
+	l := &Link{cluster: c, id: id, a: a, b: b}
+	c.registerLink(l)
+	return l, nil
+}
+
+// registerLink records a link for deterministic snapshot enumeration and
+// Cluster.Link lookup. Shared by Connect and snapshot restore.
+func (c *Cluster) registerLink(l *Link) {
+	c.links[l.id] = l
+	c.linkOrder = append(c.linkOrder, l.id)
+	c.markStructural()
+}
+
+// Link looks up a link by its connection id (as reported by Link.ID and
+// listed in a snapshot Manifest).
+func (c *Cluster) Link(id string) (*Link, bool) {
+	l, ok := c.links[id]
+	return l, ok
+}
+
+// Links lists the cluster's links in the order they were connected.
+func (c *Cluster) Links() []*Link {
+	out := make([]*Link, 0, len(c.linkOrder))
+	for _, id := range c.linkOrder {
+		out = append(out, c.links[id])
+	}
+	return out
 }
 
 // ID reports the connection id (same on both monitors).
@@ -83,7 +109,33 @@ func (l *Link) NewBuffer(e *Enclave) (*Buffer, error) {
 	if _, err := e.machine.mon.AcquireMMT(e.id, p.Cap, conn.Conn().Key(), conn.Conn().NextCounter()); err != nil {
 		return nil, err
 	}
+	l.cluster.markStructural()
 	return &Buffer{machine: e.machine, owner: e.id, cap: p.Cap}, nil
+}
+
+// Cap reports the buffer's monitor capability id (stable across snapshot
+// save/load; Enclave.Buffer resolves it back to a Buffer).
+func (b *Buffer) Cap() uint64 { return uint64(b.cap) }
+
+// Buffer rebuilds a Buffer handle from a capability id owned by this
+// enclave — the way to reclaim buffer handles after mmt.Load or mmt.Open,
+// which restore monitor state but not host-side wrapper objects.
+func (e *Enclave) Buffer(cap uint64) (*Buffer, error) {
+	if _, err := e.machine.mon.PMOOf(e.id, monitor.CapID(cap)); err != nil {
+		return nil, err
+	}
+	return &Buffer{machine: e.machine, owner: e.id, cap: monitor.CapID(cap)}, nil
+}
+
+// Buffers lists the capability ids of every buffer the enclave currently
+// owns, in ascending id order.
+func (e *Enclave) Buffers() []uint64 {
+	caps := e.machine.mon.CapsOf(e.id)
+	out := make([]uint64, len(caps))
+	for i, c := range caps {
+		out[i] = uint64(c)
+	}
+	return out
 }
 
 // Size reports the buffer's capacity in bytes.
@@ -180,7 +232,11 @@ func (b *Buffer) ReadOnly() bool {
 
 // Free releases the buffer's region back to its machine's pool.
 func (b *Buffer) Free() error {
-	return b.machine.mon.FreePMO(b.owner, b.cap)
+	if err := b.machine.mon.FreePMO(b.owner, b.cap); err != nil {
+		return err
+	}
+	b.machine.cluster.markStructural()
+	return nil
 }
 
 // Delegate sends the buffer's MMT closure to the link's other endpoint and
@@ -205,6 +261,7 @@ func (l *Link) Delegate(b *Buffer, mode TransferMode) error {
 		return err
 	}
 	// Receiver verifies and acks; sender completes.
+	l.cluster.markStructural()
 	if err := to.machine.mon.PumpAll(); err != nil {
 		// The sender still needs the nack to recover its buffer.
 		if perr := from.machine.mon.PumpAll(); perr != nil {
@@ -224,5 +281,6 @@ func (l *Link) Receive(e *Enclave) (*Buffer, error) {
 	if !ok {
 		return nil, ErrNoPending
 	}
+	l.cluster.markStructural()
 	return &Buffer{machine: e.machine, owner: p.Owner, cap: p.Cap}, nil
 }

@@ -12,7 +12,7 @@ import (
 // snapshot does not alias any live state — arrays are copied by value —
 // so it stays stable while the cluster keeps running.
 func (c *Cluster) Metrics() Metrics {
-	return c.opts.Trace.Snapshot()
+	return c.set.trace.Snapshot()
 }
 
 // TraceSink reports the sink installed with WithTracing (nil when
@@ -20,7 +20,7 @@ func (c *Cluster) Metrics() Metrics {
 // renders the span timeline for chrome://tracing / Perfetto,
 // sink.WriteHistJSON the latency histograms, sink.WriteEventsJSONL the
 // security-event ledger, and sink.Summary the compact text form.
-func (c *Cluster) TraceSink() *TraceSink { return c.opts.Trace }
+func (c *Cluster) TraceSink() *TraceSink { return c.set.trace }
 
 // Events returns a copy of the cluster's bounded security-event ledger,
 // oldest first: every integrity/authenticity/freshness verdict, every
@@ -28,14 +28,14 @@ func (c *Cluster) TraceSink() *TraceSink { return c.opts.Trace }
 // stamped with the recording machine's simulated clock. Without
 // WithTracing the ledger is empty. The copy never aliases live state.
 func (c *Cluster) Events() []SecurityEvent {
-	return c.opts.Trace.SecEvents()
+	return c.set.trace.SecEvents()
 }
 
 // EventsDropped reports how many ledger entries the bounded ring evicted
 // (0 without WithTracing). A nonzero value means Events returns only the
 // newest entries; sequence numbers show the gap.
 func (c *Cluster) EventsDropped() uint64 {
-	return c.opts.Trace.EventsDropped()
+	return c.set.trace.EventsDropped()
 }
 
 // BufferStats is a read-only snapshot of one buffer's protection state.

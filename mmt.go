@@ -25,9 +25,16 @@
 //	data, _ := got.Read(0, 12)
 //
 // Everything observable is real: the bytes on the simulated wire are the
-// encrypted closure (point a netsim adversary at them and the receiver
-// rejects the transfer), and all timing comes from the calibrated
-// simulated clocks, not the host.
+// encrypted closure (attach an Interposer with Cluster.SetInterposer and
+// the receiver rejects tampered transfers), and all timing comes from the
+// calibrated simulated clocks, not the host.
+//
+// Cluster state is first-class and portable: Cluster.Save streams a
+// verified snapshot to any io.Writer, mmt.Load rebuilds an identical
+// cluster from it (in the same process or another one), WithStore /
+// Cluster.Checkpoint / mmt.Open give continuous crash-consistent
+// checkpointing on disk, and Link.Export / Link.Import move a single
+// delegated buffer between processes as a typed Artifact.
 package mmt
 
 import (
@@ -41,6 +48,7 @@ import (
 	"mmt/internal/monitor"
 	"mmt/internal/netsim"
 	"mmt/internal/sim"
+	"mmt/internal/store"
 	"mmt/internal/tree"
 )
 
@@ -56,62 +64,31 @@ const (
 	OwnershipCopy = core.OwnershipCopy
 )
 
-// Options configures a Cluster. The zero value gives the paper's default
-// system: the Gem5 cost profile, 3-level (2 MB) trees, 8 secure regions
-// per machine and a zero-latency interconnect.
-//
-// Deprecated: construct clusters with New and functional options
-// (WithProfile, WithTreeLevels, WithRegions, WithNetLatency,
-// WithTracing). Options and NewCluster remain for one release so
-// existing callers migrate incrementally.
-type Options struct {
-	// Profile is the timing model; sim.Gem5Profile() if nil.
-	Profile *sim.Profile
-	// TreeLevels is the MMT depth (2, 3 or 4; default 3).
-	TreeLevels int
-	// RegionsPerMachine sizes each machine's secure-memory pool.
-	RegionsPerMachine int
-	// NetLatency is the one-way interconnect propagation delay.
-	NetLatency sim.Time
-	// Trace, when non-nil, enables cycle-stamped tracing on every machine.
-	Trace *TraceSink
-	// DebugAddr, when non-empty, starts the read-only /debug HTTP server
-	// on that address (see WithDebugServer).
-	DebugAddr string
-}
-
 // Cluster is a set of attested machines on a shared untrusted network,
 // rooted in one manufacturer and one attestation authority.
 type Cluster struct {
-	opts        Options
+	set         settings
 	geometry    tree.Geometry
 	mfr         *attest.Manufacturer
 	authority   *attest.Authority
 	measurement attest.Measurement
 	net         *netsim.Network
 	machines    map[string]*Machine
-	debug       *debugServer
+	// machineOrder and linkOrder record creation order so snapshots
+	// enumerate state deterministically (map iteration is not).
+	machineOrder []string
+	links        map[string]*Link
+	linkOrder    []string
+	debug        *debugServer
+	ckpt         *store.Store
+	// needBase is set whenever the cluster's structure changes (machines,
+	// enclaves, links, buffer allocation or delegation): the next
+	// Checkpoint then writes a full base snapshot instead of dirty deltas.
+	needBase bool
 }
 
-// NewCluster builds the trust roots and the interconnect.
-//
-// Deprecated: use New with functional options; NewCluster(Options{...})
-// and New(With...) build identical clusters.
-func NewCluster(opts Options) (*Cluster, error) {
-	return newCluster(opts)
-}
-
-func newCluster(opts Options) (*Cluster, error) {
-	if opts.Profile == nil {
-		opts.Profile = sim.Gem5Profile()
-	}
-	if opts.TreeLevels == 0 {
-		opts.TreeLevels = 3
-	}
-	if opts.RegionsPerMachine == 0 {
-		opts.RegionsPerMachine = 8
-	}
-	geo := tree.ForLevels(opts.TreeLevels)
+func newCluster(s settings) (*Cluster, error) {
+	geo := tree.ForLevels(s.treeLevels)
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,23 +103,42 @@ func newCluster(opts Options) (*Cluster, error) {
 	measurement := attest.MeasureSoftware([]byte("mmt-monitor-v1"))
 	authority.AllowMeasurement(measurement)
 	c := &Cluster{
-		opts:        opts,
+		set:         s,
 		geometry:    geo,
 		mfr:         mfr,
 		authority:   authority,
 		measurement: measurement,
-		net:         netsim.NewNetwork(opts.NetLatency),
+		net:         netsim.NewNetwork(s.netLatency),
 		machines:    make(map[string]*Machine),
+		links:       make(map[string]*Link),
+		needBase:    true,
 	}
-	if opts.DebugAddr != "" {
-		dbg, err := startDebugServer(opts.DebugAddr, opts.Trace)
+	if s.debugAddr != "" {
+		dbg, err := startDebugServer(s.debugAddr, s.trace)
 		if err != nil {
 			return nil, err
 		}
 		c.debug = dbg
 	}
+	if s.storePath != "" {
+		st, err := store.Open(store.Dir{Path: s.storePath})
+		if err != nil {
+			c.closeDebug()
+			return nil, err
+		}
+		if st.HasCommit() {
+			st.Close()
+			c.closeDebug()
+			return nil, fmt.Errorf("mmt: store %q already holds a committed snapshot (epoch %d); resume it with mmt.Open", s.storePath, st.Epoch())
+		}
+		c.ckpt = st
+	}
 	return c, nil
 }
+
+// markStructural notes a change the delta encoding cannot express
+// (membership, links, capability moves): the next checkpoint re-bases.
+func (c *Cluster) markStructural() { c.needBase = true }
 
 // DebugAddr reports the listening address of the /debug server ("" when
 // WithDebugServer was not used). With a ":0" request this is the actual
@@ -154,22 +150,35 @@ func (c *Cluster) DebugAddr() string {
 	return c.debug.addr()
 }
 
-// Close releases host-side resources — today that is only the /debug
-// HTTP server. The simulated state is unaffected; a cluster without a
-// debug server needs no Close.
-func (c *Cluster) Close() error {
+func (c *Cluster) closeDebug() error {
 	if c.debug == nil {
 		return nil
 	}
-	return c.debug.close()
+	err := c.debug.close()
+	c.debug = nil
+	return err
 }
 
-// Network exposes the untrusted interconnect, mainly so callers can attach
-// adversaries (netsim.Interposer) and watch the protocol reject them.
-func (c *Cluster) Network() *netsim.Network { return c.net }
-
-// Authority exposes the attestation authority (for policy management).
-func (c *Cluster) Authority() *attest.Authority { return c.authority }
+// Close releases host-side resources. With a store attached (WithStore,
+// Open) it first writes a final checkpoint, so a cleanly closed cluster
+// always resumes from its latest state; the checkpoint requires the
+// cluster to be quiescent (ErrNotQuiescent otherwise — deliver in-flight
+// messages first, then Close again). The simulated state itself is
+// unaffected; a cluster without a store or debug server needs no Close.
+func (c *Cluster) Close() error {
+	var ckptErr error
+	if c.ckpt != nil {
+		ckptErr = c.Checkpoint()
+		if err := c.ckpt.Close(); ckptErr == nil {
+			ckptErr = err
+		}
+		c.ckpt = nil
+	}
+	if err := c.closeDebug(); ckptErr == nil {
+		ckptErr = err
+	}
+	return ckptErr
+}
 
 // Geometry reports the cluster's tree geometry.
 func (c *Cluster) Geometry() tree.Geometry { return c.geometry }
@@ -178,8 +187,11 @@ func (c *Cluster) Geometry() tree.Geometry { return c.geometry }
 type Machine struct {
 	name    string
 	cluster *Cluster
+	ident   *attest.Machine
 	mon     *monitor.Monitor
 	rt      *enclave.Runtime
+	// enclaves in spawn order, for deterministic snapshot enumeration.
+	enclaves []*Enclave
 }
 
 // AddMachine provisions a machine with the cluster's manufacturer, boots
@@ -192,18 +204,32 @@ func (c *Cluster) AddMachine(name string) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	m, err := c.buildMachine(name, machine)
+	if err != nil {
+		return nil, err
+	}
+	c.machines[name] = m
+	c.machineOrder = append(c.machineOrder, name)
+	c.markStructural()
+	return m, nil
+}
+
+// buildMachine assembles the controller/monitor/runtime stack around an
+// attested identity. Shared by AddMachine and snapshot restore (which
+// supplies a restored identity instead of a freshly provisioned one).
+func (c *Cluster) buildMachine(name string, machine *attest.Machine) (*Machine, error) {
 	pm := mem.New(mem.Config{
-		Size:          c.opts.RegionsPerMachine * c.geometry.DataSize(),
+		Size:          c.set.regions * c.geometry.DataSize(),
 		RegionSize:    c.geometry.DataSize(),
 		MetaPerRegion: c.geometry.MetaSize(),
 	})
-	ctl, err := engine.New(pm, c.geometry, nil, c.opts.Profile)
+	ctl, err := engine.New(pm, c.geometry, nil, c.set.profile)
 	if err != nil {
 		return nil, err
 	}
 	// One trace process per machine; Probe on a nil sink returns the
 	// disabled (nil) probe, so an untraced cluster stays allocation-free.
-	ctl.SetTrace(c.opts.Trace.Probe(name))
+	ctl.SetTrace(c.set.trace.Probe(name))
 	mon := monitor.New(machine, c.measurement, c.authority.PublicKey(), ctl)
 	if err := mon.Boot(c.authority); err != nil {
 		return nil, fmt.Errorf("mmt: attesting %q: %w", name, err)
@@ -211,9 +237,7 @@ func (c *Cluster) AddMachine(name string) (*Machine, error) {
 	if err := mon.AttachNetwork(c.net, name); err != nil {
 		return nil, err
 	}
-	m := &Machine{name: name, cluster: c, mon: mon, rt: enclave.NewRuntime(mon)}
-	c.machines[name] = m
-	return m, nil
+	return &Machine{name: name, cluster: c, ident: machine, mon: mon, rt: enclave.NewRuntime(mon)}, nil
 }
 
 // Machine looks up a machine by name.
@@ -222,14 +246,20 @@ func (c *Cluster) Machine(name string) (*Machine, bool) {
 	return m, ok
 }
 
+// Machines lists the cluster's machines in the order they were added.
+func (c *Cluster) Machines() []*Machine {
+	out := make([]*Machine, 0, len(c.machineOrder))
+	for _, name := range c.machineOrder {
+		out = append(out, c.machines[name])
+	}
+	return out
+}
+
 // Name reports the machine's network name.
 func (m *Machine) Name() string { return m.name }
 
 // NodeID reports the machine's attested integrity-forest node id.
 func (m *Machine) NodeID() uint16 { return uint16(m.mon.NodeID()) }
-
-// Monitor exposes the machine's trusted monitor (advanced use).
-func (m *Machine) Monitor() *monitor.Monitor { return m.mon }
 
 // Clock reports the machine's simulated clock.
 func (m *Machine) Clock() *sim.Clock { return m.mon.Node().Controller().Clock() }
@@ -237,6 +267,7 @@ func (m *Machine) Clock() *sim.Clock { return m.mon.Node().Controller().Clock() 
 // Enclave is a running enclave on one machine.
 type Enclave struct {
 	machine *Machine
+	name    string
 	id      monitor.EnclaveID
 	rt      *enclave.Enclave
 }
@@ -244,8 +275,21 @@ type Enclave struct {
 // Spawn starts an enclave on the machine, measured from its code image.
 func (m *Machine) Spawn(name string, image []byte) *Enclave {
 	e := m.rt.Spawn(name, image)
-	return &Enclave{machine: m, id: e.ID(), rt: e}
+	enc := &Enclave{machine: m, name: name, id: e.ID(), rt: e}
+	m.enclaves = append(m.enclaves, enc)
+	m.cluster.markStructural()
+	return enc
+}
+
+// Enclaves lists the machine's enclaves in spawn order.
+func (m *Machine) Enclaves() []*Enclave {
+	out := make([]*Enclave, len(m.enclaves))
+	copy(out, m.enclaves)
+	return out
 }
 
 // Machine reports the enclave's host.
 func (e *Enclave) Machine() *Machine { return e.machine }
+
+// Name reports the name the enclave was spawned with.
+func (e *Enclave) Name() string { return e.name }

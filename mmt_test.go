@@ -5,9 +5,23 @@ import (
 	"errors"
 	"testing"
 
-	"mmt/internal/netsim"
 	"mmt/internal/tree"
 )
+
+// tamperFunc adapts a function to the public Interposer interface.
+type tamperFunc func(WireMessage) []WireMessage
+
+func (f tamperFunc) Intercept(m WireMessage) []WireMessage { return f(m) }
+
+// wireSpy captures every payload on the wire without modifying anything.
+type wireSpy struct {
+	Captured [][]byte
+}
+
+func (s *wireSpy) Intercept(m WireMessage) []WireMessage {
+	s.Captured = append(s.Captured, append([]byte(nil), m.Payload...))
+	return []WireMessage{m}
+}
 
 // smallCluster uses the 2-level (64K) tree so full-stack tests stay fast.
 func smallCluster(t *testing.T) *Cluster {
@@ -156,11 +170,18 @@ func TestDelegationRejectedUnderAttack(t *testing.T) {
 	if err := buf.Write(0, []byte("target")); err != nil {
 		t.Fatal(err)
 	}
-	c.Network().SetInterposer(&netsim.Tamperer{Kind: netsim.KindClosure, Offset: -3})
+	c.SetInterposer(tamperFunc(func(m WireMessage) []WireMessage {
+		if m.Kind == WireClosure && len(m.Payload) > 0 {
+			p := append([]byte(nil), m.Payload...)
+			p[len(p)-3] ^= 1
+			m.Payload = p
+		}
+		return []WireMessage{m}
+	}))
 	if err := link.Delegate(buf, OwnershipTransfer); err == nil {
 		t.Fatal("tampered delegation succeeded")
 	}
-	c.Network().SetInterposer(nil)
+	c.SetInterposer(nil)
 	// Sender recovered; retry succeeds.
 	if err := link.Delegate(buf, OwnershipTransfer); err != nil {
 		t.Fatalf("retry after attack: %v", err)
@@ -186,8 +207,8 @@ func TestSpyOnWireSeesNoPlaintext(t *testing.T) {
 	if err := buf.Write(0, secret); err != nil {
 		t.Fatal(err)
 	}
-	spy := &netsim.Spy{}
-	c.Network().SetInterposer(spy)
+	spy := &wireSpy{}
+	c.SetInterposer(spy)
 	if err := link.Delegate(buf, OwnershipTransfer); err != nil {
 		t.Fatal(err)
 	}

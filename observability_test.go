@@ -335,22 +335,35 @@ func TestMidRunSnapshotConsistency(t *testing.T) {
 	}
 }
 
-// TestNewMatchesDeprecatedNewCluster: the functional-options constructor
-// and the deprecated struct shim build identical clusters.
-func TestNewMatchesDeprecatedNewCluster(t *testing.T) {
-	a, err := New(WithTreeLevels(2), WithRegions(6))
+// TestOptionsValidateEagerly: every With* option rejects bad input at
+// construction time with a descriptive error, never at first use.
+func TestOptionsValidateEagerly(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"nil profile", WithProfile(nil)},
+		{"levels too low", WithTreeLevels(1)},
+		{"levels too high", WithTreeLevels(5)},
+		{"zero regions", WithRegions(0)},
+		{"negative latency", WithNetLatency(-1)},
+		{"nil sink", WithTracing(nil)},
+		{"empty debug addr", WithDebugServer("")},
+		{"empty store path", WithStore("")},
+		{"nil option", nil},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.opt); err == nil {
+			t.Errorf("%s: New accepted invalid option", tc.name)
+		}
+	}
+	// Defaults still resolve when no options are given.
+	c, err := New(WithTreeLevels(2), WithRegions(6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewCluster(Options{TreeLevels: 2, RegionsPerMachine: 6})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Geometry().DataSize() != b.Geometry().DataSize() || a.Geometry().Levels() != b.Geometry().Levels() {
-		t.Fatalf("geometry differs: %+v vs %+v", a.Geometry(), b.Geometry())
-	}
-	if a.opts.RegionsPerMachine != b.opts.RegionsPerMachine || a.opts.Profile.Name != b.opts.Profile.Name {
-		t.Fatal("options resolved differently")
+	if c.set.regions != 6 || c.set.profile.Name != "gem5" {
+		t.Fatalf("options resolved wrong: %+v", c.set)
 	}
 }
 

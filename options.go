@@ -1,47 +1,157 @@
 package mmt
 
 import (
+	"errors"
+	"fmt"
+
 	"mmt/internal/sim"
 	"mmt/internal/trace"
 )
 
-// Option configures a Cluster at construction time. Options are applied
-// in order by New; later options override earlier ones.
-type Option func(*Options)
+// settings is the resolved cluster configuration. It is private: the only
+// way to configure a cluster is through the With* options, each of which
+// validates its argument eagerly — New reports a bad value at the call
+// site that supplied it, not as a delayed construction failure.
+type settings struct {
+	profile    *sim.Profile
+	treeLevels int
+	regions    int
+	netLatency sim.Time
+	trace      *trace.Sink
+	debugAddr  string
+	storePath  string
+	set        uint32 // bitmask of set* flags for the options applied
+}
+
+// set* flags record which options were supplied. Load and Open use the
+// structural mask to reject options that would contradict the snapshot
+// being restored (the snapshot is authoritative for geometry and timing).
+const (
+	setProfile = 1 << iota
+	setTreeLevels
+	setRegions
+	setNetLatency
+	setTracing
+	setDebugServer
+	setStore
+)
+
+// structuralSettings are the options a snapshot pins: geometry and the
+// timing model travel inside the snapshot and cannot be overridden at
+// load time.
+const structuralSettings = setProfile | setTreeLevels | setRegions | setNetLatency
+
+// defaultSettings is the paper's default system: the Gem5 cost profile,
+// 3-level (2 MB) trees, 8 secure regions per machine, a zero-latency
+// interconnect, tracing disabled.
+func defaultSettings() settings {
+	return settings{
+		profile:    sim.Gem5Profile(),
+		treeLevels: 3,
+		regions:    8,
+	}
+}
+
+// applySettings folds opts over the defaults, stopping at the first
+// option error.
+func applySettings(opts []Option) (settings, error) {
+	s := defaultSettings()
+	for _, opt := range opts {
+		if opt == nil {
+			return settings{}, errors.New("mmt: nil Option")
+		}
+		if err := opt(&s); err != nil {
+			return settings{}, err
+		}
+	}
+	return s, nil
+}
+
+// Option configures a Cluster at construction time. Options validate
+// eagerly: a With* constructor given an invalid argument returns an
+// Option that fails New (or Load/Open) with a descriptive error. Options
+// are applied in order; later options override earlier ones.
+type Option func(*settings) error
+
+// optionErr returns an Option that fails immediately.
+func optionErr(err error) Option {
+	return func(*settings) error { return err }
+}
 
 // WithProfile selects the timing model (sim.Gem5Profile,
 // sim.IntelProfile, or a custom calibration). Default: Gem5.
 func WithProfile(p *sim.Profile) Option {
-	return func(o *Options) { o.Profile = p }
+	if p == nil {
+		return optionErr(errors.New("mmt: WithProfile(nil)"))
+	}
+	if p.Name == "" {
+		return optionErr(errors.New("mmt: WithProfile: profile needs a name"))
+	}
+	if p.FreqHz <= 0 {
+		return optionErr(fmt.Errorf("mmt: WithProfile(%q): non-positive FreqHz %v", p.Name, p.FreqHz))
+	}
+	return func(s *settings) error {
+		s.profile = p
+		s.set |= setProfile
+		return nil
+	}
 }
 
 // WithTreeLevels sets the MMT depth (2, 3 or 4 — 512 KB, 2 MB or 32 MB
 // granules). Default: 3.
 func WithTreeLevels(levels int) Option {
-	return func(o *Options) { o.TreeLevels = levels }
+	if levels < 2 || levels > 4 {
+		return optionErr(fmt.Errorf("mmt: WithTreeLevels(%d): want 2, 3 or 4", levels))
+	}
+	return func(s *settings) error {
+		s.treeLevels = levels
+		s.set |= setTreeLevels
+		return nil
+	}
 }
 
 // WithRegions sizes each machine's secure-memory pool in regions of one
 // MMT granule each. Default: 8.
 func WithRegions(n int) Option {
-	return func(o *Options) { o.RegionsPerMachine = n }
+	if n < 1 {
+		return optionErr(fmt.Errorf("mmt: WithRegions(%d): want at least 1", n))
+	}
+	return func(s *settings) error {
+		s.regions = n
+		s.set |= setRegions
+		return nil
+	}
 }
 
 // WithNetLatency sets the one-way interconnect propagation delay
 // (Figure 10b sweeps this). Default: 0.
 func WithNetLatency(d sim.Time) Option {
-	return func(o *Options) { o.NetLatency = d }
+	if d < 0 {
+		return optionErr(fmt.Errorf("mmt: WithNetLatency(%v): negative delay", d))
+	}
+	return func(s *settings) error {
+		s.netLatency = d
+		s.set |= setNetLatency
+		return nil
+	}
 }
 
 // WithTracing attaches a trace sink: every machine added to the cluster
 // records its per-phase cycle totals, counters and spans (all stamped
 // from the simulated clocks) into sink. Pass the sink to NewTraceSink's
 // result; read it back via Cluster.Metrics, TraceSink.Summary, or
-// TraceSink.WriteChromeTrace. A nil sink leaves tracing disabled (the
-// default): the instrumented paths then cost one branch and zero
-// allocations.
+// TraceSink.WriteChromeTrace. To run untraced (the default — the
+// instrumented paths then cost one branch and zero allocations), simply
+// omit the option; WithTracing(nil) is an error, not a disable switch.
 func WithTracing(sink *TraceSink) Option {
-	return func(o *Options) { o.Trace = sink }
+	if sink == nil {
+		return optionErr(errors.New("mmt: WithTracing(nil): omit the option to disable tracing"))
+	}
+	return func(s *settings) error {
+		s.trace = sink
+		s.set |= setTracing
+		return nil
+	}
 }
 
 // WithDebugServer starts a read-only HTTP introspection endpoint on addr
@@ -59,7 +169,35 @@ func WithTracing(sink *TraceSink) Option {
 // cycles — the simulated timeline is byte-identical with and without the
 // server attached. Shut it down with Cluster.Close.
 func WithDebugServer(addr string) Option {
-	return func(o *Options) { o.DebugAddr = addr }
+	if addr == "" {
+		return optionErr(errors.New("mmt: WithDebugServer(\"\"): empty address"))
+	}
+	return func(s *settings) error {
+		s.debugAddr = addr
+		s.set |= setDebugServer
+		return nil
+	}
+}
+
+// WithStore attaches an on-disk mmt-store/v1 checkpoint store at dir:
+// Cluster.Checkpoint (and the final checkpoint Close performs) stream the
+// cluster's dirty state into it under the two-file crash-consistency
+// protocol, and mmt.Open(dir) restores the last committed state in a
+// later process.
+//
+// With New, dir must not already hold a committed snapshot — resuming an
+// existing store is Open's job, and silently overwriting a committed
+// state would defeat the crash-consistency contract. Load accepts a
+// fresh-or-committed store and re-bases it from the loaded snapshot.
+func WithStore(dir string) Option {
+	if dir == "" {
+		return optionErr(errors.New("mmt: WithStore(\"\"): empty directory"))
+	}
+	return func(s *settings) error {
+		s.storePath = dir
+		s.set |= setStore
+		return nil
+	}
 }
 
 // TraceSink collects cycle-stamped events and monotonic counters from
@@ -173,9 +311,9 @@ const (
 // (2 MB) trees, 8 secure regions per machine, a zero-latency
 // interconnect, and tracing disabled.
 func New(opts ...Option) (*Cluster, error) {
-	var o Options
-	for _, opt := range opts {
-		opt(&o)
+	s, err := applySettings(opts)
+	if err != nil {
+		return nil, err
 	}
-	return newCluster(o)
+	return newCluster(s)
 }

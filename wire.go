@@ -1,0 +1,92 @@
+package mmt
+
+import (
+	"mmt/internal/netsim"
+	"mmt/internal/sim"
+)
+
+// WireKind classifies interconnect traffic for interposers.
+type WireKind uint8
+
+// Wire traffic kinds (values match the internal transport so adapters are
+// a cast; a test pins the alignment).
+const (
+	// WireData is bulk remote-memory traffic.
+	WireData WireKind = WireKind(netsim.KindData)
+	// WireClosure is an encrypted MMT closure in flight (delegation).
+	WireClosure WireKind = WireKind(netsim.KindClosure)
+	// WireControl is connection setup, acks and other control traffic.
+	WireControl WireKind = WireKind(netsim.KindControl)
+)
+
+// String names the kind for reports.
+func (k WireKind) String() string {
+	switch k {
+	case WireData:
+		return "data"
+	case WireClosure:
+		return "closure"
+	case WireControl:
+		return "control"
+	default:
+		return "unknown"
+	}
+}
+
+// WireMessage is one message on the untrusted interconnect, as an
+// adversary positioned on the wire sees it: endpoint names, traffic kind,
+// the (encrypted) payload bytes, and the simulated arrival time.
+type WireMessage struct {
+	From, To string
+	Kind     WireKind
+	Payload  []byte
+	ArriveAt sim.Time
+}
+
+// Interposer is an adversary (or observer) on the untrusted interconnect.
+// Intercept is called for every message in flight and returns the
+// messages actually delivered: return the input unchanged to pass it
+// through, a mutated copy to tamper, extra messages to replay, nil to
+// drop. The security argument of the system is that no Interposer can
+// make a receiver accept state the sender did not delegate — tampering,
+// replay and reordering all surface as typed rejections (ErrIntegrity,
+// ErrReplay, ErrReorder, ...) and ledger events.
+type Interposer interface {
+	Intercept(m WireMessage) []WireMessage
+}
+
+// SetInterposer installs an adversary on the cluster's interconnect (nil
+// restores faithful delivery). The wire counters in Metrics are recorded
+// at the sending endpoint, before interposition — so CtrWire* reflect
+// what the sender put on the wire, not what the adversary let through.
+func (c *Cluster) SetInterposer(i Interposer) {
+	if i == nil {
+		c.net.SetInterposer(nil)
+		return
+	}
+	c.net.SetInterposer(wireAdapter{i})
+}
+
+// wireAdapter bridges the public Interposer onto the internal transport.
+type wireAdapter struct{ i Interposer }
+
+func (a wireAdapter) Intercept(m netsim.Message) []netsim.Message {
+	out := a.i.Intercept(WireMessage{
+		From:     m.From,
+		To:       m.To,
+		Kind:     WireKind(m.Kind),
+		Payload:  m.Payload,
+		ArriveAt: m.ArriveAt,
+	})
+	msgs := make([]netsim.Message, len(out))
+	for i, w := range out {
+		msgs[i] = netsim.Message{
+			From:     w.From,
+			To:       w.To,
+			Kind:     netsim.Kind(w.Kind),
+			Payload:  w.Payload,
+			ArriveAt: w.ArriveAt,
+		}
+	}
+	return msgs
+}
