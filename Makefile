@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo snapshot-demo crash-sim
+.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo causal-demo perfdiff snapshot-demo crash-sim
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ race:
 vet:
 	$(GO) vet ./...
 
-# mmt-vet: the project's own ten-analyzer suite (simclock,
+# mmt-vet: the project's own eleven-analyzer suite (simclock,
 # cryptocompare, checkverify, nopanic, maporder, parclock, eventkind,
-# noalloc, lockorder, phasecharge) plus the //mmt:allow suppression
-# audit. Non-zero exit on any finding.
+# noalloc, lockorder, phasecharge, tracectx) plus the //mmt:allow
+# suppression audit. Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mmt-vet ./...
 
@@ -74,6 +74,31 @@ stat-demo:
 	$(GO) run ./cmd/mmt-stat .bench/hist.json .bench/events.jsonl
 	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -out .bench
 	$(GO) run ./cmd/mmt-stat .bench/BENCH_fig11.json
+
+# causal-demo: the causal-tracing pipeline end to end — export the
+# causal span trees (mmt-causal/v1) from a quickstart run, validate the
+# causal invariants with mmt-tracecheck, render the trees with mmt-stat,
+# and cross-check the fig11 sidecar's per-migration causal accounting
+# (every migration one rooted tree, cycle totals re-adding to the run's
+# migration totals).
+causal-demo:
+	mkdir -p .bench
+	$(GO) run ./examples/quickstart -causal .bench/causal.json
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -out .bench
+	$(GO) run ./cmd/mmt-tracecheck .bench/causal.json .bench/BENCH_fig11.json
+	$(GO) run ./cmd/mmt-stat .bench/causal.json
+
+# perfdiff: regenerate the benchmark sidecars and diff them against the
+# committed baselines. Soft gate: -warn reports regressions without
+# failing the build; a schema or shape mismatch is always fatal (exit
+# 2), because that means the artifact format drifted, not the numbers.
+# The simulator is deterministic, so on an unchanged tree the diff is
+# exactly zero on every metric.
+perfdiff:
+	mkdir -p .bench/current
+	$(GO) run ./cmd/mmt-bench -fig 10,11 -accesses 2000 -out .bench/current
+	$(GO) run ./cmd/mmt-perfdiff -warn -out .bench/perfdiff_fig10.json testdata/baselines/BENCH_fig10.json .bench/current/BENCH_fig10.json
+	$(GO) run ./cmd/mmt-perfdiff -warn -out .bench/perfdiff_fig11.json testdata/baselines/BENCH_fig11.json .bench/current/BENCH_fig11.json
 
 # snapshot-demo: the persistence lifecycle end to end — run the scenario
 # with a store attached (checkpointing as it goes), resume the same

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"mmt/internal/sim"
+)
+
+// This file is the comparison core of mmt-perfdiff, kept free of CLI
+// concerns so the regression/identity/mismatch behaviour is unit-tested
+// directly against fixture files.
+
+// ReportSchema identifies the machine-readable diff report format.
+const ReportSchema = "mmt-perfdiff/v1"
+
+// metric is one comparable number extracted from a sidecar. Every
+// extracted metric is lower-is-better (cycles, seconds, ns/op), so a
+// relative increase beyond the threshold is a regression.
+type metric struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// perfDoc is the extracted, comparable view of one BENCH_*.json file.
+type perfDoc struct {
+	// Kind identifies the document shape: "fig<N>" for figure sidecars,
+	// the schema string for schema-tagged sidecars. Two documents compare
+	// only when their kinds match.
+	Kind    string
+	Metrics []metric // extraction order: deterministic, baseline-driven
+}
+
+// sidecarDoc mirrors the subset of internal/bench.Sidecar the diff reads.
+type sidecarDoc struct {
+	Schema string `json:"schema"`
+	Figure string `json:"figure"`
+	Totals []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+		Unit  string  `json:"unit"`
+	} `json:"totals"`
+	PhaseCycles []struct {
+		Phase  string     `json:"phase"`
+		Cycles sim.Cycles `json:"cycles"`
+	} `json:"phase_cycles"`
+	Hists []struct {
+		Proc string     `json:"proc"`
+		Op   string     `json:"op"`
+		P50  sim.Cycles `json:"p50_cycles"`
+		P99  sim.Cycles `json:"p99_cycles"`
+		Mean sim.Cycles `json:"mean_cycles"`
+	} `json:"hists"`
+	Metrics []struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+		Unit  string  `json:"unit"`
+	} `json:"metrics"` // wallclock sidecar shape
+}
+
+// comparableUnit reports whether a unit is lower-is-better and therefore
+// diffable. Ratios ("x") and counts are shape, not speed, and byte sizes
+// are workload parameters — none of them gate.
+func comparableUnit(u string) bool {
+	return u == "cycles" || u == "seconds" || u == "ns/op"
+}
+
+// extract parses one BENCH_*.json / BENCH_wallclock.json document into
+// its comparable metrics.
+func extract(data []byte) (*perfDoc, error) {
+	var d sidecarDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("not a JSON sidecar: %w", err)
+	}
+	doc := &perfDoc{}
+	switch {
+	case d.Schema == "mmt-wallclock/v1":
+		doc.Kind = d.Schema
+		for _, m := range d.Metrics {
+			if comparableUnit(m.Unit) {
+				doc.Metrics = append(doc.Metrics, metric{Name: "wallclock/" + m.Name, Value: m.Value, Unit: m.Unit})
+			}
+		}
+	case d.Schema == "" && d.Figure != "":
+		doc.Kind = "fig" + d.Figure
+		for _, t := range d.Totals {
+			if comparableUnit(t.Unit) {
+				doc.Metrics = append(doc.Metrics, metric{Name: "total/" + t.Name, Value: t.Value, Unit: t.Unit})
+			}
+		}
+		for _, p := range d.PhaseCycles {
+			doc.Metrics = append(doc.Metrics, metric{Name: "phase/" + p.Phase, Value: float64(p.Cycles), Unit: "cycles"})
+		}
+		for _, h := range d.Hists {
+			base := "hist/" + h.Proc + "/" + h.Op + "/"
+			doc.Metrics = append(doc.Metrics,
+				metric{Name: base + "p50", Value: float64(h.P50), Unit: "cycles"},
+				metric{Name: base + "p99", Value: float64(h.P99), Unit: "cycles"},
+				metric{Name: base + "mean", Value: float64(h.Mean), Unit: "cycles"})
+		}
+	default:
+		return nil, fmt.Errorf("unsupported document (schema %q, figure %q): mmt-perfdiff reads BENCH_fig*.json and BENCH_wallclock.json", d.Schema, d.Figure)
+	}
+	return doc, nil
+}
+
+// MetricDiff is one metric's baseline/candidate comparison in the report.
+type MetricDiff struct {
+	Metric    string  `json:"metric"`
+	Unit      string  `json:"unit"`
+	Baseline  float64 `json:"baseline"`
+	Candidate float64 `json:"candidate"`
+	// DeltaRel is (candidate-baseline)/|baseline| (with a 1e-12 floor on
+	// the denominator so a zero baseline still yields a finite, huge
+	// delta).
+	DeltaRel  float64 `json:"delta_rel"`
+	Regressed bool    `json:"regressed"`
+	Improved  bool    `json:"improved"`
+}
+
+// Comparison is one candidate file's diff against the baseline.
+type Comparison struct {
+	Candidate   string       `json:"candidate"`
+	Regressions int          `json:"regressions"`
+	Improved    int          `json:"improved"`
+	Metrics     []MetricDiff `json:"metrics"`
+}
+
+// Report is the mmt-perfdiff/v1 document.
+type Report struct {
+	Schema      string       `json:"schema"`
+	Threshold   float64      `json:"threshold"`
+	Baseline    string       `json:"baseline"`
+	Kind        string       `json:"kind"`
+	Regressions int          `json:"regressions"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+// errMismatch marks schema/shape mismatches — always fatal (exit 2),
+// even under -warn: a mismatch means the baseline is stale, not slow.
+type errMismatch struct{ msg string }
+
+func (e *errMismatch) Error() string { return e.msg }
+
+// diffDocs compares each candidate against the baseline. The baseline
+// defines the metric set: a metric missing from a candidate is a shape
+// mismatch; extra candidate metrics are ignored (they gate once the
+// baseline is regenerated).
+func diffDocs(threshold float64, basePath string, base *perfDoc, candPaths []string, cands []*perfDoc) (*Report, error) {
+	rep := &Report{Schema: ReportSchema, Threshold: threshold, Baseline: basePath, Kind: base.Kind}
+	for i, cand := range cands {
+		if cand.Kind != base.Kind {
+			return nil, &errMismatch{fmt.Sprintf("%s: document kind %q does not match baseline %q", candPaths[i], cand.Kind, base.Kind)}
+		}
+		byName := make(map[string]metric, len(cand.Metrics))
+		for _, m := range cand.Metrics {
+			byName[m.Name] = m
+		}
+		cmp := Comparison{Candidate: candPaths[i]}
+		for _, bm := range base.Metrics {
+			cm, ok := byName[bm.Name]
+			if !ok {
+				return nil, &errMismatch{fmt.Sprintf("%s: metric %q present in baseline but missing from candidate (stale baseline? regenerate it)", candPaths[i], bm.Name)}
+			}
+			denom := math.Max(math.Abs(bm.Value), 1e-12)
+			d := MetricDiff{
+				Metric: bm.Name, Unit: bm.Unit,
+				Baseline: bm.Value, Candidate: cm.Value,
+				DeltaRel: (cm.Value - bm.Value) / denom,
+			}
+			d.Regressed = d.DeltaRel > threshold
+			d.Improved = d.DeltaRel < -threshold
+			if d.Regressed {
+				cmp.Regressions++
+			}
+			if d.Improved {
+				cmp.Improved++
+			}
+			cmp.Metrics = append(cmp.Metrics, d)
+		}
+		rep.Regressions += cmp.Regressions
+		rep.Comparisons = append(rep.Comparisons, cmp)
+	}
+	return rep, nil
+}

@@ -1,0 +1,122 @@
+// Command mmt-perfdiff diffs two or more mmt-bench sidecars — the
+// BENCH_fig*.json figure sidecars and the BENCH_wallclock.json host-speed
+// sidecar — against configurable regression thresholds, producing a
+// machine-readable mmt-perfdiff/v1 report. It is the perf-regression
+// gate: CI regenerates the sidecars and diffs them against the committed
+// baselines under testdata/baselines/, so the bench trajectory is
+// recorded and a perf-affecting change announces itself.
+//
+// Usage:
+//
+//	mmt-perfdiff baseline.json candidate.json [candidate2.json ...]
+//	mmt-perfdiff -threshold 0.10 base.json cand.json   # 10% gate
+//	mmt-perfdiff -warn -out report.json base.json cand.json
+//
+// The first file is the baseline and defines the metric set: every
+// lower-is-better number it carries (per-op ns/op, per-phase cycles,
+// per-histogram p50/p99/mean quantiles, cycle/second totals) must be
+// present in each candidate and must not exceed the baseline by more
+// than the relative threshold.
+//
+// Exit status: 0 = no regressions (or -warn), 1 = at least one metric
+// regressed beyond the threshold, 2 = schema or shape mismatch (always
+// fatal, even under -warn: a mismatch means the baseline is stale, not
+// that the code is slow).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.05, "relative regression threshold (0.05 = 5%)")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI soft gate); schema mismatches stay fatal")
+	out := flag.String("out", "", "write the mmt-perfdiff/v1 JSON report to this file")
+	quiet := flag.Bool("quiet", false, "suppress the per-metric text summary")
+	flag.Parse()
+
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mmt-perfdiff [-threshold 0.05] [-warn] [-out report.json] baseline.json candidate.json ...")
+		os.Exit(2)
+	}
+
+	rep, err := run(*threshold, flag.Arg(0), flag.Args()[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmt-perfdiff:", err)
+		os.Exit(2)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmt-perfdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mmt-perfdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if !*quiet {
+		printSummary(rep)
+	}
+	if rep.Regressions > 0 && !*warn {
+		os.Exit(1)
+	}
+}
+
+// run loads the baseline and candidates and produces the report.
+func run(threshold float64, basePath string, candPaths []string) (*Report, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]*perfDoc, 0, len(candPaths))
+	for _, p := range candPaths {
+		c, err := load(p)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, c)
+	}
+	return diffDocs(threshold, basePath, base, candPaths, cands)
+}
+
+func load(path string) (*perfDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := extract(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// printSummary renders the regressions (and improvements) as text; clean
+// comparisons print one line each.
+func printSummary(rep *Report) {
+	for _, c := range rep.Comparisons {
+		if c.Regressions == 0 && c.Improved == 0 {
+			fmt.Printf("%s vs %s: %d metrics within %.1f%%\n",
+				c.Candidate, rep.Baseline, len(c.Metrics), rep.Threshold*100)
+			continue
+		}
+		fmt.Printf("%s vs %s: %d regressed, %d improved (threshold %.1f%%)\n",
+			c.Candidate, rep.Baseline, c.Regressions, c.Improved, rep.Threshold*100)
+		for _, m := range c.Metrics {
+			if !m.Regressed && !m.Improved {
+				continue
+			}
+			tag := "IMPROVED"
+			if m.Regressed {
+				tag = "REGRESSED"
+			}
+			fmt.Printf("  %-9s %-40s %14.3f -> %14.3f %s (%+.2f%%)\n",
+				tag, m.Metric, m.Baseline, m.Candidate, m.Unit, m.DeltaRel*100)
+		}
+	}
+}

@@ -2,9 +2,11 @@
 // per-operation latency histograms (schema mmt-hist/v1, from
 // TraceSink.WriteHistJSON or `quickstart -stats`), security-event
 // ledgers (schema mmt-events/v1, from TraceSink.WriteEventsJSONL or
-// `quickstart -events`), and the histogram summaries embedded in
-// `mmt-bench -fig` metrics sidecars. It reads files, stdin ("-"), or a
-// live cluster started with mmt.WithDebugServer:
+// `quickstart -events`), causal span trees (schema mmt-causal/v1, from
+// TraceSink.WriteCausalJSON or `quickstart -causal`, drawn as ASCII
+// trees), and the histogram summaries embedded in `mmt-bench -fig`
+// metrics sidecars. It reads files, stdin ("-"), or a live cluster
+// started with mmt.WithDebugServer:
 //
 //	mmt-stat hist.json events.jsonl
 //	quickstart -stats /dev/stdout | mmt-stat -
@@ -99,10 +101,12 @@ func render(w io.Writer, data []byte, tail int) error {
 		return renderHist(w, data)
 	case probe.Schema == "mmt-events/v1":
 		return renderEvents(w, data, tail)
+	case probe.Schema == "mmt-causal/v1":
+		return renderCausal(w, data)
 	case probe.Schema == "" && probe.Figure != "":
 		return renderSidecar(w, data)
 	default:
-		return fmt.Errorf("unsupported document (schema %q): want mmt-hist/v1, mmt-events/v1 or a BENCH_fig sidecar", probe.Schema)
+		return fmt.Errorf("unsupported document (schema %q): want mmt-hist/v1, mmt-events/v1, mmt-causal/v1 or a BENCH_fig sidecar", probe.Schema)
 	}
 }
 
@@ -186,6 +190,67 @@ func renderEvents(w io.Writer, data []byte, tail int) error {
 	}
 	if len(rows) > 1 {
 		table(w, rows)
+	}
+	return nil
+}
+
+// causalSpan mirrors one span object of trace.WriteCausalJSON.
+type causalSpan struct {
+	Span    uint64  `json:"span"`
+	Parent  uint64  `json:"parent"`
+	Proc    string  `json:"proc"`
+	Phase   string  `json:"phase"`
+	BeginUS float64 `json:"begin_us"`
+	EndUS   float64 `json:"end_us"`
+	Cycles  float64 `json:"cycles"`
+}
+
+// renderCausal draws each causal trace as an ASCII tree, one line per
+// span, children indented under their parent in span-ID order. Spans on
+// the critical path are marked with '*'.
+func renderCausal(w io.Writer, data []byte) error {
+	var ce struct {
+		Traces []struct {
+			ID           string       `json:"id"`
+			TotalCycles  float64      `json:"total_cycles"`
+			CriticalUS   float64      `json:"critical_elapsed_us"`
+			CriticalPath []uint64     `json:"critical_path"`
+			Spans        []causalSpan `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &ce); err != nil {
+		return fmt.Errorf("bad mmt-causal/v1 document: %w", err)
+	}
+	fmt.Fprintf(w, "causal traces: %d\n", len(ce.Traces))
+	for _, tr := range ce.Traces {
+		fmt.Fprintf(w, "%s  (%s cycles, critical path %.3fus over %d spans)\n",
+			tr.ID, cyc(tr.TotalCycles), tr.CriticalUS, len(tr.CriticalPath))
+		critical := map[uint64]bool{}
+		for _, id := range tr.CriticalPath {
+			critical[id] = true
+		}
+		children := map[uint64][]causalSpan{}
+		for _, sp := range tr.Spans {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+		var draw func(parent uint64, indent string)
+		draw = func(parent uint64, indent string) {
+			kids := children[parent]
+			for i, sp := range kids {
+				branch, next := "├─", "│ "
+				if i == len(kids)-1 {
+					branch, next = "└─", "  "
+				}
+				mark := " "
+				if critical[sp.Span] {
+					mark = "*"
+				}
+				fmt.Fprintf(w, "  %s%s%s %d %s/%s [%.3f..%.3fus] %s cycles\n",
+					indent, branch, mark, sp.Span, sp.Proc, sp.Phase, sp.BeginUS, sp.EndUS, cyc(sp.Cycles))
+				draw(sp.Span, indent+next)
+			}
+		}
+		draw(0, "")
 	}
 	return nil
 }

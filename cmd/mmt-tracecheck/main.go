@@ -21,6 +21,12 @@
 //   - Snapshot manifests (from Manifest.WriteJSON or Cluster.Save):
 //     schema "mmt-manifest/v1", the root hash plus per-machine summary
 //     of one persisted cluster snapshot.
+//   - Causal trace exports (from TraceSink.WriteCausalJSON or
+//     `quickstart -causal`): schema "mmt-causal/v1", per-migration span
+//     trees. Validated causally: parents precede children (acyclic by
+//     construction), child intervals nest inside their parent, each
+//     trace's total_cycles equals the sum of its span cycles, and the
+//     critical path is a real root-to-leaf chain.
 //
 // The file kind is detected from the JSON shape (array = Chrome trace;
 // object with a "schema" field = that schema; other object = metrics
@@ -88,6 +94,8 @@ func checkFile(path string) error {
 				return checkEvents(data)
 			case "mmt-manifest/v1":
 				return checkManifest(data)
+			case "mmt-causal/v1":
+				return checkCausal(data)
 			case "":
 				return checkSidecar(data)
 			default:
@@ -184,6 +192,14 @@ type sidecar struct {
 	} `json:"phase_cycles"`
 	PhaseSumCycles   float64 `json:"phase_sum_cycles"`
 	CheckTotalCycles float64 `json:"check_total_cycles"`
+	Migrations       []struct {
+		ID              string   `json:"id"`
+		RootProc        string   `json:"root_proc"`
+		Spans           *int     `json:"spans"`
+		TotalCycles     *float64 `json:"total_cycles"`
+		CriticalPathLen int      `json:"critical_path_len"`
+		CriticalUs      *float64 `json:"critical_elapsed_us"`
+	} `json:"migrations"`
 }
 
 func checkSidecar(data []byte) error {
@@ -202,7 +218,7 @@ func checkSidecar(data []byte) error {
 			return fmt.Errorf("total %d: name, value and unit are required", i)
 		}
 		switch tot.Unit {
-		case "cycles", "seconds", "x", "bytes":
+		case "cycles", "seconds", "x", "bytes", "count":
 		default:
 			return fmt.Errorf("total %q: unknown unit %q", tot.Name, tot.Unit)
 		}
@@ -221,6 +237,164 @@ func checkSidecar(data []byte) error {
 		a, b := sc.PhaseSumCycles, sc.CheckTotalCycles
 		if math.Abs(a-b) > 1e-9*math.Max(math.Abs(a), math.Abs(b)) {
 			return fmt.Errorf("phase sum %.6f cycles does not account for reported total %.6f cycles", a, b)
+		}
+	}
+	if len(sc.Migrations) > 0 {
+		totals := map[string]float64{}
+		for _, tot := range sc.Totals {
+			totals[tot.Name] = *tot.Value
+		}
+		var sum float64
+		for i, mg := range sc.Migrations {
+			if mg.ID == "" || mg.RootProc == "" {
+				return fmt.Errorf("migration %d: id and root_proc are required", i)
+			}
+			if mg.Spans == nil || mg.TotalCycles == nil || mg.CriticalUs == nil {
+				return fmt.Errorf("migration %q: spans, total_cycles and critical_elapsed_us are required", mg.ID)
+			}
+			if *mg.Spans < 1 || *mg.TotalCycles < 0 || *mg.CriticalUs < 0 {
+				return fmt.Errorf("migration %q: spans/total_cycles/critical_elapsed_us out of range", mg.ID)
+			}
+			if mg.CriticalPathLen < 1 || mg.CriticalPathLen > *mg.Spans {
+				return fmt.Errorf("migration %q: critical_path_len %d outside [1,%d]", mg.ID, mg.CriticalPathLen, *mg.Spans)
+			}
+			sum += *mg.TotalCycles
+		}
+		if n, ok := totals["migrations"]; !ok || n != float64(len(sc.Migrations)) {
+			return fmt.Errorf("migrations total %v does not match %d migration entries", totals["migrations"], len(sc.Migrations))
+		}
+		want := totals["migration-send-cycles"] + totals["migration-recv-cycles"]
+		if math.Abs(sum-want) > 1e-9*math.Max(math.Abs(sum), math.Abs(want)) {
+			return fmt.Errorf("migration trace cycles sum to %.6f, want send+recv totals %.6f", sum, want)
+		}
+	}
+	return nil
+}
+
+// causalExport mirrors trace.WriteCausalJSON's document.
+type causalExport struct {
+	Schema string `json:"schema"`
+	Traces []struct {
+		ID           string   `json:"id"`
+		RootProc     string   `json:"root_proc"`
+		Seq          *uint64  `json:"seq"`
+		TotalCycles  *float64 `json:"total_cycles"`
+		CriticalUs   *float64 `json:"critical_elapsed_us"`
+		CriticalPath []uint64 `json:"critical_path"`
+		Spans        []struct {
+			Span    *uint64  `json:"span"`
+			Parent  *uint64  `json:"parent"`
+			Proc    string   `json:"proc"`
+			Phase   string   `json:"phase"`
+			BeginUS *float64 `json:"begin_us"`
+			EndUS   *float64 `json:"end_us"`
+			Cycles  *float64 `json:"cycles"`
+		} `json:"spans"`
+	} `json:"traces"`
+}
+
+// checkCausal validates the causal invariants the exporter promises:
+// span IDs strictly increase within a trace, every parent precedes its
+// children (so the span graph is acyclic by construction), child
+// intervals nest inside their parent's, per-trace total_cycles equals
+// the sum of span cycles, and the critical path is a real chain from
+// the root to a leaf whose elapsed time matches critical_elapsed_us.
+func checkCausal(data []byte) error {
+	var ce causalExport
+	if err := json.Unmarshal(data, &ce); err != nil {
+		return fmt.Errorf("not a causal export: %w", err)
+	}
+	for _, tr := range ce.Traces {
+		at := func(format string, args ...interface{}) error {
+			return fmt.Errorf("trace %q: %s", tr.ID, fmt.Sprintf(format, args...))
+		}
+		if tr.Seq == nil || tr.TotalCycles == nil || tr.CriticalUs == nil {
+			return at("seq, total_cycles and critical_elapsed_us are required")
+		}
+		if tr.RootProc == "" || tr.ID != fmt.Sprintf("%s#%d", tr.RootProc, *tr.Seq) {
+			return at("id must be root_proc#seq (root_proc %q, seq %d)", tr.RootProc, *tr.Seq)
+		}
+		if len(tr.Spans) == 0 {
+			return at("no spans")
+		}
+		type spanInfo struct{ begin, end float64 }
+		spans := map[uint64]spanInfo{}
+		children := map[uint64][]uint64{}
+		var cycleSum float64
+		lastID := uint64(0)
+		roots := 0
+		for _, sp := range tr.Spans {
+			if sp.Span == nil || sp.Parent == nil || sp.BeginUS == nil || sp.EndUS == nil || sp.Cycles == nil {
+				return at("span, parent, begin_us, end_us and cycles are required")
+			}
+			id, parent := *sp.Span, *sp.Parent
+			if id <= lastID {
+				return at("span ids not strictly increasing: %d after %d", id, lastID)
+			}
+			lastID = id
+			if sp.Proc == "" || sp.Phase == "" {
+				return at("span %d: proc and phase are required", id)
+			}
+			if *sp.BeginUS < 0 || *sp.EndUS < *sp.BeginUS {
+				return at("span %d: interval [%v,%v] out of order", id, *sp.BeginUS, *sp.EndUS)
+			}
+			if *sp.Cycles < 0 {
+				return at("span %d: negative cycles", id)
+			}
+			if parent == 0 {
+				roots++
+			} else {
+				// parent < id (checked transitively: parents must already be
+				// in the map) makes the span graph acyclic by construction.
+				p, ok := spans[parent]
+				if !ok {
+					return at("span %d: parent %d does not precede it", id, parent)
+				}
+				if *sp.BeginUS < p.begin || *sp.EndUS > p.end {
+					return at("span %d: interval [%v,%v] escapes parent %d's [%v,%v]",
+						id, *sp.BeginUS, *sp.EndUS, parent, p.begin, p.end)
+				}
+				children[parent] = append(children[parent], id)
+			}
+			spans[id] = spanInfo{*sp.BeginUS, *sp.EndUS}
+			cycleSum += *sp.Cycles
+		}
+		if roots != 1 {
+			return at("want exactly one root span (parent 0), got %d", roots)
+		}
+		if math.Abs(cycleSum-*tr.TotalCycles) > 1e-9*math.Max(math.Abs(cycleSum), math.Abs(*tr.TotalCycles)) {
+			return at("span cycles sum to %.6f, want total_cycles %.6f", cycleSum, *tr.TotalCycles)
+		}
+		if len(tr.CriticalPath) == 0 {
+			return at("empty critical_path")
+		}
+		rootID := *tr.Spans[0].Span
+		if *tr.Spans[0].Parent != 0 {
+			return at("first span %d is not the root", rootID)
+		}
+		if tr.CriticalPath[0] != rootID {
+			return at("critical_path starts at %d, want root %d", tr.CriticalPath[0], rootID)
+		}
+		for i := 1; i < len(tr.CriticalPath); i++ {
+			prev, cur := tr.CriticalPath[i-1], tr.CriticalPath[i]
+			isChild := false
+			for _, c := range children[prev] {
+				if c == cur {
+					isChild = true
+					break
+				}
+			}
+			if !isChild {
+				return at("critical_path step %d -> %d is not a parent-child edge", prev, cur)
+			}
+		}
+		leaf := tr.CriticalPath[len(tr.CriticalPath)-1]
+		elapsed := spans[leaf].end - spans[rootID].begin
+		// begin_us, end_us and critical_elapsed_us are each rounded to
+		// 3 decimals independently, so the recomputed difference can
+		// drift by up to 0.0015us from the exported value.
+		if math.Abs(elapsed-*tr.CriticalUs) > 2e-3 {
+			return at("critical path elapsed %.3fus does not match critical_elapsed_us %.3f", elapsed, *tr.CriticalUs)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -trace trace.json   # + Chrome trace export
 //	go run ./examples/quickstart -stats hist.json -events events.jsonl
+//	go run ./examples/quickstart -causal causal.json # + causal span trees
 //	go run ./examples/quickstart -debug 127.0.0.1:6060
 //
 // With -trace, the run records cycle-stamped spans and counters from
@@ -16,6 +17,8 @@
 // -stats / -events the same run also exports the per-operation latency
 // histograms (schema mmt-hist/v1) and the security-event ledger (schema
 // mmt-events/v1) — both render as text tables with `mmt-stat`. With
+// -causal it exports the causal span trees (schema mmt-causal/v1): one
+// rooted tree per connect/migration, spanning both machines. With
 // -debug the run serves the live /debug endpoint on the given address
 // and keeps serving after the scenario completes, until interrupted —
 // point `mmt-stat -addr` or a browser at it. Any of these flags enables
@@ -37,12 +40,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	statsPath := flag.String("stats", "", "write the latency-histogram export (mmt-hist/v1 JSON)")
 	eventsPath := flag.String("events", "", "write the security-event ledger export (mmt-events/v1 JSONL)")
+	causalPath := flag.String("causal", "", "write the causal span-tree export (mmt-causal/v1 JSON)")
 	debugAddr := flag.String("debug", "", "serve the read-only /debug endpoint on this address")
 	flag.Parse()
 
 	var opts []mmt.Option
 	var sink *mmt.TraceSink
-	if *tracePath != "" || *statsPath != "" || *eventsPath != "" || *debugAddr != "" {
+	if *tracePath != "" || *statsPath != "" || *eventsPath != "" || *causalPath != "" || *debugAddr != "" {
 		sink = mmt.NewTraceSink()
 		opts = append(opts, mmt.WithTracing(sink))
 	}
@@ -122,6 +126,7 @@ func main() {
 	export(*tracePath, "open in chrome://tracing or https://ui.perfetto.dev", sink.WriteChromeTrace)
 	export(*statsPath, "latency histograms, render with `mmt-stat`", sink.WriteHistJSON)
 	export(*eventsPath, "security-event ledger, render with `mmt-stat`", sink.WriteEventsJSONL)
+	export(*causalPath, "causal span trees, render with `mmt-stat`", sink.WriteCausalJSON)
 	if sink != nil {
 		fmt.Print(sink.Summary())
 	}

@@ -140,6 +140,7 @@ func All() []*Analyzer {
 		NoAlloc,       // MMT008
 		LockOrder,     // MMT009
 		PhaseCharge,   // MMT010
+		TraceCtx,      // MMT011
 	}
 }
 

@@ -51,6 +51,10 @@ func TestPhaseCharge(t *testing.T) {
 	analysistest.Run(t, analyzers.PhaseCharge, "phasecharge")
 }
 
+func TestTraceCtx(t *testing.T) {
+	analysistest.Run(t, analyzers.TraceCtx, "tracectx")
+}
+
 // TestDriverOnRealPackage smoke-tests the go-list driver end to end: the
 // shipped tree must be clean under the full suite for at least one real
 // package (the crypto core, which is also the most invariant-dense).

@@ -1,0 +1,74 @@
+// Package tracectx exercises the tracectx analyzer: work units passed to
+// par.Map/par.ForEach must not use a trace.Context from the enclosing
+// scope — each unit mints its own causal root.
+package tracectx
+
+import (
+	"mmt/internal/par"
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+)
+
+// captured threads one causal context through every work unit — flagged
+// at each use, because concurrent spans would parent onto the same trace
+// in scheduling order.
+func captured(probe *trace.Probe, ctx trace.Context, items []int) error {
+	return par.ForEach(4, items, func(_ int, it int) error {
+		probe.CausalSpan(ctx, trace.PhaseApp, 0, sim.Time(it), 0) // want "captures trace\.Context"
+		_ = ctx.Valid()                                           // want "captures trace\.Context"
+		return nil
+	})
+}
+
+// capturedPointer shows the pointer case through Map.
+func capturedPointer(items []int) ([]bool, error) {
+	ctx := &trace.Context{}
+	return par.Map(2, items, func(_ int, it int) (bool, error) {
+		return ctx.Valid(), nil // want "captures trace\.Context"
+	})
+}
+
+// owned is the sanctioned shape: each work unit opens its own root, so
+// its spans form an independent tree and the analyzer stays silent.
+func owned(probe *trace.Probe, items []int) error {
+	return par.ForEach(0, items, func(_ int, it int) error {
+		ctx := probe.NewTrace()
+		probe.CausalSpan(ctx, trace.PhaseApp, 0, sim.Time(it), 0)
+		return nil
+	})
+}
+
+// ownedField: field selectors on locally built state are fine — unit is
+// owned by the work unit, and unit.Ctx's field identifier must not be
+// mistaken for a captured variable.
+type unit struct {
+	Ctx trace.Context
+}
+
+func ownedField(probe *trace.Probe, items []int) error {
+	return par.ForEach(0, items, func(_ int, it int) error {
+		u := unit{Ctx: probe.NewTrace()}
+		probe.CausalSpan(u.Ctx, trace.PhaseApp, 0, sim.Time(it), 0)
+		return nil
+	})
+}
+
+// serialUse reads a context outside any par call — no finding: the
+// contract binds work-unit literals only.
+func serialUse(ctx trace.Context, items []int) int {
+	n := 0
+	for range items {
+		if ctx.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// suppressed demonstrates a justified exception.
+func suppressed(ctx trace.Context, items []int) error {
+	return par.ForEach(1, items, func(_ int, it int) error {
+		_ = ctx.Valid() //mmt:allow tracectx: workers pinned to 1 in this code path
+		return nil
+	})
+}

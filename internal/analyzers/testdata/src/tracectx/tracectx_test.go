@@ -1,0 +1,16 @@
+package tracectx
+
+import (
+	"mmt/internal/par"
+	"mmt/internal/trace"
+)
+
+// Test files are out of scope: a determinism test may thread one context
+// through a worker-count-1 par call to assert byte identity, and the
+// analyzer must stay silent here.
+func testOnlyCapture(ctx trace.Context, items []int) error {
+	return par.ForEach(1, items, func(_ int, it int) error {
+		_ = ctx.Valid()
+		return nil
+	})
+}

@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// TraceCtx enforces the causal-tracing half of the internal/par
+// determinism contract (DESIGN.md §13): a work unit handed to par.Map or
+// par.ForEach must not use a trace.Context declared outside the literal.
+// A causal context names one logical protocol exchange; sharing it
+// across concurrently running work units would parent spans from
+// interleaved work onto the same trace in scheduling order, so the span
+// tree — and the byte-identical mmt-causal/v1 export — would depend on
+// goroutine interleaving. Work units that need causal spans must open
+// their own root (Probe.NewTrace) inside the unit.
+var TraceCtx = &Analyzer{
+	Name: "tracectx",
+	ID:   "MMT011",
+	Doc: "forbid par.Map/par.ForEach work-unit literals from using a " +
+		"trace.Context declared outside the literal; each work unit must " +
+		"mint its own causal root so span trees are independent of scheduling",
+	Run: runTraceCtx,
+}
+
+func runTraceCtx(pass *Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "mmt/internal/par" {
+				return true
+			}
+			if fn.Name() != "Map" && fn.Name() != "ForEach" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					diags = append(diags, capturedTraceCtxs(pass, lit, "par."+fn.Name())...)
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// capturedTraceCtxs reports every use inside lit of a variable of type
+// trace.Context or *trace.Context that is declared outside lit. As in
+// capturedClocks, only plain identifiers are considered: the selector in
+// x.ctx names a field declared elsewhere by construction, and whether
+// the *value* is shared is decided by the receiver x, which the walk
+// does visit.
+func capturedTraceCtxs(pass *Pass, lit *ast.FuncLit, callee string) []Diagnostic {
+	var diags []Diagnostic
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			ast.Inspect(n.X, visit)
+			return false
+		case *ast.Ident:
+			v, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok || v.IsField() || !isTraceContext(v.Type()) {
+				return true
+			}
+			if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+				diags = append(diags, Diagnostic{Pos: n.Pos(), Message: fmt.Sprintf(
+					"work unit passed to %s captures trace.Context %q from the enclosing scope; "+
+						"work units must mint their own causal roots (DESIGN.md §13)", callee, n.Name)})
+			}
+		}
+		return true
+	}
+	ast.Inspect(lit.Body, visit)
+	return diags
+}
+
+// isTraceContext reports whether t is mmt/internal/trace.Context or a
+// pointer to it.
+func isTraceContext(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "mmt/internal/trace"
+}

@@ -62,6 +62,20 @@ type SidecarProc struct {
 	Counters []SidecarCounter `json:"counters,omitempty"`
 }
 
+// SidecarMigration is one migration's end-to-end causal accounting: the
+// compact view of an mmt-causal/v1 span tree. TotalCycles sums the
+// attributed cycles of every span across sender and receiver, so the
+// sum over all migrations equals the run's migration-send-cycles plus
+// migration-recv-cycles totals (Check and mmt-tracecheck verify this).
+type SidecarMigration struct {
+	ID                string     `json:"id"`
+	RootProc          string     `json:"root_proc"`
+	Spans             int        `json:"spans"`
+	TotalCycles       sim.Cycles `json:"total_cycles"`
+	CriticalPathLen   int        `json:"critical_path_len"`
+	CriticalElapsedUs float64    `json:"critical_elapsed_us"`
+}
+
 // Sidecar is the BENCH_<fig>.json payload.
 type Sidecar struct {
 	Figure      string `json:"figure"`
@@ -83,6 +97,9 @@ type Sidecar struct {
 	// Hists summarizes every nonempty per-operation latency histogram
 	// (proc-major, operation enum order).
 	Hists []SidecarHist `json:"hists,omitempty"`
+	// Migrations is the per-migration causal breakdown, in trace-ID order
+	// (root process, then sequence).
+	Migrations []SidecarMigration `json:"migrations,omitempty"`
 }
 
 // Check verifies the phase-sum invariant: when the figure reports a
@@ -105,6 +122,24 @@ func (sc *Sidecar) Check() error {
 		if !(h.P50 <= h.P90 && h.P90 <= h.P99 && h.P99 <= h.Max) {
 			return fmt.Errorf("fig %s: %s/%s quantiles not monotone: p50=%v p90=%v p99=%v max=%v",
 				sc.Figure, h.Proc, h.Op, h.P50, h.P90, h.P99, h.Max)
+		}
+	}
+	// Per-migration causal totals must re-add to the run's migration
+	// cycle totals: every migration appears as exactly one trace and
+	// every migration cycle is attributed to exactly one span.
+	if len(sc.Migrations) > 0 {
+		var sum, reported float64
+		for _, mg := range sc.Migrations {
+			sum += float64(mg.TotalCycles)
+		}
+		for _, t := range sc.Totals {
+			if t.Name == "migration-send-cycles" || t.Name == "migration-recv-cycles" {
+				reported += t.Value
+			}
+		}
+		if diff := math.Abs(sum - reported); diff > 1e-9*math.Max(math.Abs(sum), math.Abs(reported)) {
+			return fmt.Errorf("fig %s: per-migration causal cycles %.6f != migration totals %.6f",
+				sc.Figure, sum, reported)
 		}
 	}
 	return nil
@@ -161,6 +196,35 @@ func (sc *Sidecar) fillFromMetrics(m trace.Metrics) {
 	}
 }
 
+// fillMigrations appends the causal per-migration breakdown plus the
+// migration cycle totals. Only traces rooted in a send span count as
+// migrations (connect handshakes are excluded).
+func (sc *Sidecar) fillMigrations(sink *trace.Sink, m trace.Metrics) {
+	traces := sink.CausalTraces()
+	for i := range traces {
+		t := &traces[i]
+		if len(t.Spans) == 0 || t.Spans[0].Parent != 0 || t.Spans[0].Phase != trace.PhaseSend {
+			continue
+		}
+		sc.Migrations = append(sc.Migrations, SidecarMigration{
+			ID:                t.ID.String(),
+			RootProc:          t.ID.Proc,
+			Spans:             len(t.Spans),
+			TotalCycles:       t.TotalCycles,
+			CriticalPathLen:   len(t.CriticalPath),
+			CriticalElapsedUs: t.CriticalElapsed.Microseconds(),
+		})
+	}
+	if len(sc.Migrations) == 0 {
+		return
+	}
+	sc.Totals = append(sc.Totals,
+		SidecarTotal{Name: "migrations", Value: float64(len(sc.Migrations)), Unit: "count"},
+		SidecarTotal{Name: "migration-send-cycles", Value: float64(m.Op(trace.OpMigrationSend).Sum), Unit: "cycles"},
+		SidecarTotal{Name: "migration-recv-cycles", Value: float64(m.Op(trace.OpMigrationRecv).Sum), Unit: "cycles"},
+	)
+}
+
 // SidecarFigures lists the figures SidecarForFigure supports.
 var SidecarFigures = []string{"10", "11", "12", "13", "14"}
 
@@ -204,7 +268,9 @@ func sidecarFig10() (*Sidecar, error) {
 		},
 		CheckTotalCycles: row.SecureChannel + row.MMT,
 	}
-	sc.fillFromMetrics(sink.Snapshot())
+	m := sink.Snapshot()
+	sc.fillFromMetrics(m)
+	sc.fillMigrations(sink, m)
 	return sc, nil
 }
 
@@ -236,7 +302,9 @@ func sidecarFig11(accesses int) (*Sidecar, error) {
 		},
 		CheckTotalCycles: protected,
 	}
-	sc.fillFromMetrics(sink.Snapshot())
+	m := sink.Snapshot()
+	sc.fillFromMetrics(m)
+	sc.fillMigrations(sink, m)
 	return sc, nil
 }
 

@@ -54,11 +54,15 @@ func TestSidecarFig10(t *testing.T) {
 	if err := sc.Check(); err != nil {
 		t.Fatal(err)
 	}
-	if len(sc.Totals) != 3 || sc.Totals[0].Name != "secure-channel" || sc.Totals[1].Name != "mmt-delegation" {
+	if len(sc.Totals) != 6 || sc.Totals[0].Name != "secure-channel" || sc.Totals[1].Name != "mmt-delegation" {
 		t.Fatalf("unexpected totals: %+v", sc.Totals)
 	}
 	if speedup := sc.Totals[2].Value; speedup < 100 {
 		t.Fatalf("2M speedup %.1fx, want the paper's ~169x regime", speedup)
+	}
+	// The single 2 MB delegation shows up as exactly one causal trace.
+	if sc.Totals[3].Name != "migrations" || sc.Totals[3].Value != 1 || len(sc.Migrations) != 1 {
+		t.Fatalf("migration totals wrong: %+v / %+v", sc.Totals, sc.Migrations)
 	}
 	if _, err := sc.JSON(); err != nil {
 		t.Fatal(err)

@@ -25,9 +25,17 @@ type Delegation struct {
 	conn *core.Conn
 	pool []int
 	// inflight are MMTs in sending state awaiting acks, oldest first.
-	inflight []*core.MMT
+	inflight []inflightDeleg
 	// stash holds messages popped while looking for a different kind.
 	stash []netsim.Message
+}
+
+// inflightDeleg pairs an in-flight MMT with its open causal root span:
+// the migration's end-to-end span stays open from send until the ack or
+// nack completes it (drainAcks) or the sender gives up (AbandonInFlight).
+type inflightDeleg struct {
+	mmt *core.MMT
+	sp  *trace.ActiveSpan // nil when tracing is disabled
 }
 
 // msgHeader frames one chunk inside a region's plaintext.
@@ -136,11 +144,15 @@ func (c *Delegation) drainAcks() error {
 			continue
 		}
 		matched := false
-		for i, mmt := range c.inflight {
+		for i, d := range c.inflight {
+			mmt := d.mmt
 			if mmt.GUAddr() != guaddr {
 				continue
 			}
 			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			// The ack closes the migration's causal root: the span now
+			// encloses send, flight, remote accept and the ack's return trip.
+			d.sp.End(c.ep.Clock().Now())
 			region := mmt.Region()
 			if err := mmt.CompleteSend(okByte); err != nil {
 				return err
@@ -223,17 +235,19 @@ func (c *Delegation) sendChunk(chunk []byte, idx, total int) error {
 		return err
 	}
 	wire := closure.Encode()
-	sp := c.probe.Begin(trace.PhaseSend, c.ep.Clock().Now())
+	// Root of this migration's causal trace: the span stays open until the
+	// peer's ack or nack completes the transfer (drainAcks / Abandon).
+	root := c.probe.BeginSpan(c.probe.NewTrace(), trace.PhaseSend, c.ep.Clock().Now())
 	c.probe.Count(trace.CtrClosuresSent, 1)
 	c.probe.Count(trace.CtrClosureEncodeBytes, uint64(len(wire)))
 	c.charge(&c.stats.RemoteWrite, trace.PhaseDMA, c.prof.RemoteWriteCost(len(wire)))
 	c.charge(&c.stats.Delegation, trace.PhaseDelegation, c.prof.DelegationFixed)
 	c.probe.RecordOp(trace.OpMigrationSend,
 		c.prof.RemoteWriteCost(len(wire))+c.prof.DelegationFixed)
-	c.inflight = append(c.inflight, mmt)
-	c.ep.Send(c.peer, netsim.KindClosure, wire)
+	root.AddCycles(c.prof.RemoteWriteCost(len(wire)) + c.prof.DelegationFixed)
+	c.inflight = append(c.inflight, inflightDeleg{mmt: mmt, sp: root})
+	c.ep.SendTraced(c.peer, netsim.KindClosure, wire, root.Context())
 	c.probe.Event(trace.EvMigrationSend, c.ep.Clock().Now(), mmt.GUAddr(), "delegation: closure on wire")
-	sp.End(c.ep.Clock().Now())
 	return nil
 }
 
@@ -284,7 +298,14 @@ func (c *Delegation) Recv() (*Received, error) {
 	if !ok {
 		return nil, ErrEmpty
 	}
-	sp := c.probe.Begin(trace.PhaseRecv, c.ep.Clock().Now())
+	// The accept is a child of the migration's root span carried in the
+	// message metadata; if the sender was untraced, the receiver roots a
+	// trace of its own so local accounting survives.
+	ctx := m.Trace
+	if !ctx.Valid() {
+		ctx = c.probe.NewTrace()
+	}
+	sp := c.probe.BeginSpan(ctx, trace.PhaseRecv, c.ep.Clock().Now())
 	c.probe.Count(trace.CtrClosureDecodeBytes, uint64(len(m.Payload)))
 	region, err := c.popRegion()
 	if err != nil {
@@ -294,7 +315,13 @@ func (c *Delegation) Recv() (*Received, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := mmt.Accept(c.conn, m.Payload); err != nil {
+	// The controller records the functional install (tree + line-MAC
+	// verification) as a child of the accept span.
+	ctl := c.node.Controller()
+	ctl.SetCausal(sp.Context())
+	err = mmt.Accept(c.conn, m.Payload)
+	ctl.SetCausal(trace.Context{})
+	if err != nil {
 		c.probe.Count(trace.CtrClosuresRejected, 1)
 		// Ledger verdict. The kind argument must be a compile-time constant
 		// (mmt-vet eventkind), hence the explicit classification branches.
@@ -323,15 +350,19 @@ func (c *Delegation) Recv() (*Received, error) {
 		}
 		c.pool = append(c.pool, region)
 		if derr == nil {
-			c.ep.Send(c.peer, netsim.KindControl, encodeAck(false, hint))
+			// The nack rides the migration's root context so its wire flight
+			// lands in the same trace as the failed transfer.
+			c.ep.SendTraced(c.peer, netsim.KindControl, encodeAck(false, hint), ctx)
 		}
+		sp.End(c.ep.Clock().Now())
 		return nil, err
 	}
 	// Ack (Figure 6 step 4): a tiny control message naming the delegation.
 	c.probe.Count(trace.CtrClosuresAccepted, 1)
 	c.charge(&c.stats.Delegation, trace.PhaseDelegation, c.prof.RemoteWriteCost(9))
 	c.probe.RecordOp(trace.OpMigrationRecv, c.prof.RemoteWriteCost(9))
-	c.ep.Send(c.peer, netsim.KindControl, encodeAck(true, mmt.GUAddr()))
+	sp.AddCycles(c.prof.RemoteWriteCost(9))
+	c.ep.SendTraced(c.peer, netsim.KindControl, encodeAck(true, mmt.GUAddr()), ctx)
 	c.probe.Event(trace.EvMigrationAccept, c.ep.Clock().Now(), mmt.GUAddr(), "delegation: closure installed")
 	sp.End(c.ep.Clock().Now())
 
@@ -386,12 +417,14 @@ func (c *Delegation) InFlight() int { return len(c.inflight) }
 // lives on in the caller's retry payload; the abandoned closures, if they
 // ever arrive, fail the receiver's freshness check.
 func (c *Delegation) AbandonInFlight() error {
-	for _, mmt := range c.inflight {
-		region := mmt.Region()
-		if err := mmt.CompleteSend(false); err != nil {
+	for _, d := range c.inflight {
+		// Close the migration's causal root at the give-up instant.
+		d.sp.End(c.ep.Clock().Now())
+		region := d.mmt.Region()
+		if err := d.mmt.CompleteSend(false); err != nil {
 			return err
 		}
-		if err := mmt.Reclaim(); err != nil {
+		if err := d.mmt.Reclaim(); err != nil {
 			return err
 		}
 		c.pool = append(c.pool, region)

@@ -102,6 +102,10 @@ type Controller struct {
 	stats   Stats
 	quiet   bool
 	probe   *trace.Probe // nil = tracing disabled
+	// causal is the causal context the channel/monitor layer installs
+	// around a closure accept, so the functional Install lands as a child
+	// span of the accept (zero when no migration is in progress).
+	causal trace.Context
 	scr     crypt.Scratch
 	lineBuf [mem.LineSize]byte // ciphertext staging for the write path
 }
@@ -176,6 +180,14 @@ func (c *Controller) SetTrace(p *trace.Probe) {
 // Components sharing the machine (monitor, channels) reuse it so all of
 // a node's activity lands under one trace process.
 func (c *Controller) Trace() *trace.Probe { return c.probe }
+
+// SetCausal installs the causal context under which the next Install
+// records its span; the zero Context disables it. The channel/monitor
+// layer brackets each closure accept with SetCausal/clear.
+func (c *Controller) SetCausal(ctx trace.Context) { c.causal = ctx }
+
+// Causal reports the installed causal context (tests).
+func (c *Controller) Causal() trace.Context { return c.causal }
 
 // Mode reports region r's access mode.
 func (c *Controller) Mode(r int) Mode { return c.region(r).mode }
@@ -629,6 +641,11 @@ func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, t
 	}
 	c.mem.SetRegionKind(r, mem.KindSecure)
 	c.cache.invalidateRegion(r)
+	// Install is functional verification (tree + line MACs) and advances
+	// no clock, so its causal span is a zero-duration, zero-cycle marker
+	// under the accept span — it pins *where* the install happened, not a
+	// cost.
+	c.probe.CausalSpan(c.causal, trace.PhaseMAC, c.clock.Now(), c.clock.Now(), 0)
 	return nil
 }
 

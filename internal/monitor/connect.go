@@ -32,6 +32,10 @@ type Connection struct {
 	// pending maps in-flight delegations (by MMT global-unique address)
 	// to their PMOs; several may be pipelined on one connection.
 	pending map[uint64]*PMO
+	// pendingSpan holds the open causal root span of each in-flight
+	// delegation, keyed like pending. Lazily allocated; absent when
+	// tracing is disabled (snapshots never serialize it).
+	pendingSpan map[uint64]*trace.ActiveSpan
 	// Received queues PMOs accepted from the peer, oldest first.
 	Received []*PMO
 	// Acked counts completed outbound delegations.
@@ -168,7 +172,11 @@ func Connect(a *Monitor, aEnc EnclaveID, b *Monitor, bEnc EnclaveID, initCounter
 	if err != nil {
 		return "", err
 	}
-	a.endpoint.Send(b.endpoint.Name(), netsim.KindControl, reqBytes)
+	// The handshake is the root of a causal connect trace: minted at the
+	// initiator, carried alongside both control messages, closed once a
+	// verifies b's response.
+	connectRoot := a.ctl.Trace().BeginSpan(a.ctl.Trace().NewTrace(), trace.PhaseConnect, a.ctl.Clock().Now())
+	a.endpoint.SendTraced(b.endpoint.Name(), netsim.KindControl, reqBytes, connectRoot.Context())
 	inbound, ok := b.endpoint.Recv()
 	if !ok {
 		return "", fmt.Errorf("monitor: connect request lost on the network")
@@ -198,7 +206,7 @@ func Connect(a *Monitor, aEnc EnclaveID, b *Monitor, bEnc EnclaveID, initCounter
 	if err != nil {
 		return "", err
 	}
-	b.endpoint.Send(inbound.From, netsim.KindControl, respBytes)
+	b.endpoint.SendTraced(inbound.From, netsim.KindControl, respBytes, inbound.Trace)
 	back, ok := a.endpoint.Recv()
 	if !ok {
 		return "", fmt.Errorf("monitor: connect response lost on the network")
@@ -235,10 +243,11 @@ func Connect(a *Monitor, aEnc EnclaveID, b *Monitor, bEnc EnclaveID, initCounter
 
 	// Both sides record the connection and arm a receive buffer. The
 	// handshake itself charges no cycles (see ROADMAP: connection setup is
-	// off the steady-state path), so the connect spans are zero-duration
-	// markers on each machine's timeline.
-	a.ctl.Trace().Span(trace.PhaseConnect, a.ctl.Clock().Now(), a.ctl.Clock().Now())
-	b.ctl.Trace().Span(trace.PhaseConnect, b.ctl.Clock().Now(), b.ctl.Clock().Now())
+	// off the steady-state path): b's side is a zero-duration child marker
+	// in the connect trace, and a's root span closes here, spanning the
+	// full request/response round trip.
+	b.ctl.Trace().CausalSpan(inbound.Trace, trace.PhaseConnect, b.ctl.Clock().Now(), b.ctl.Clock().Now(), 0)
+	connectRoot.End(a.ctl.Clock().Now())
 	ca := &Connection{ID: connID, Local: aEnc, PeerMonitor: b.endpoint.Name(), PeerEnclave: bEnc,
 		conn: core.NewConn(key, initCounter), pending: make(map[uint64]*PMO)}
 	cb := &Connection{ID: connID, Local: bEnc, PeerMonitor: a.endpoint.Name(), PeerEnclave: aEnc,
@@ -311,19 +320,27 @@ func (m *Monitor) SendPMO(caller EnclaveID, cap CapID, connID string, mode core.
 	c.pending[p.mmt.GUAddr()] = p
 	frame := encodeClosureFrame(connID, closure.Encode())
 	// Charge the NIC/DMA serialization and the fixed delegation cost to
-	// this machine's clock, exactly as the channel layer does.
+	// this machine's clock, exactly as the channel layer does. The send is
+	// the root of this migration's causal trace; the root span stays open
+	// until the peer's ack or nack arrives (Pump's KindControl branch).
 	probe := m.ctl.Trace()
-	sp := probe.Begin(trace.PhaseSend, m.ctl.Clock().Now())
+	root := probe.BeginSpan(probe.NewTrace(), trace.PhaseSend, m.ctl.Clock().Now())
 	probe.Count(trace.CtrClosuresSent, 1)
 	probe.Count(trace.CtrClosureEncodeBytes, uint64(len(frame)))
 	prof := m.ctl.Profile()
 	probe.AddCycles(trace.PhaseDMA, prof.RemoteWriteCost(len(frame)))
 	probe.AddCycles(trace.PhaseDelegation, prof.DelegationFixed)
 	probe.RecordOp(trace.OpMigrationSend, prof.RemoteWriteCost(len(frame))+prof.DelegationFixed)
+	root.AddCycles(prof.RemoteWriteCost(len(frame)) + prof.DelegationFixed)
 	m.ctl.Clock().AdvanceCycles(prof.RemoteWriteCost(len(frame)) + prof.DelegationFixed)
-	m.endpoint.Send(c.PeerMonitor, netsim.KindClosure, frame)
+	m.endpoint.SendTraced(c.PeerMonitor, netsim.KindClosure, frame, root.Context())
 	probe.Event(trace.EvMigrationSend, m.ctl.Clock().Now(), p.mmt.GUAddr(), "monitor: closure on wire")
-	sp.End(m.ctl.Clock().Now())
+	if root != nil {
+		if c.pendingSpan == nil {
+			c.pendingSpan = make(map[uint64]*trace.ActiveSpan)
+		}
+		c.pendingSpan[p.mmt.GUAddr()] = root
+	}
 	return nil
 }
 
@@ -345,7 +362,13 @@ func (m *Monitor) Pump() (bool, error) {
 			return true, err
 		}
 		probe := m.ctl.Trace()
-		sp := probe.Begin(trace.PhaseRecv, m.ctl.Clock().Now())
+		// Child of the migration root carried in the message metadata; a
+		// receiver of untraced traffic roots a local trace instead.
+		ctx := msg.Trace
+		if !ctx.Valid() {
+			ctx = probe.NewTrace()
+		}
+		sp := probe.BeginSpan(ctx, trace.PhaseRecv, m.ctl.Clock().Now())
 		probe.Count(trace.CtrClosureDecodeBytes, uint64(len(msg.Payload)))
 		c, ok := m.conns[connID]
 		if !ok {
@@ -354,7 +377,11 @@ func (m *Monitor) Pump() (bool, error) {
 		if c.recv == nil || c.recv.mmt == nil {
 			return true, fmt.Errorf("monitor: no armed receive buffer on %s", connID)
 		}
-		if err := c.recv.mmt.Accept(c.conn, wire); err != nil {
+		// The controller records the functional install as a child of sp.
+		m.ctl.SetCausal(sp.Context())
+		acceptErr := c.recv.mmt.Accept(c.conn, wire)
+		m.ctl.SetCausal(trace.Context{})
+		if err := acceptErr; err != nil {
 			// Rejected: nack the specific delegation (its cleartext address
 			// hint is readable even when verification fails) and keep the
 			// buffer armed. Ledger verdicts take constant kinds (mmt-vet
@@ -379,7 +406,7 @@ func (m *Monitor) Pump() (bool, error) {
 				probe.Event(trace.EvMigrationReject, now, hint, "monitor: malformed closure")
 			}
 			if derr == nil {
-				m.sendAck(c, false, hint)
+				m.sendAck(c, false, hint, ctx)
 			}
 			sp.End(m.ctl.Clock().Now())
 			return true, err
@@ -388,8 +415,9 @@ func (m *Monitor) Pump() (bool, error) {
 		accepted := c.recv.mmt.GUAddr()
 		c.recv = nil
 		probe.Count(trace.CtrClosuresAccepted, 1)
-		ackCost := m.sendAck(c, true, accepted)
+		ackCost := m.sendAck(c, true, accepted, ctx)
 		probe.RecordOp(trace.OpMigrationRecv, ackCost)
+		sp.AddCycles(ackCost)
 		probe.Event(trace.EvMigrationAccept, m.ctl.Clock().Now(), accepted, "monitor: closure installed")
 		sp.End(m.ctl.Clock().Now())
 		// Re-arm for the next delegation if the pool allows it.
@@ -414,6 +442,11 @@ func (m *Monitor) Pump() (bool, error) {
 			return true, fmt.Errorf("monitor: ack for unknown delegation %#x on %s", am.GUAddr, am.ConnID)
 		}
 		delete(c.pending, am.GUAddr)
+		// The ack closes the migration's causal root span.
+		if root, ok := c.pendingSpan[am.GUAddr]; ok {
+			delete(c.pendingSpan, am.GUAddr)
+			root.End(m.ctl.Clock().Now())
+		}
 		if err := p.mmt.CompleteSend(am.OK); err != nil {
 			return true, err
 		}
@@ -439,8 +472,10 @@ func (m *Monitor) Pump() (bool, error) {
 }
 
 // sendAck pushes an ack/nack control frame and reports the cycles it
-// charged, so the caller can mirror them into the per-op histograms.
-func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) sim.Cycles {
+// charged, so the caller can mirror them into the per-op histograms. The
+// frame rides ctx — the migration's root context — so its wire flight
+// lands in the same causal trace as the transfer it completes.
+func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64, ctx trace.Context) sim.Cycles {
 	body, err := json.Marshal(ackMsg{Type: "ack", ConnID: c.ID, OK: ok, GUAddr: guaddr})
 	if err != nil {
 		return 0
@@ -448,7 +483,7 @@ func (m *Monitor) sendAck(c *Connection, ok bool, guaddr uint64) sim.Cycles {
 	cost := m.ctl.Profile().RemoteWriteCost(len(body))
 	m.ctl.Trace().AddCycles(trace.PhaseDelegation, cost)
 	m.ctl.Clock().AdvanceCycles(cost)
-	m.endpoint.Send(c.PeerMonitor, netsim.KindControl, body)
+	m.endpoint.SendTraced(c.PeerMonitor, netsim.KindControl, body, ctx)
 	return cost
 }
 

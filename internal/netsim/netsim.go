@@ -51,6 +51,17 @@ type Message struct {
 	// ArriveAt is the simulated instant the message becomes visible at the
 	// destination.
 	ArriveAt sim.Time
+	// Trace is causal observability metadata riding ALONGSIDE the payload,
+	// never inside it: no MAC, seal or signature covers it, so tracing
+	// cannot perturb the security protocol — and, symmetrically, the
+	// context is untrusted wire state an adversary may tamper with, which
+	// at worst mislabels a span. A zero Context means the send was
+	// untraced.
+	Trace trace.Context
+	// SentAt is the sender-clock instant the message went on the wire
+	// (ArriveAt minus the propagation delay); the receiving endpoint
+	// records the [SentAt, ArriveAt] flight as a PhaseWire causal span.
+	SentAt sim.Time
 }
 
 // Interposer sits on the wire. For each sent message it returns the
@@ -149,6 +160,13 @@ func (e *Endpoint) Clock() *sim.Clock { return e.clock }
 // destination inbox stamped with sender-time + propagation latency.
 // Unknown destinations are silently dropped, as on a real fabric.
 func (e *Endpoint) Send(to string, kind Kind, payload []byte) {
+	e.SendTraced(to, kind, payload, trace.Context{})
+}
+
+// SendTraced is Send with a causal trace context attached as metadata
+// beside the payload (see Message.Trace). A zero context is an untraced
+// send.
+func (e *Endpoint) SendTraced(to string, kind Kind, payload []byte, ctx trace.Context) {
 	if msgs, bytes, ok := wireCounters(kind); ok {
 		e.probe.Count(msgs, 1)
 		e.probe.Count(bytes, uint64(len(payload)))
@@ -158,6 +176,8 @@ func (e *Endpoint) Send(to string, kind Kind, payload []byte) {
 		To:       to,
 		Kind:     kind,
 		Payload:  append([]byte(nil), payload...),
+		SentAt:   e.clock.Now(),
+		Trace:    ctx,
 		ArriveAt: e.clock.Now() + e.net.Latency,
 	}
 	n := e.net
@@ -189,6 +209,14 @@ func (e *Endpoint) Recv() (Message, bool) {
 		e.probe.RecordOp(trace.OpRemoteRead, sim.TimeToCycles(wait, e.clock.Freq()))
 	}
 	e.clock.SyncTo(m.ArriveAt)
+	// Record the flight as a causal wire span: a child of the sender's
+	// span, zero cycles (propagation delay is wait, not work). The
+	// delivered context is NOT re-parented — protocol spans recorded from
+	// m.Trace stay direct children of the sender's span, keeping the tree
+	// flat and interval containment trivially true.
+	if m.Trace.Valid() {
+		e.probe.CausalSpan(m.Trace, trace.PhaseWire, m.SentAt, m.ArriveAt, 0)
+	}
 	return m, true
 }
 

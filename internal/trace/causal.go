@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+
+	"mmt/internal/sim"
+)
+
+// This file is the causal half of the trace layer: deterministic trace
+// identities minted at migration/connect roots, span links that tie one
+// machine's spans to another's, and the per-migration tree/critical-path
+// views the mmt-causal/v1 exporter and the sidecars render.
+//
+// Identity rules (see DESIGN.md §13):
+//
+//   - A TraceID is (process name, per-process monotonic sequence) — never
+//     randomness, never wall-clock — so identical runs mint identical IDs
+//     and the export stays byte-identical at any worker count.
+//   - Span IDs are allocated per trace, 1-based, parents before children,
+//     so parent < span always holds and the span set of a trace forms a
+//     tree by construction.
+//   - A Context travels across machines as observability metadata riding
+//     alongside the wire payload (netsim.Message.Trace); it is never part
+//     of any MAC'd or sealed byte string, so tracing cannot perturb the
+//     security protocol and a tampered context can at worst mislabel a
+//     span.
+
+// TraceID names one causal trace: a migration or connect root. The zero
+// value is the invalid ID (tracing disabled at the root).
+type TraceID struct {
+	// Proc is the process (machine) that opened the trace root.
+	Proc string
+	// Seq is the root process's monotonic trace counter, 1-based.
+	Seq uint64
+}
+
+// Valid reports whether the ID names a real trace.
+func (id TraceID) Valid() bool { return id.Proc != "" }
+
+// String renders the ID as "proc#seq".
+func (id TraceID) String() string {
+	if !id.Valid() {
+		return "invalid"
+	}
+	return id.Proc + "#" + strconv.FormatUint(id.Seq, 10)
+}
+
+// Context is the causal propagation token: which trace, and which span
+// inside it is the parent of whatever happens next. The zero value is
+// the disabled context; every consumer treats it as "do not record".
+type Context struct {
+	ID TraceID
+	// Span is the parent span ID for the next child (0 = the root itself
+	// has not recorded yet, i.e. children of the zero context's trace
+	// attach to the root).
+	Span uint32
+}
+
+// Valid reports whether the context carries a live trace.
+func (c Context) Valid() bool { return c.ID.Valid() }
+
+// NewTrace mints a fresh trace identity rooted at this probe's process.
+// On a nil probe it returns the zero (disabled) Context.
+func (p *Probe) NewTrace() Context {
+	if p == nil {
+		return Context{}
+	}
+	p.sink.mu.Lock()
+	p.proc.causalSeq++
+	id := TraceID{Proc: p.proc.name, Seq: p.proc.causalSeq}
+	p.sink.mu.Unlock()
+	return Context{ID: id}
+}
+
+// nextSpanLocked allocates the next span ID of a trace. Caller holds
+// s.mu.
+func (s *Sink) nextSpanLocked(id TraceID) uint32 {
+	if s.spanSeq == nil {
+		s.spanSeq = make(map[TraceID]uint32)
+	}
+	s.spanSeq[id]++
+	return s.spanSeq[id]
+}
+
+// BeginSpan opens a causal span: a child of ctx's parent span, on this
+// probe's process, in the given phase. Returns nil — the universal
+// no-op — when the probe is disabled or the context is invalid, so call
+// sites need no branches. Nothing is recorded until End.
+func (p *Probe) BeginSpan(ctx Context, ph Phase, now sim.Time) *ActiveSpan {
+	if p == nil || !ctx.Valid() {
+		return nil
+	}
+	p.sink.mu.Lock()
+	id := p.sink.nextSpanLocked(ctx.ID)
+	p.sink.mu.Unlock()
+	return &ActiveSpan{probe: p, trace: ctx.ID, span: id, parent: ctx.Span, phase: ph, begin: now}
+}
+
+// CausalSpan records a completed child span of ctx immediately and
+// returns the context for *its* children. On a nil probe or invalid
+// context it records nothing and returns ctx unchanged.
+func (p *Probe) CausalSpan(ctx Context, ph Phase, begin, end sim.Time, cycles sim.Cycles) Context {
+	sp := p.BeginSpan(ctx, ph, begin)
+	if sp == nil {
+		return ctx
+	}
+	sp.AddCycles(cycles)
+	sp.End(end)
+	return sp.Context()
+}
+
+// ActiveSpan is an open causal span. A nil *ActiveSpan is the disabled
+// state: every method is a nil-safe no-op, mirroring the nil-Probe
+// convention.
+type ActiveSpan struct {
+	probe  *Probe
+	trace  TraceID
+	span   uint32
+	parent uint32
+	phase  Phase
+	begin  sim.Time
+	cycles sim.Cycles
+}
+
+// Context returns the propagation token that parents children under this
+// span. On a nil span it returns the zero (disabled) Context.
+func (a *ActiveSpan) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	return Context{ID: a.trace, Span: a.span}
+}
+
+// AddCycles attributes simulated cycles to this span (the span's own
+// cost, excluding its children's).
+func (a *ActiveSpan) AddCycles(n sim.Cycles) {
+	if a == nil {
+		return
+	}
+	a.cycles += n
+}
+
+// End closes the span at the given simulated instant and records it as
+// an Event carrying the causal link fields.
+func (a *ActiveSpan) End(now sim.Time) {
+	if a == nil {
+		return
+	}
+	if now < a.begin {
+		now = a.begin
+	}
+	p := a.probe
+	p.sink.mu.Lock()
+	p.sink.events = append(p.sink.events, Event{
+		Proc: p.proc.name, Phase: a.phase, Begin: a.begin, End: now,
+		Trace: a.trace, Span: a.span, Parent: a.parent, Cycles: a.cycles,
+	})
+	p.sink.mu.Unlock()
+}
+
+// CausalSpan is one recorded span of a causal trace (the exported view).
+type CausalSpan struct {
+	// Span is the 1-based span ID within the trace; Parent is the parent
+	// span's ID (0 for the root).
+	Span, Parent uint32
+	// Proc is the machine that recorded the span.
+	Proc  string
+	Phase Phase
+	Begin sim.Time
+	End   sim.Time
+	// Cycles is the span's own attributed cost (children excluded).
+	Cycles sim.Cycles
+}
+
+// CausalTrace is one migration's (or connect handshake's) complete span
+// tree, plus the derived end-to-end accounting.
+type CausalTrace struct {
+	ID TraceID
+	// Spans in ascending span-ID order (parents precede children).
+	Spans []CausalSpan
+	// TotalCycles sums every span's attributed cycles: the migration's
+	// end-to-end simulated cost across all machines.
+	TotalCycles sim.Cycles
+	// CriticalPath is the root-to-leaf chain of span IDs that ends
+	// latest; CriticalElapsed is that leaf's End minus the root's Begin —
+	// the migration's end-to-end simulated latency.
+	CriticalPath    []uint32
+	CriticalElapsed sim.Time
+}
+
+// CausalTraces assembles the recorded causal spans into per-trace trees,
+// ordered by (root process, sequence). Safe on a nil sink (returns nil).
+func (s *Sink) CausalTraces() []CausalTrace {
+	events := s.Events()
+	if len(events) == 0 {
+		return nil
+	}
+	byID := make(map[TraceID]*CausalTrace)
+	var order []*CausalTrace
+	for i := range events {
+		ev := &events[i]
+		if !ev.Trace.Valid() {
+			continue
+		}
+		t, ok := byID[ev.Trace]
+		if !ok {
+			t = &CausalTrace{ID: ev.Trace}
+			byID[ev.Trace] = t
+			order = append(order, t)
+		}
+		t.Spans = append(t.Spans, CausalSpan{
+			Span: ev.Span, Parent: ev.Parent, Proc: ev.Proc,
+			Phase: ev.Phase, Begin: ev.Begin, End: ev.End, Cycles: ev.Cycles,
+		})
+		t.TotalCycles += ev.Cycles
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i].ID, order[j].ID
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	out := make([]CausalTrace, 0, len(order))
+	for _, t := range order {
+		sort.Slice(t.Spans, func(i, j int) bool { return t.Spans[i].Span < t.Spans[j].Span })
+		t.CriticalPath, t.CriticalElapsed = criticalPath(t.Spans)
+		out = append(out, *t)
+	}
+	return out
+}
+
+// criticalPath walks from the root, at each step descending into the
+// child whose interval ends latest (ties broken toward the smaller span
+// ID), and reports the chain plus leaf-End minus root-Begin. An empty or
+// rootless span set yields a nil path.
+func criticalPath(spans []CausalSpan) ([]uint32, sim.Time) {
+	var root *CausalSpan
+	for i := range spans {
+		if spans[i].Parent == 0 {
+			root = &spans[i]
+			break
+		}
+	}
+	if root == nil {
+		return nil, 0
+	}
+	path := []uint32{root.Span}
+	cur := root
+	for {
+		var next *CausalSpan
+		for i := range spans {
+			sp := &spans[i]
+			if sp.Parent != cur.Span {
+				continue
+			}
+			if next == nil || sp.End > next.End || (sp.End == next.End && sp.Span < next.Span) {
+				next = sp
+			}
+		}
+		if next == nil {
+			break
+		}
+		path = append(path, next.Span)
+		cur = next
+	}
+	return path, cur.End - root.Begin
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+)
+
+// CausalSchema identifies the causal-trace export format.
+const CausalSchema = "mmt-causal/v1"
+
+// WriteCausalJSON serializes the sink's causal traces (schema
+// mmt-causal/v1) under the determinism contract of export.go: traces in
+// (root process, sequence) order, spans in span-ID order, hand-assembled
+// JSON, fixed float formatting — identical runs serialize to identical
+// bytes at any worker count. Safe on a nil sink (writes an empty traces
+// list).
+func (s *Sink) WriteCausalJSON(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.str("{\n  \"schema\": \"" + CausalSchema + "\",\n  \"traces\": [")
+	traces := s.CausalTraces()
+	for i := range traces {
+		t := &traces[i]
+		if i > 0 {
+			bw.str(",")
+		}
+		bw.str("\n    {\"id\": " + jsonString(t.ID.String()) +
+			", \"root_proc\": " + jsonString(t.ID.Proc) +
+			", \"seq\": " + strconv.FormatUint(t.ID.Seq, 10) +
+			", \"total_cycles\": " + cyc(t.TotalCycles) +
+			", \"critical_elapsed_us\": " + usec(t.CriticalElapsed) +
+			", \"critical_path\": [")
+		for j, id := range t.CriticalPath {
+			if j > 0 {
+				bw.str(", ")
+			}
+			bw.str(strconv.FormatUint(uint64(id), 10))
+		}
+		bw.str("], \"spans\": [")
+		for j := range t.Spans {
+			sp := &t.Spans[j]
+			if j > 0 {
+				bw.str(",")
+			}
+			bw.str("\n      {\"span\": " + strconv.FormatUint(uint64(sp.Span), 10) +
+				", \"parent\": " + strconv.FormatUint(uint64(sp.Parent), 10) +
+				", \"proc\": " + jsonString(sp.Proc) +
+				", \"phase\": " + jsonString(sp.Phase.String()) +
+				", \"begin_us\": " + usec(sp.Begin) +
+				", \"end_us\": " + usec(sp.End) +
+				", \"cycles\": " + cyc(sp.Cycles) + "}")
+		}
+		if len(t.Spans) > 0 {
+			bw.str("\n    ")
+		}
+		bw.str("]}")
+	}
+	if len(traces) > 0 {
+		bw.str("\n  ")
+	}
+	bw.str("]\n}\n")
+	return bw.err
+}

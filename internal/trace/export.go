@@ -99,9 +99,16 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 		if dur < 0 {
 			dur = 0
 		}
-		emit(fmt.Sprintf(`{"name":%s,"cat":"mmt","ph":"X","pid":%d,"tid":1,"ts":%s,"dur":%s}`,
+		// Causally linked spans carry their (trace, span, parent) link as
+		// event args so Perfetto queries can stitch cross-machine trees.
+		args := ""
+		if ev.Trace.Valid() {
+			args = fmt.Sprintf(`,"args":{"trace":%s,"span":%d,"parent":%d}`,
+				jsonString(ev.Trace.String()), ev.Span, ev.Parent)
+		}
+		emit(fmt.Sprintf(`{"name":%s,"cat":"mmt","ph":"X","pid":%d,"tid":1,"ts":%s,"dur":%s%s}`,
 			jsonString(ev.Phase.String()), pids[ev.Proc],
-			usec(ev.Begin), strconv.FormatFloat(dur, 'f', 3, 64)))
+			usec(ev.Begin), strconv.FormatFloat(dur, 'f', 3, 64), args))
 	}
 	// Counter samples: one "C" event per process at its last span end (or
 	// 0 if the process recorded no spans), carrying final counter values.

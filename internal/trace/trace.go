@@ -85,6 +85,10 @@ const (
 	PhaseRecv
 	// PhaseApp: application compute (map/reduce/vertex work).
 	PhaseApp
+	// PhaseWire: one message's flight time on the untrusted interconnect
+	// (causal span only, recorded by the receiving endpoint; carries no
+	// cycles — propagation delay is wait, not work).
+	PhaseWire
 
 	// NumPhases bounds the Phase enum; keep it last.
 	NumPhases
@@ -106,6 +110,7 @@ var phaseNames = [NumPhases]string{
 	PhaseSend:       "send",
 	PhaseRecv:       "recv",
 	PhaseApp:        "app-compute",
+	PhaseWire:       "wire",
 }
 
 func (p Phase) String() string {
@@ -194,12 +199,22 @@ func (c Counter) String() string {
 	return fmt.Sprintf("Counter(%d)", uint8(c))
 }
 
-// Event is one completed span on the simulated timeline.
+// Event is one completed span on the simulated timeline. The causal
+// fields are optional: a zero Trace marks a plain (unlinked) span; a
+// valid Trace links the span into that trace's tree (see causal.go).
 type Event struct {
 	Proc  string
 	Phase Phase
 	Begin sim.Time
 	End   sim.Time
+	// Trace/Span/Parent are the causal link: which trace this span
+	// belongs to, its 1-based span ID within that trace, and its parent
+	// span's ID (0 = this span is the trace root).
+	Trace  TraceID
+	Span   uint32
+	Parent uint32
+	// Cycles is the span's own attributed cost (children excluded).
+	Cycles sim.Cycles
 }
 
 // procMetrics is one process's (machine's) accumulators.
@@ -208,6 +223,8 @@ type procMetrics struct {
 	counters [NumCounters]uint64
 	cycles   [NumPhases]sim.Cycles
 	ops      [NumOps]Histogram
+	// causalSeq is the process's monotonic trace-ID counter (causal.go).
+	causalSeq uint64
 }
 
 // Sink aggregates trace data for one cluster or testbed. The zero value
@@ -219,6 +236,9 @@ type Sink struct {
 	byName map[string]*procMetrics
 	events []Event
 	ledger secLedger
+	// spanSeq allocates per-trace span IDs (1-based, parents before
+	// children — see causal.go).
+	spanSeq map[TraceID]uint32
 }
 
 // NewSink returns an empty sink.
@@ -255,9 +275,11 @@ func (s *Sink) Reset() {
 		p.counters = [NumCounters]uint64{}
 		p.cycles = [NumPhases]sim.Cycles{}
 		p.ops = [NumOps]Histogram{}
+		p.causalSeq = 0
 	}
 	s.events = nil
 	s.ledger.reset()
+	s.spanSeq = nil
 }
 
 // Merge folds src's accumulators, events and ledger into s: counters,
@@ -281,6 +303,14 @@ func (s *Sink) Merge(src *Sink) {
 	//mmt:allow lockorder: distinct Sink instances, serial merge protocol
 	src.mu.Lock()
 	defer src.mu.Unlock()
+	// Causal trace IDs are per-process sequences, so folding a worker's
+	// sink in re-bases its trace sequence numbers onto the destination's
+	// counters: worker trace (proc, k) becomes (proc, base+k) where base
+	// is the destination's counter before the merge. Merging workers
+	// serially in input order therefore reproduces exactly the IDs a
+	// serial run would have minted. Traces must be complete within one
+	// work unit (the mmt-vet tracectx rule) for this to be sound.
+	base := make(map[string]uint64, len(src.procs))
 	for _, sp := range src.procs {
 		dst, ok := s.byName[sp.name]
 		if !ok {
@@ -297,8 +327,25 @@ func (s *Sink) Merge(src *Sink) {
 		for op := range sp.ops {
 			dst.ops[op].MergeFrom(&sp.ops[op])
 		}
+		base[sp.name] = dst.causalSeq
+		dst.causalSeq += sp.causalSeq
 	}
-	s.events = append(s.events, src.events...)
+	for _, ev := range src.events {
+		if ev.Trace.Valid() {
+			ev.Trace.Seq += base[ev.Trace.Proc]
+		}
+		s.events = append(s.events, ev)
+	}
+	if len(src.spanSeq) > 0 && s.spanSeq == nil {
+		s.spanSeq = make(map[TraceID]uint32, len(src.spanSeq))
+	}
+	// Keys are distinct after re-basing (worker trace IDs map injectively
+	// into the destination's ID space), so insertion order is irrelevant.
+	//mmt:allow maporder: independent keys, insertions commute
+	for id, n := range src.spanSeq {
+		id.Seq += base[id.Proc]
+		s.spanSeq[id] = n
+	}
 	for _, ev := range src.ledger.snapshot() {
 		s.ledger.record(ev)
 	}

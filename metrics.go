@@ -22,6 +22,18 @@ func (c *Cluster) Metrics() Metrics {
 // security-event ledger, and sink.Summary the compact text form.
 func (c *Cluster) TraceSink() *TraceSink { return c.set.trace }
 
+// Traces returns the cluster's causal traces: one span tree per
+// migration (Link.Delegate) and per connect handshake, each with the
+// end-to-end cycle total across sender, interconnect and receiver and
+// the computed critical path. Trace IDs derive from per-machine
+// monotonic counters, so identical runs yield identical traces. Without
+// WithTracing the result is nil. Export the same data as a machine-
+// readable artifact with TraceSink().WriteCausalJSON (schema
+// mmt-causal/v1).
+func (c *Cluster) Traces() []CausalTrace {
+	return c.set.trace.CausalTraces()
+}
+
 // Events returns a copy of the cluster's bounded security-event ledger,
 // oldest first: every integrity/authenticity/freshness verdict, every
 // migration and delegation outcome, and every capability destroy, each

@@ -114,6 +114,74 @@ func TestChromeTraceDeterminism(t *testing.T) {
 	}
 }
 
+// TestCausalGoldenQuickstart pins the causal span-tree export (what
+// `quickstart -causal` writes) against a committed golden file
+// (regenerate with `go test -run Golden -update .`). The quickstart has
+// exactly two causal roots — the connect handshake and the delegation —
+// and both span trees cross machines.
+func TestCausalGoldenQuickstart(t *testing.T) {
+	sink, _ := quickstartTraced(t)
+	var out bytes.Buffer
+	if err := sink.WriteCausalJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.Bytes()
+
+	golden := filepath.Join("testdata", "quickstart_causal.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("causal export deviates from golden file (run with -update if intended)\ngot:\n%s", got)
+	}
+}
+
+// TestClusterTraces checks the public causal-trace snapshot: the
+// quickstart yields one connect tree rooted at alice and one migration
+// tree rooted at alice, every child span nests inside its root's
+// interval, and both trees reach bob.
+func TestClusterTraces(t *testing.T) {
+	_, c := quickstartTraced(t)
+	traces := c.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("want 2 causal traces (connect + migration), got %d", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.ID.Proc != "alice" {
+			t.Errorf("trace %s not rooted at the initiator", tr.ID)
+		}
+		if len(tr.Spans) == 0 || tr.Spans[0].Parent != 0 {
+			t.Fatalf("trace %s: first span is not the root: %+v", tr.ID, tr.Spans)
+		}
+		root := tr.Spans[0]
+		crossed := false
+		for _, sp := range tr.Spans[1:] {
+			if sp.Parent == 0 {
+				t.Errorf("trace %s: second root span %d", tr.ID, sp.Span)
+			}
+			if sp.Begin < root.Begin || sp.End > root.End {
+				t.Errorf("trace %s: span %d [%v,%v] escapes root [%v,%v]",
+					tr.ID, sp.Span, sp.Begin, sp.End, root.Begin, root.End)
+			}
+			if sp.Proc == "bob" {
+				crossed = true
+			}
+		}
+		if !crossed {
+			t.Errorf("trace %s never reached bob", tr.ID)
+		}
+	}
+}
+
 // TestClusterMetrics checks the public metrics snapshot after the tour.
 func TestClusterMetrics(t *testing.T) {
 	_, c := quickstartTraced(t)

@@ -239,6 +239,17 @@ const (
 	OpReencrypt     = trace.OpReencrypt
 )
 
+// CausalTrace is one migration's (or connect handshake's) cross-machine
+// span tree with its end-to-end cycle total and critical path (returned
+// by Cluster.Traces); CausalSpan is one span of such a tree; TraceID
+// names the trace (root machine + per-machine monotonic sequence — IDs
+// are deterministic, never random).
+type (
+	CausalTrace = trace.CausalTrace
+	CausalSpan  = trace.CausalSpan
+	TraceID     = trace.TraceID
+)
+
 // SecurityEvent is one cycle-stamped entry of the bounded security-event
 // ledger (returned by Cluster.Events); SecurityEventKind classifies it.
 type (
