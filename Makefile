@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo causal-demo perfdiff snapshot-demo crash-sim
+.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo causal-demo perfdiff baselines profiles snapshot-demo crash-sim
 
 build:
 	$(GO) build ./...
@@ -97,8 +97,32 @@ causal-demo:
 perfdiff:
 	mkdir -p .bench/current
 	$(GO) run ./cmd/mmt-bench -fig 10,11 -accesses 2000 -out .bench/current
+	$(GO) run ./cmd/mmt-bench -wallclock -parallel 8 -accesses 20000 -out .bench/current
 	$(GO) run ./cmd/mmt-perfdiff -warn -out .bench/perfdiff_fig10.json testdata/baselines/BENCH_fig10.json .bench/current/BENCH_fig10.json
 	$(GO) run ./cmd/mmt-perfdiff -warn -out .bench/perfdiff_fig11.json testdata/baselines/BENCH_fig11.json .bench/current/BENCH_fig11.json
+	$(GO) run ./cmd/mmt-perfdiff -warn -threshold 0.25 -out .bench/perfdiff_wallclock.json testdata/baselines/BENCH_wallclock.json .bench/current/BENCH_wallclock.json
+
+# baselines: regenerate every committed benchmark baseline in one step.
+# The figure sidecars are cycle-domain and deterministic — on an unchanged
+# tree the refresh is byte-identical — while the wallclock sidecar records
+# the generating machine's host speed and is expected to drift. Every file
+# is promoted through mmt-perfdiff -update, which runs it through the same
+# extractor that later diffs it, so a malformed sidecar can never become
+# the committed baseline.
+baselines:
+	mkdir -p .bench/current
+	$(GO) run ./cmd/mmt-bench -fig 10,11 -accesses 2000 -out .bench/current
+	$(GO) run ./cmd/mmt-bench -wallclock -parallel 8 -accesses 20000 -out .bench/current
+	$(GO) run ./cmd/mmt-perfdiff -update testdata/baselines .bench/current/BENCH_fig10.json .bench/current/BENCH_fig11.json .bench/current/BENCH_wallclock.json
+
+# profiles: capture CPU and heap pprof profiles of the fig11 sweep — the
+# same workload the perfdiff gate regenerates. CI runs this once at the
+# PR head and once at the merge base and uploads both, so any wallclock
+# movement perfdiff flags ships with the before/after profiles needed to
+# explain it (`go tool pprof -diff_base before/cpu.pprof after/cpu.pprof`).
+profiles:
+	mkdir -p .bench/prof
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 20000 -parallel 8 -cpuprofile cpu.pprof -memprofile mem.pprof -out .bench/prof
 
 # snapshot-demo: the persistence lifecycle end to end — run the scenario
 # with a store attached (checkpointing as it goes), resume the same

@@ -43,17 +43,29 @@ type wallclockReport struct {
 	Metrics    []wallclockMetric `json:"metrics"`
 }
 
-// nsPerOp times f until the sample is long enough to trust (>= 100 ms).
+// nsPerOp times f until the sample is long enough to trust (>= 100 ms),
+// then keeps the best of three such samples: the minimum is the run
+// least disturbed by the scheduler and the GC, which is the standard
+// way to read a wall-clock microbenchmark on a shared machine.
 func nsPerOp(f func()) float64 {
-	for n := 256; ; n *= 4 {
-		start := time.Now()
-		for i := 0; i < n; i++ {
-			f()
-		}
-		if elapsed := time.Since(start); elapsed >= 100*time.Millisecond {
-			return float64(elapsed.Nanoseconds()) / float64(n)
+	sample := func() float64 {
+		for n := 256; ; n *= 4 {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				f()
+			}
+			if elapsed := time.Since(start); elapsed >= 100*time.Millisecond {
+				return float64(elapsed.Nanoseconds()) / float64(n)
+			}
 		}
 	}
+	best := sample()
+	for i := 0; i < 2; i++ {
+		if s := sample(); s < best {
+			best = s
+		}
+	}
+	return best
 }
 
 // writeWallclock produces BENCH_wallclock.json in dir.
@@ -112,6 +124,33 @@ func writeWallclock(dir string, workers, accesses int) error {
 		ctl.Invalidate(1)
 	})
 
+	// Tree-only level-batched path verification at three heights: the
+	// leaf-to-root walk alone (no controller, no data line), which is the
+	// dominant crypto cost of a protected read. Deeper trees stress the
+	// batch more: h7 verifies seven node MACs per walk in one
+	// NodeHashBatch call.
+	verifyNs := func(geo tree.Geometry) float64 {
+		eng := crypt.NewEngine(key)
+		tr, err := tree.New(geo, eng, 0x2000)
+		if err != nil {
+			panic(err)
+		}
+		ln := 0
+		if err := tr.VerifyPath(eng, 0x2000, 0); err != nil {
+			panic(err) // warm the scratch and mask caches
+		}
+		vlines := geo.Lines()
+		return nsPerOp(func() {
+			if err := tr.VerifyPath(eng, 0x2000, ln); err != nil {
+				panic(err)
+			}
+			ln = (ln + 1) % vlines
+		})
+	}
+	h3Ns := verifyNs(tree.ForLevels(3))
+	h5Ns := verifyNs(tree.Geometry{Arities: []int{4, 4, 4, 4, 64}})
+	h7Ns := verifyNs(tree.Geometry{Arities: []int{2, 2, 2, 2, 2, 2, 64}})
+
 	// Serial vs parallel fig11 sweep: same bytes, less wall-clock.
 	sweep := func(w int) ([]byte, float64, error) {
 		bench.SetWorkers(w)
@@ -145,6 +184,9 @@ func writeWallclock(dir string, workers, accesses int) error {
 			{Name: "protected-read", Value: readNs, Unit: "ns/op"},
 			{Name: "protected-write", Value: writeNs, Unit: "ns/op"},
 			{Name: "migration-export-install", Value: migNs, Unit: "ns/op"},
+			{Name: "verifypath-h3", Value: h3Ns, Unit: "ns/op"},
+			{Name: "verifypath-h5", Value: h5Ns, Unit: "ns/op"},
+			{Name: "verifypath-h7", Value: h7Ns, Unit: "ns/op"},
 			{Name: "fig11-serial", Value: serialSec, Unit: "seconds"},
 			{Name: "fig11-parallel", Value: parallelSec, Unit: "seconds"},
 			{Name: "fig11-speedup", Value: serialSec / parallelSec, Unit: "x"},

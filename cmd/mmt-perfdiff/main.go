@@ -11,6 +11,13 @@
 //	mmt-perfdiff baseline.json candidate.json [candidate2.json ...]
 //	mmt-perfdiff -threshold 0.10 base.json cand.json   # 10% gate
 //	mmt-perfdiff -warn -out report.json base.json cand.json
+//	mmt-perfdiff -update testdata/baselines new1.json new2.json ...
+//
+// -update is the baseline-refresh mode (`make baselines` drives it): each
+// named sidecar is parsed and validated exactly like a diff input, then
+// copied verbatim into the given directory under its base name. Promoting
+// a sidecar to baseline goes through the same extractor that will later
+// diff it, so a malformed file can never become the committed baseline.
 //
 // The first file is the baseline and defines the metric set: every
 // lower-is-better number it carries (per-op ns/op, per-phase cycles,
@@ -29,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 func main() {
@@ -36,7 +44,20 @@ func main() {
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI soft gate); schema mismatches stay fatal")
 	out := flag.String("out", "", "write the mmt-perfdiff/v1 JSON report to this file")
 	quiet := flag.Bool("quiet", false, "suppress the per-metric text summary")
+	update := flag.String("update", "", "validate the named sidecars and install them as baselines in this directory")
 	flag.Parse()
+
+	if *update != "" {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: mmt-perfdiff -update <dir> sidecar.json ...")
+			os.Exit(2)
+		}
+		if err := updateBaselines(*update, flag.Args(), *quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "mmt-perfdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: mmt-perfdiff [-threshold 0.05] [-warn] [-out report.json] baseline.json candidate.json ...")
@@ -65,6 +86,32 @@ func main() {
 	if rep.Regressions > 0 && !*warn {
 		os.Exit(1)
 	}
+}
+
+// updateBaselines validates each sidecar through the diff extractor and
+// copies it into dir under its base name.
+func updateBaselines(dir string, paths []string, quiet bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		doc, err := extract(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		dst := filepath.Join(dir, filepath.Base(p))
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("baseline %s <- %s (%s, %d metrics)\n", dst, p, doc.Kind, len(doc.Metrics))
+		}
+	}
+	return nil
 }
 
 // run loads the baseline and candidates and produces the report.

@@ -15,8 +15,8 @@ func direct(e *crypt.Engine, tw crypt.Tweak, ct []byte, stored uint64) bool {
 }
 
 // tainted tracks the MAC through a local before the variable-time compare.
-func tainted(e *crypt.Engine, guaddr uint64, counters []uint64, stored uint64) bool {
-	tag := e.NodeMAC(guaddr, 0, 1, counters)
+func tainted(e *crypt.Engine, guaddr uint64, packed []uint64, stored uint64) bool {
+	tag := e.NodeMAC(guaddr, 0, 1, 4, packed)
 	return tag != stored // want "MAC value compared with !="
 }
 

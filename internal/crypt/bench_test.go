@@ -58,20 +58,28 @@ func BenchmarkLineMACBuf(b *testing.B) {
 	}
 }
 
+// packedWords builds the packed counter plane of an n-ary node: a global
+// word plus n 16-bit local fields, four per word.
+func packedWords(n int) []uint64 {
+	p := make([]uint64, 1+(n+3)/4)
+	p[0] = 7 // global
+	for s := 0; s < n; s++ {
+		p[1+s/4] |= uint64(s&0xFFFF) << uint(16*(s%4))
+	}
+	return p
+}
+
 // BenchmarkNodeMACBuf: one 32-ary interior node MAC through the scratch
 // path.
 func BenchmarkNodeMACBuf(b *testing.B) {
 	e := benchEngine(b)
 	var s Scratch
-	counters := make([]uint64, 32)
-	for i := range counters {
-		counters[i] = uint64(i) << 16
-	}
-	e.NodeMACBuf(0x1000, 1<<24|3, 9, counters, &s)
+	packed := packedWords(32)
+	e.NodeMACBuf(0x1000, 1<<24|3, 9, 32, packed, &s)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = e.NodeMACBuf(0x1000, 1<<24|3, uint64(i), counters, &s)
+		_ = e.NodeMACBuf(0x1000, 1<<24|3, uint64(i), 32, packed, &s)
 	}
 }
 
@@ -80,17 +88,10 @@ func BenchmarkNodeMACBuf(b *testing.B) {
 func BenchmarkNodeMACBatch(b *testing.B) {
 	e := benchEngine(b)
 	var s Scratch
-	mk := func(n int) []uint64 {
-		c := make([]uint64, n)
-		for i := range c {
-			c[i] = uint64(i) << 16
-		}
-		return c
-	}
 	jobs := []NodeMACJob{
-		{NodeID: 0, ParentCounter: 1, Counters: mk(16)},
-		{NodeID: 1 << 24, ParentCounter: 2, Counters: mk(32)},
-		{NodeID: 2 << 24, ParentCounter: 3, Counters: mk(64)},
+		{NodeID: 0, ParentCounter: 1, Arity: 16, Packed: packedWords(16)},
+		{NodeID: 1 << 24, ParentCounter: 2, Arity: 32, Packed: packedWords(32)},
+		{NodeID: 2 << 24, ParentCounter: 3, Arity: 64, Packed: packedWords(64)},
 	}
 	out := make([]uint64, len(jobs))
 	e.NodeMACBatch(0x1000, jobs, out, &s)
@@ -99,6 +100,26 @@ func BenchmarkNodeMACBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		jobs[0].ParentCounter = uint64(i)
 		e.NodeMACBatch(0x1000, jobs, out, &s)
+	}
+}
+
+// BenchmarkNodeHashBatch: same path, unmasked GF halves only — the kernel
+// the tree runs when its per-node mask cache hits.
+func BenchmarkNodeHashBatch(b *testing.B) {
+	e := benchEngine(b)
+	var s Scratch
+	jobs := []NodeMACJob{
+		{NodeID: 0, ParentCounter: 1, Arity: 16, Packed: packedWords(16)},
+		{NodeID: 1 << 24, ParentCounter: 2, Arity: 32, Packed: packedWords(32)},
+		{NodeID: 2 << 24, ParentCounter: 3, Arity: 64, Packed: packedWords(64)},
+	}
+	out := make([]uint64, len(jobs))
+	e.NodeHashBatch(jobs, out, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs[0].ParentCounter = uint64(i)
+		e.NodeHashBatch(jobs, out, &s)
 	}
 }
 

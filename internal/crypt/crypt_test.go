@@ -132,33 +132,61 @@ func TestLineMACBindsAddress(t *testing.T) {
 
 func TestNodeMACDetectsCounterTampering(t *testing.T) {
 	e := testEngine()
-	counters := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
-	mac := e.NodeMAC(100, 2, 9, counters)
-	for i := range counters {
-		mut := make([]uint64, len(counters))
-		copy(mut, counters)
-		mut[i]++
-		if e.NodeMAC(100, 2, 9, mut) == mac {
-			t.Fatalf("bumping counter %d did not change NodeMAC", i)
+	// packed counter plane of an 8-ary node: global word + two words of
+	// four 16-bit local fields each.
+	packed := []uint64{1, 0x0004000300020001, 0x0008000700060005}
+	mac := e.NodeMAC(100, 2, 9, 8, packed)
+	for w := range packed {
+		for bit := 0; bit < 64; bit += 16 { // flip every local field + global bits
+			mut := make([]uint64, len(packed))
+			copy(mut, packed)
+			mut[w] ^= 1 << uint(bit)
+			if e.NodeMAC(100, 2, 9, 8, mut) == mac {
+				t.Fatalf("flipping word %d bit %d did not change NodeMAC", w, bit)
+			}
 		}
 	}
-	if e.NodeMAC(100, 2, 10, counters) == mac {
+	if e.NodeMAC(100, 2, 10, 8, packed) == mac {
 		t.Fatal("NodeMAC ignores parent counter — child replayable")
 	}
-	if e.NodeMAC(101, 2, 9, counters) == mac {
+	if e.NodeMAC(101, 2, 9, 8, packed) == mac {
 		t.Fatal("NodeMAC ignores address")
 	}
-	if e.NodeMAC(100, 3, 9, counters) == mac {
+	if e.NodeMAC(100, 3, 9, 8, packed) == mac {
 		t.Fatal("NodeMAC ignores node id")
 	}
 }
 
-func TestNodeMACLengthBinding(t *testing.T) {
+func TestNodeMACArityBinding(t *testing.T) {
+	// Two nodes of different arity can share a packed image (trailing
+	// zero locals pack away); the arity word must still separate them.
 	e := testEngine()
-	a := e.NodeMAC(1, 1, 0, []uint64{5})
-	b := e.NodeMAC(1, 1, 0, []uint64{5, 0})
+	packed := []uint64{5, 0}
+	a := e.NodeMAC(1, 1, 0, 1, packed)
+	b := e.NodeMAC(1, 1, 0, 4, packed)
 	if a == b {
-		t.Fatal("NodeMAC does not bind counter-vector length")
+		t.Fatal("NodeMAC does not bind the node arity")
+	}
+}
+
+// TestNodeMACKAT pins the node-MAC definition across binaries: snapshots
+// carry node MACs verbatim, so a silent change to the hash layout (packed
+// words, arity/parent header, mask domain) would orphan every snapshot
+// written by an older build. Values generated by this test's own failure
+// output at the time the packed layout landed.
+func TestNodeMACKAT(t *testing.T) {
+	e := NewEngine(KeyFromBytes([]byte("kat-key")))
+	packed := []uint64{3, 0x0004000300020001}
+	got := e.NodeMAC(0x1000, 1<<24|2, 7, 4, packed)
+	const want = uint64(0xef14821b105af892)
+	if got != want {
+		t.Fatalf("NodeMAC KAT drifted: got %#x, want %#x", got, want)
+	}
+	ct := e.EncryptLine(Tweak{GUAddr: 0x1000, Line: 2, Counter: 7}, line(1))
+	gotLine := e.LineMAC(Tweak{GUAddr: 0x1000, Line: 2, Counter: 7}, ct)
+	const wantLine = uint64(0x950d829ba287c6f1)
+	if gotLine != wantLine {
+		t.Fatalf("LineMAC KAT drifted: got %#x, want %#x", gotLine, wantLine)
 	}
 }
 

@@ -79,9 +79,9 @@ func TestLineMACBufMatchesLineMAC(t *testing.T) {
 func TestNodeMACBufMatchesNodeMAC(t *testing.T) {
 	e := testEngine()
 	var s Scratch
-	f := func(guaddr, parent uint64, nodeID uint32, counters []uint64) bool {
-		return e.NodeMACBuf(guaddr, nodeID, parent, counters, &s) ==
-			e.NodeMAC(guaddr, nodeID, parent, counters)
+	f := func(guaddr, parent uint64, nodeID uint32, arity uint8, packed []uint64) bool {
+		return e.NodeMACBuf(guaddr, nodeID, parent, uint64(arity), packed, &s) ==
+			e.NodeMAC(guaddr, nodeID, parent, uint64(arity), packed)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -95,17 +95,17 @@ func TestNodeMACBatchMatchesNodeMAC(t *testing.T) {
 	var s Scratch
 	const guaddr = 0x700
 	jobs := []NodeMACJob{
-		{NodeID: 0, ParentCounter: 9, Counters: []uint64{1, 2, 3, 4}},
-		{NodeID: 17, ParentCounter: 0, Counters: []uint64{5}},
-		{NodeID: 2, ParentCounter: 1 << 40, Counters: []uint64{0, 0, 0, 0, 0, 0, 0, 7}},
-		{NodeID: 3, ParentCounter: 12, Counters: nil},
-		{NodeID: 4, ParentCounter: 12, Counters: make([]uint64, 64)},
+		{NodeID: 0, ParentCounter: 9, Arity: 4, Packed: []uint64{1, 2}},
+		{NodeID: 17, ParentCounter: 0, Arity: 1, Packed: []uint64{5, 0x7}},
+		{NodeID: 2, ParentCounter: 1 << 40, Arity: 8, Packed: []uint64{0, 0, 7}},
+		{NodeID: 3, ParentCounter: 12, Arity: 0, Packed: nil},
+		{NodeID: 4, ParentCounter: 12, Arity: 64, Packed: make([]uint64, 17)},
 	}
 	out := make([]uint64, len(jobs))
 	for round := 0; round < 3; round++ { // reuse the same scratch
 		e.NodeMACBatch(guaddr, jobs, out, &s)
 		for i, j := range jobs {
-			want := e.NodeMAC(guaddr, j.NodeID, j.ParentCounter, j.Counters)
+			want := e.NodeMAC(guaddr, j.NodeID, j.ParentCounter, j.Arity, j.Packed)
 			if out[i] != want {
 				t.Fatalf("round %d job %d: batch %#x, want %#x", round, i, out[i], want)
 			}
@@ -113,6 +113,83 @@ func TestNodeMACBatchMatchesNodeMAC(t *testing.T) {
 	}
 	// Empty batch is a no-op.
 	e.NodeMACBatch(guaddr, nil, nil, &s)
+}
+
+// TestNodeHashBatchMatchesNodeMAC: the unmasked hash batch plus a
+// separately derived mask reconstructs NodeMAC exactly — the contract the
+// tree's mask cache relies on.
+func TestNodeHashBatchMatchesNodeMAC(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	const guaddr = 0x900
+	jobs := []NodeMACJob{
+		{NodeID: 5, ParentCounter: 3, Arity: 4, Packed: []uint64{9, 0x20001}},
+		{NodeID: 1 << 24, ParentCounter: 0, Arity: 64, Packed: make([]uint64, 17)},
+	}
+	out := make([]uint64, len(jobs))
+	e.NodeHashBatch(jobs, out, &s)
+	for i, j := range jobs {
+		var base [16]byte
+		e.MaskBaseInto(guaddr, j.NodeID, DomainNodeMAC, base[:], &s)
+		mac := out[i] ^ e.MaskFromBase(base[:], j.ParentCounter, &s)
+		want := e.NodeMAC(guaddr, j.NodeID, j.ParentCounter, j.Arity, j.Packed)
+		if mac != want {
+			t.Fatalf("job %d: hash^mask = %#x, want %#x", i, mac, want)
+		}
+	}
+}
+
+// TestMaskFromBaseMatchesLineMAC: LineHash plus a mask replayed from a
+// cached DomainLineMAC base equals LineMAC — the engine's per-line mask
+// cache contract.
+func TestMaskFromBaseMatchesLineMAC(t *testing.T) {
+	e := testEngine()
+	var s Scratch
+	f := func(guaddr, counter uint64, lineIdx uint32, seed byte) bool {
+		tw := Tweak{GUAddr: guaddr, Line: lineIdx, Counter: counter}
+		ct := e.EncryptLine(tw, line(seed))
+		var base [16]byte
+		e.MaskBaseInto(guaddr, lineIdx, DomainLineMAC, base[:], &s)
+		got := e.LineHash(ct, &s) ^ e.MaskFromBase(base[:], counter, &s)
+		return got == e.LineMAC(tw, ct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPadLineFromBaseMatchesPadLine: keystream replayed from a cached
+// DomainPad base is byte-identical to the full PadLine derivation, and
+// the FromBase encrypt/decrypt wrappers round-trip.
+func TestPadLineFromBaseMatchesPadLine(t *testing.T) {
+	e := testEngine()
+	var s, s2 Scratch
+	f := func(guaddr, counter uint64, lineIdx uint32) bool {
+		tw := Tweak{GUAddr: guaddr, Line: lineIdx, Counter: counter}
+		want := e.PadLine(tw, &s)
+		var base [16]byte
+		e.MaskBaseInto(guaddr, lineIdx, DomainPad, base[:], &s2)
+		got := e.PadLineFromBase(base[:], counter, &s2)
+		return bytes.Equal(got[:], want[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	tw := Tweak{GUAddr: 0xABC, Line: 9, Counter: 77}
+	var base [16]byte
+	e.MaskBaseInto(tw.GUAddr, tw.Line, DomainPad, base[:], &s)
+	pt := line(3)
+	ct := make([]byte, LineSize)
+	e.EncryptLineFromBase(base[:], tw.Counter, pt, ct, &s)
+	if !bytes.Equal(ct, e.EncryptLine(tw, pt)) {
+		t.Fatal("EncryptLineFromBase differs from EncryptLine")
+	}
+	back := make([]byte, LineSize)
+	e.DecryptLineFromBase(base[:], tw.Counter, ct, back, &s)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("DecryptLineFromBase round trip failed")
+	}
 }
 
 // TestScratchPathsAllocFree: the Into/Buf variants are allocation-free
@@ -124,18 +201,25 @@ func TestScratchPathsAllocFree(t *testing.T) {
 	tw := Tweak{GUAddr: 1, Line: 2, Counter: 3}
 	buf := line(0)
 	jobs := []NodeMACJob{
-		{NodeID: 0, ParentCounter: 9, Counters: []uint64{1, 2, 3, 4}},
-		{NodeID: 1, ParentCounter: 9, Counters: []uint64{5, 6, 7, 8}},
+		{NodeID: 0, ParentCounter: 9, Arity: 4, Packed: []uint64{1, 2}},
+		{NodeID: 1, ParentCounter: 9, Arity: 4, Packed: []uint64{5, 6}},
 	}
 	out := make([]uint64, len(jobs))
-	e.NodeMACBatch(1, jobs, out, &s) // warm nodeWords/flat/polys
+	var base [16]byte
+	e.NodeMACBatch(1, jobs, out, &s) // warm polys
 
 	var macSink uint64
 	allocs := testing.AllocsPerRun(100, func() {
 		e.EncryptLineInto(tw, buf, buf, &s)
 		macSink ^= e.LineMACBuf(tw, buf, &s)
-		macSink ^= e.NodeMACBuf(1, 0, 9, jobs[0].Counters, &s)
+		macSink ^= e.NodeMACBuf(1, 0, 9, 4, jobs[0].Packed, &s)
 		e.NodeMACBatch(1, jobs, out, &s)
+		e.NodeHashBatch(jobs, out, &s)
+		e.MaskBaseInto(1, 2, DomainLineMAC, base[:], &s)
+		macSink ^= e.MaskFromBase(base[:], 3, &s)
+		macSink ^= e.LineHash(buf, &s)
+		e.EncryptLineFromBase(base[:], 3, buf, buf, &s)
+		e.DecryptLineFromBase(base[:], 3, buf, buf, &s)
 		e.DecryptLineInto(tw, buf, buf, &s)
 	})
 	if allocs != 0 {

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCacheShardDifferential drives one shard's open-addressed table
+// against a plain map through a long random set/remove/lookup schedule.
+// Backward-shift deletion is the only subtle code in the table — a wrong
+// move condition silently strands entries past a hole, which this
+// differential catches immediately because every key is re-checked after
+// every operation.
+func TestCacheShardDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	s := &cacheShard{}
+	model := map[uint64]int32{}
+	// A small key universe forces heavy slot reuse and long probe chains.
+	keys := make([]uint64, 64)
+	for i := range keys {
+		// Mix levels and indices, including adjacent values that collide
+		// after multiplicative hashing is masked down to few bits.
+		keys[i] = uint64(i%4)<<48 | uint64(rng.Intn(32))
+	}
+	for op := 0; op < 20000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(3) {
+		case 0: // set (insert-if-absent, like touch's miss path)
+			if _, ok := model[k]; !ok {
+				v := int32(op)
+				s.set(k, v)
+				model[k] = v
+			}
+		case 1: // remove
+			if _, ok := model[k]; ok {
+				s.remove(k)
+				delete(model, k)
+			} else {
+				s.remove(k) // removing an absent key must be a no-op
+			}
+		case 2: // lookup only
+		}
+		if s.used != len(model) {
+			t.Fatalf("op %d: used=%d model=%d", op, s.used, len(model))
+		}
+		for _, k := range keys {
+			got := s.lookup(k)
+			want, ok := model[k]
+			if !ok {
+				want = nilIdx
+			}
+			if got != want {
+				t.Fatalf("op %d: lookup(%#x)=%d want %d", op, k, got, want)
+			}
+		}
+	}
+	// Reset must empty the table but keep it usable.
+	s.reset()
+	for _, k := range keys {
+		if s.lookup(k) != nilIdx {
+			t.Fatalf("lookup(%#x) after reset", k)
+		}
+	}
+	s.set(keys[0], 7)
+	if s.lookup(keys[0]) != 7 {
+		t.Fatal("set after reset")
+	}
+}
+
+// TestCacheLRUDifferential drives the full nodeCache against a naive
+// model (map + recency slice) through a random touch/invalidate schedule
+// across several regions, checking that every hit/miss verdict matches.
+// The cycle-domain sidecars derive from exactly this hit/miss sequence,
+// so the model equivalence here is what keeps them byte-identical.
+func TestCacheLRUDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := newNodeCache(1024)
+	type entry struct {
+		key  nodeKey
+		size int
+	}
+	var order []entry // order[0] is LRU, last is MRU
+	find := func(k nodeKey) int {
+		for i := range order {
+			if order[i].key == k {
+				return i
+			}
+		}
+		return -1
+	}
+	usedBytes := func() int {
+		n := 0
+		for _, e := range order {
+			n += e.size
+		}
+		return n
+	}
+	for op := 0; op < 30000; op++ {
+		if rng.Intn(50) == 0 {
+			region := rng.Intn(4)
+			c.invalidateRegion(region)
+			kept := order[:0]
+			for _, e := range order {
+				if e.key.region != region {
+					kept = append(kept, e)
+				}
+			}
+			order = kept
+			continue
+		}
+		k := nodeKey{region: rng.Intn(4), level: rng.Intn(3), index: rng.Intn(8)}
+		size := 16 + 16*rng.Intn(3)
+		gotHit := c.touch(k, size)
+		i := find(k)
+		wantHit := i >= 0
+		if gotHit != wantHit {
+			t.Fatalf("op %d: touch(%v) hit=%v want %v", op, k, gotHit, wantHit)
+		}
+		if wantHit {
+			e := order[i]
+			order = append(append(order[:i:i], order[i+1:]...), e)
+		} else {
+			for usedBytes()+size > 1024 && len(order) > 0 {
+				order = order[1:]
+			}
+			order = append(order, entry{key: k, size: size})
+		}
+		if c.len() != len(order) || c.usedBytes() != usedBytes() {
+			t.Fatalf("op %d: len/bytes %d/%d want %d/%d", op, c.len(), c.usedBytes(), len(order), usedBytes())
+		}
+	}
+}

@@ -83,11 +83,105 @@ type regionState struct {
 	// drives the mmt-store/v1 delta stream. Marked on the hot write path
 	// (pure bit arithmetic, no allocation).
 	dirtyLines []uint64
+	// Per-line AES plane caches. The two-block tweak PRF's first block (the
+	// "base") depends only on (guaddr, line, domain), so Enable/Install
+	// precompute it once per line per domain; the hot read/write path then
+	// derives each OTP pad and MAC mask from the cached base, saving one
+	// AES block per pad and halving the MAC-mask AES work. lineMask
+	// additionally memoises the finished DomainLineMAC mask keyed by the
+	// line's counter (lineMaskCtr + lineMaskOK bitset), so re-reads of an
+	// unwritten line skip the mask AES entirely. All caches are pure
+	// functions of (engine, guaddr, line[, counter]) — replaying them is
+	// bit-identical to recomputation, so tamper detection is unaffected.
+	padBase     []byte   // crypt.MaskBaseSize bytes per line, DomainPad
+	macBase     []byte   // crypt.MaskBaseSize bytes per line, DomainLineMAC
+	lineBaseOK  []uint64 // bitset: both base entries for the line computed
+	lineMask    []uint64
+	lineMaskCtr []uint64
+	lineMaskOK  []uint64 // bitset: lineMask/lineMaskCtr entry valid
+	// The full 64-byte OTP pad, memoised per line keyed by the line's
+	// counter like lineMask: a read never bumps the counter, so re-reads
+	// of a line reduce to MAC-check + XOR with zero AES work, and a write
+	// (which computes the new pad anyway) refreshes the entry for the
+	// read-after-write that typically follows.
+	linePad    []byte // mem.LineSize bytes per line
+	linePadCtr []uint64
+	linePadOK  []uint64 // bitset: linePad/linePadCtr entry valid
 }
 
 // markLine flags a line as dirty for the checkpoint stream.
 func (st *regionState) markLine(line int) {
 	st.dirtyLines[line>>6] |= uint64(1) << (uint(line) & 63)
+}
+
+// initPlanes sizes the per-line AES base planes and the (empty) mask
+// cache for a freshly enabled or installed region. The bases themselves
+// fill lazily (lineBases) on first touch of each line, so a migration
+// install — which verifies every line but may never read most of them
+// again — does not pay two AES blocks per line up front.
+func (st *regionState) initPlanes(lines int) {
+	st.padBase = make([]byte, lines*crypt.MaskBaseSize)
+	st.macBase = make([]byte, lines*crypt.MaskBaseSize)
+	st.lineBaseOK = make([]uint64, (lines+63)/64)
+	st.lineMask = make([]uint64, lines)
+	st.lineMaskCtr = make([]uint64, lines)
+	st.lineMaskOK = make([]uint64, (lines+63)/64)
+	st.linePad = make([]byte, lines*mem.LineSize)
+	st.linePadCtr = make([]uint64, lines)
+	st.linePadOK = make([]uint64, (lines+63)/64)
+}
+
+// lineBases returns the cached DomainPad and DomainLineMAC tweak bases
+// for line, computing both (two AES blocks) on the line's first touch.
+//
+//mmt:hotpath
+func (st *regionState) lineBases(line int, scr *crypt.Scratch) (pad, mac []byte) {
+	off := line * crypt.MaskBaseSize
+	w, bit := line>>6, uint64(1)<<(uint(line)&63)
+	if st.lineBaseOK[w]&bit == 0 {
+		st.eng.MaskBaseInto(st.guaddr, uint32(line), crypt.DomainPad, st.padBase[off:], scr)
+		st.eng.MaskBaseInto(st.guaddr, uint32(line), crypt.DomainLineMAC, st.macBase[off:], scr)
+		st.lineBaseOK[w] |= bit
+	}
+	return st.padBase[off:], st.macBase[off:]
+}
+
+// lineMaskFor returns the DomainLineMAC mask for line at counter ctr,
+// from the cache when the counter still matches, recomputing (one AES
+// block, from the cached base) and re-caching otherwise.
+//
+//mmt:hotpath
+func (st *regionState) lineMaskFor(line int, macBase []byte, ctr uint64, scr *crypt.Scratch) uint64 {
+	w, bit := line>>6, uint64(1)<<(uint(line)&63)
+	if st.lineMaskOK[w]&bit != 0 && st.lineMaskCtr[line] == ctr {
+		return st.lineMask[line]
+	}
+	m := st.eng.MaskFromBase(macBase, ctr, scr)
+	st.lineMask[line] = m
+	st.lineMaskCtr[line] = ctr
+	st.lineMaskOK[w] |= bit
+	return m
+}
+
+// linePadFor returns the 64-byte OTP keystream for line at counter ctr,
+// from the cache when the counter still matches, recomputing (four AES
+// blocks, from the cached base) and re-caching otherwise. The pad is a
+// pure function of (engine, guaddr, line, ctr) — the same purity
+// argument as lineMaskFor — so serving it from the plane is
+// bit-identical to recomputation and tamper detection is unaffected.
+//
+//mmt:hotpath
+func (st *regionState) linePadFor(line int, padBase []byte, ctr uint64, scr *crypt.Scratch) []byte {
+	off := line * mem.LineSize
+	w, bit := line>>6, uint64(1)<<(uint(line)&63)
+	if st.linePadOK[w]&bit != 0 && st.linePadCtr[line] == ctr {
+		return st.linePad[off : off+mem.LineSize]
+	}
+	pad := st.eng.PadLineFromBase(padBase, ctr, scr)
+	copy(st.linePad[off:], pad[:])
+	st.linePadCtr[line] = ctr
+	st.linePadOK[w] |= bit
+	return st.linePad[off : off+mem.LineSize]
 }
 
 // Controller is one node's MMT-extended memory controller.
@@ -102,6 +196,10 @@ type Controller struct {
 	stats   Stats
 	quiet   bool
 	probe   *trace.Probe // nil = tracing disabled
+	// levelDiv[l] is the number of lines covered by one level-l node, so
+	// nodeIndexAt is one division instead of an arity-product loop per
+	// level per access.
+	levelDiv []int
 	// causal is the causal context the channel/monitor layer installs
 	// around a closure accept, so the functional Install lands as a child
 	// span of the accept (zero when no migration is in progress).
@@ -128,14 +226,21 @@ func New(m *mem.Memory, geo tree.Geometry, clock *sim.Clock, prof *sim.Profile) 
 	if clock == nil {
 		clock = sim.NewClock(prof.FreqHz)
 	}
+	levelDiv := make([]int, geo.Levels())
+	prod := 1
+	for l := geo.Levels() - 1; l >= 0; l-- {
+		prod *= geo.Arities[l]
+		levelDiv[l] = prod
+	}
 	return &Controller{
-		mem:     m,
-		geo:     geo,
-		clock:   clock,
-		prof:    prof,
-		cache:   newNodeCache(prof.MMTCacheBytes),
-		roots:   newRootTable(prof.RootTableSoC / rootEntryBytes),
-		regions: make([]regionState, m.Regions()),
+		mem:      m,
+		geo:      geo,
+		clock:    clock,
+		prof:     prof,
+		cache:    newNodeCache(prof.MMTCacheBytes),
+		roots:    newRootTable(prof.RootTableSoC / rootEntryBytes),
+		regions:  make([]regionState, m.Regions()),
+		levelDiv: levelDiv,
 	}, nil
 }
 
@@ -236,10 +341,11 @@ func (c *Controller) Enable(r int, key crypt.Key, guaddr, rootCounter uint64) er
 		buf := data[line*mem.LineSize : (line+1)*mem.LineSize]
 		tw := crypt.Tweak{GUAddr: guaddr, Line: uint32(line), Counter: tr.LeafCounter(line)}
 		eng.XORPad(tw, buf)
-		macs[line] = eng.LineMAC(tw, buf)
+		macs[line] = eng.LineMACBuf(tw, buf, &c.scr)
 	}
 	*st = regionState{mode: ModeReadWrite, eng: eng, tr: tr, guaddr: guaddr, lineMACs: macs,
 		dirtyLines: make([]uint64, (c.geo.Lines()+63)/64)}
+	st.initPlanes(c.geo.Lines())
 	for line := range c.geo.Lines() {
 		st.markLine(line) // freshly encrypted contents have never been checkpointed
 	}
@@ -383,13 +489,11 @@ const (
 )
 
 // nodeIndexAt reports the index of the level-l node covering line:
-// line / product(arities[l..L-1]).
+// line / product(arities[l..L-1]), with the product precomputed in New.
+//
+//mmt:hotpath
 func (c *Controller) nodeIndexAt(line, l int) int {
-	prod := 1
-	for k := l; k < c.geo.Levels(); k++ {
-		prod *= c.geo.Arities[k]
-	}
-	return line / prod
+	return line / c.levelDiv[l]
 }
 
 // Read verifies and decrypts the given line of secure region r into a
@@ -421,14 +525,15 @@ func (c *Controller) ReadInto(r, line int, dst []byte) error {
 		return err
 	}
 	ct := c.mem.LineView(c.lineAddr(r, line))
-	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: st.tr.LeafCounter(line)}
+	ctr := st.tr.LeafCounter(line)
+	padBase, macBase := st.lineBases(line, &c.scr)
 	// Constant-time compare: the stored line MAC is untrusted (meta-zone)
 	// and a variable-time == would leak matching tag bytes to a prober.
-	if !crypt.TagEqual(st.eng.LineMACBuf(tw, ct, &c.scr), st.lineMACs[line]) {
+	if !crypt.TagEqual(st.eng.LineHash(ct, &c.scr)^st.lineMaskFor(line, macBase, ctr, &c.scr), st.lineMACs[line]) {
 		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "read: data line MAC")
 		return fmt.Errorf("%w: data line %d", ErrIntegrity, line)
 	}
-	st.eng.DecryptLineInto(tw, ct, dst, &c.scr)
+	crypt.XORLine(dst, ct, st.linePadFor(line, padBase, ctr, &c.scr))
 	return nil
 }
 
@@ -455,11 +560,11 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 	total, verify := c.chargePath(r, line, res.NodesTouched)
 	c.recordAccess(trace.OpLocalWrite, total, verify)
 
-	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(line), Counter: res.LeafCounter}
+	padBase, macBase := st.lineBases(line, &c.scr)
 	ct := c.lineBuf[:]
-	st.eng.EncryptLineInto(tw, plaintext, ct, &c.scr)
+	crypt.XORLine(ct, plaintext, st.linePadFor(line, padBase, res.LeafCounter, &c.scr))
 	c.mem.WriteLine(c.lineAddr(r, line), ct)
-	st.lineMACs[line] = st.eng.LineMACBuf(tw, ct, &c.scr)
+	st.lineMACs[line] = st.eng.LineHash(ct, &c.scr) ^ st.lineMaskFor(line, macBase, res.LeafCounter, &c.scr)
 	st.markLine(line)
 
 	for _, ln := range res.ReencryptLines {
@@ -484,22 +589,27 @@ func (c *Controller) Write(r, line int, plaintext []byte) error {
 //mmt:coldpath
 func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 	a := c.lineAddr(r, ln)
-	ct := c.mem.ReadLine(a)
+	ct := c.mem.LineView(a)
 	newCtr := st.tr.LeafCounter(ln)
-	var plaintext []byte
 	bits := st.tr.Geometry().LocalBits
 	if bits == 0 {
 		bits = tree.DefaultLocalBits
 	}
 	base := (newCtr >> bits) - 1 // previous global value
+	padBase, macBase := st.lineBases(ln, &c.scr)
+	// The stored tag is LineHash(ct) ^ mask(counter) and the hash does not
+	// depend on the candidate counter, so hash once and probe each
+	// candidate with a single AES mask — same purity argument as the hot
+	// path's lineMaskFor.
+	h := st.eng.LineHash(ct, &c.scr)
+	var pt [mem.LineSize]byte
 	found := false
 	for local := uint64(0); local < 1<<bits; local++ {
 		old := base<<bits | local
-		tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: old}
 		// Constant-time compare even in this recovery search: each probe
 		// tests an attacker-influenceable stored MAC.
-		if crypt.TagEqual(st.eng.LineMAC(tw, ct), st.lineMACs[ln]) {
-			plaintext = st.eng.DecryptLine(tw, ct)
+		if crypt.TagEqual(h^st.eng.MaskFromBase(macBase, old, &c.scr), st.lineMACs[ln]) {
+			st.eng.DecryptLineFromBase(padBase, old, ct, pt[:], &c.scr)
 			found = true
 			break
 		}
@@ -510,10 +620,10 @@ func (c *Controller) reencryptLine(st *regionState, r, ln int) error {
 		c.probe.Event(trace.EvIntegrityFail, c.clock.Now(), st.guaddr, "overflow: sibling unrecoverable")
 		return fmt.Errorf("%w: sibling line %d unrecoverable during overflow re-encryption", ErrIntegrity, ln)
 	}
-	tw := crypt.Tweak{GUAddr: st.guaddr, Line: uint32(ln), Counter: newCtr}
-	nct := st.eng.EncryptLine(tw, plaintext)
+	nct := c.lineBuf[:] // Write's own ciphertext already hit memory; safe to reuse
+	st.eng.EncryptLineFromBase(padBase, newCtr, pt[:], nct, &c.scr)
 	c.mem.WriteLine(a, nct)
-	st.lineMACs[ln] = st.eng.LineMAC(tw, nct)
+	st.lineMACs[ln] = st.eng.LineHash(nct, &c.scr) ^ st.lineMaskFor(ln, macBase, newCtr, &c.scr)
 	st.markLine(ln)
 	c.stats.ReencryptedLines++
 	c.probe.Count(trace.CtrReencryptLines, 1)
@@ -628,13 +738,15 @@ func (c *Controller) Install(r int, key crypt.Key, guaddr, rootCounter uint64, t
 		ct := data[line*mem.LineSize : (line+1)*mem.LineSize]
 		tw := crypt.Tweak{GUAddr: guaddr, Line: uint32(line), Counter: tr.LeafCounter(line)}
 		// Constant-time compare: closure MACs arrive from the network.
-		if !crypt.TagEqual(eng.LineMAC(tw, ct), lineMACs[line]) {
+		// The Buf variant keeps this whole-region sweep allocation-free.
+		if !crypt.TagEqual(eng.LineMACBuf(tw, ct, &c.scr), lineMACs[line]) {
 			return fmt.Errorf("%w: transferred data line %d", ErrIntegrity, line)
 		}
 	}
 	c.mem.Write(c.mem.RegionBase(r), data)
 	*st = regionState{mode: mode, eng: eng, tr: tr, guaddr: guaddr, lineMACs: append([]uint64(nil), lineMACs...),
 		dirtyLines: make([]uint64, (c.geo.Lines()+63)/64)}
+	st.initPlanes(c.geo.Lines())
 	tr.MarkAllDirty()
 	for line := range c.geo.Lines() {
 		st.markLine(line) // transferred contents have never been checkpointed here

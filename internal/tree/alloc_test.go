@@ -41,6 +41,34 @@ func TestVerifyUpdateAllocFree(t *testing.T) {
 	_ = ctr
 }
 
+// TestIdleTreeAllocsConstant pins the flat-arena storage guarantee: a
+// freshly built tree costs a constant number of heap allocations (the
+// counter plane, MAC plane, dirty bitset, mask caches and index tables),
+// independent of how many nodes the geometry has. The old per-node
+// layout allocated one Local slice per node — 529 allocations for the
+// 3-level paper tree; the arena brings that to O(1).
+func TestIdleTreeAllocsConstant(t *testing.T) {
+	e := crypt.NewEngine(crypt.KeyFromBytes([]byte("idle")))
+	const guaddr = 0x9200
+	build := func(geo Geometry) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if _, err := New(geo, e, guaddr); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := build(Geometry{Arities: []int{2, 3, 4}}) // 1+2+6 = 9 nodes
+	big := build(ForLevels(3))                        // 1+16+512 = 529 nodes
+	if small != big {
+		t.Fatalf("tree allocations scale with node count: %v (9 nodes) vs %v (529 nodes)", small, big)
+	}
+	// The exact count is implementation detail; the bound guards against a
+	// regression back to per-node heap objects.
+	if big > 16 {
+		t.Fatalf("idle tree costs %v allocations, want O(1) (<= 16)", big)
+	}
+}
+
 // TestBatchedVerifyMatchesPerNode: the batched VerifyPath agrees with
 // node-by-node verification (verifyNode) on both healthy and tampered
 // trees, including the identity of the reported node.
@@ -60,7 +88,8 @@ func TestBatchedVerifyMatchesPerNode(t *testing.T) {
 	// Tamper with one interior node; every line under it must fail, and the
 	// error must name that node (level 1), matching serial leaf-to-root
 	// order: the leaf verifies fine, level 1 is the first mismatch.
-	tr.Node(1, 0).Global++
+	n := tr.Node(1, 0)
+	n.SetGlobal(n.Global() + 1)
 	err = tr.VerifyPath(e, guaddr, 0)
 	if err == nil {
 		t.Fatal("tampered tree verified")

@@ -9,15 +9,6 @@ import (
 	"mmt/internal/trace"
 )
 
-// Node is one integrity-tree node: a shared global counter, per-slot local
-// counters, and the node MAC. The effective counter of slot s is
-// Global<<LocalBits | Local[s] (§V-A2's "global-local counter layout").
-type Node struct {
-	Global uint64
-	Local  []uint32
-	MAC    uint64
-}
-
 // Tree is one migratable Merkle tree's counter structure. It does not own
 // the protected data or the per-line data MACs — the controller (package
 // engine) does; Tree owns counters and node MACs, which together with the
@@ -25,12 +16,32 @@ type Node struct {
 //
 // The root counter lives here but is conceptually stored in the SoC
 // (trusted); everything else may live in the untrusted meta-zone.
+//
+// Storage is a flat arena, not per-node heap objects: all counters live in
+// one packed []uint64 plane and all MACs in another, mirroring the
+// contiguous meta-zone block the paper lays the tree out in (§IV-A1). Each
+// node's counter record is its global counter word followed by its 16-bit
+// local counters packed four per word, little-endian within the word —
+// the same byte order the serialized meta-zone format uses, so
+// serialization is a straight memory walk. An idle tree is a handful of
+// fixed-size allocations regardless of node count; a path verification
+// reads cache-line-adjacent words.
 type Tree struct {
 	geo     Geometry
 	rootCtr uint64
-	levels  [][]Node
 	probe   *trace.Probe // nil = tracing disabled
 	scr     treeScratch
+
+	// The arena. ctr holds every node's packed counter record
+	// (ctrBase[l] + i*ctrStride[l] words in); mac holds one word per node
+	// (levelBase[l] + i).
+	ctr []uint64
+	mac []uint64
+
+	levelBase  []int // flat node index of (l, 0), for mac/dirty/mask planes
+	ctrBase    []int // ctr-plane word offset of (l, 0)
+	ctrStride  []int // ctr words per node at level l: 1 + ceil(arity/4)
+	totalNodes int
 
 	// Dirty-node tracking for checkpoint streaming: one bit per node,
 	// flattened level-major (levelBase[l]+i). Bits are set in rehashNode —
@@ -39,18 +50,84 @@ type Tree struct {
 	// is preallocated at construction so the hot paths stay 0-alloc.
 	dirty      []uint64
 	dirtyCount int
-	levelBase  []int
+
+	// MAC-mask memoization. A node's MAC mask is a pure function of
+	// (engine, guaddr, nodeID, parentCounter); the tweak base underneath it
+	// drops the counter too. Both are cached per node: maskBase holds the
+	// 16-byte DomainNodeMAC tweak base (identity-keyed, valid while bound),
+	// maskVal/maskCtr hold the last mask and the parent counter it was
+	// derived at. The caches are keyed on exactly the mask inputs, so a
+	// hit returns bit-identical values to recomputation — tampered parent
+	// counters change the key and miss, preserving tamper detection. bind
+	// flushes everything when the engine or address changes (wrong-key
+	// verification, migration re-keying).
+	bindEng  *crypt.Engine
+	bindGU   uint64
+	bound    bool
+	maskVal  []uint64
+	maskCtr  []uint64
+	maskOK   []uint64 // bitset, parallel to maskVal
+	maskBase []byte   // 16 B per node
+	baseOK   []uint64 // bitset, parallel to maskBase
 }
 
-// initDirty allocates the dirty bitset and per-level base offsets.
-func (t *Tree) initDirty() {
-	t.levelBase = make([]int, t.geo.Levels())
-	total := 0
-	for l := range t.levelBase {
-		t.levelBase[l] = total
-		total += t.geo.NodesAtLevel(l)
+// initPlanes allocates the arena and every per-node plane for t.geo. All
+// sizes are pure functions of the geometry; nothing here scales the
+// allocation count with the node count.
+func (t *Tree) initPlanes() {
+	L := t.geo.Levels()
+	t.levelBase = make([]int, L)
+	t.ctrBase = make([]int, L)
+	t.ctrStride = make([]int, L)
+	nodes, words := 0, 0
+	for l := 0; l < L; l++ {
+		t.levelBase[l] = nodes
+		t.ctrBase[l] = words
+		t.ctrStride[l] = 1 + (t.geo.Arities[l]+3)/4
+		n := t.geo.NodesAtLevel(l)
+		nodes += n
+		words += n * t.ctrStride[l]
 	}
-	t.dirty = make([]uint64, (total+63)/64)
+	t.totalNodes = nodes
+	t.ctr = make([]uint64, words)
+	t.mac = make([]uint64, nodes)
+	t.dirty = make([]uint64, (nodes+63)/64)
+	t.maskVal = make([]uint64, nodes)
+	t.maskCtr = make([]uint64, nodes)
+	t.maskOK = make([]uint64, (nodes+63)/64)
+	t.maskBase = make([]byte, nodes*16)
+	t.baseOK = make([]uint64, (nodes+63)/64)
+}
+
+// ctrOff reports the ctr-plane word offset of node (l, i)'s record.
+//
+//mmt:hotpath
+func (t *Tree) ctrOff(l, i int) int { return t.ctrBase[l] + i*t.ctrStride[l] }
+
+// packed returns node (l, i)'s counter record — global word plus packed
+// locals — as a sub-slice of the arena. Callers only read it; it is the
+// polynomial the node MAC hashes.
+//
+//mmt:hotpath
+func (t *Tree) packed(l, i int) []uint64 {
+	off := t.ctrOff(l, i)
+	return t.ctr[off : off+t.ctrStride[l]]
+}
+
+// local reports the raw local counter of slot s in node (l, i).
+//
+//mmt:hotpath
+func (t *Tree) local(l, i, s int) uint64 {
+	w := t.ctr[t.ctrOff(l, i)+1+s>>2]
+	return w >> (uint(s&3) * 16) & 0xFFFF
+}
+
+// counter reports the effective counter of slot s in node (l, i):
+// Global<<LocalBits | Local[s] (§V-A2's "global-local counter layout").
+//
+//mmt:hotpath
+func (t *Tree) counter(l, i, s int) uint64 {
+	return t.ctr[t.ctrOff(l, i)]<<t.geo.localBits() | t.local(l, i, s)
 }
 
 // markDirty sets the dirty bit for node (l, i). Pure arithmetic on the
@@ -73,9 +150,9 @@ func (t *Tree) DirtyNodes(fn func(level, index int)) {
 	if t.dirtyCount == 0 {
 		return
 	}
-	for l := range t.levels {
+	for l := 0; l < t.geo.Levels(); l++ {
 		base := t.levelBase[l]
-		for i := range t.levels[l] {
+		for i, n := 0, t.geo.NodesAtLevel(l); i < n; i++ {
 			bit := base + i
 			if t.dirty[bit>>6]&(uint64(1)<<(uint(bit)&63)) != 0 {
 				fn(l, i)
@@ -97,12 +174,17 @@ func (t *Tree) ClearDirty() {
 // the full node set (used after structural changes and on fresh trees).
 func (t *Tree) MarkAllDirty() {
 	t.dirtyCount = 0
-	for l := range t.levels {
-		for i := range t.levels[l] {
+	for l := 0; l < t.geo.Levels(); l++ {
+		for i, n := 0, t.geo.NodesAtLevel(l); i < n; i++ {
 			t.markDirty(l, i)
 		}
 	}
 }
+
+// verifyAllChunk bounds how many nodes one VerifyAll hash batch gathers;
+// it caps the scratch job array on huge trees while keeping enough
+// independent Horner chains in flight to saturate the pipeline.
+const verifyAllChunk = 64
 
 // treeScratch holds the tree's reusable working buffers so the per-access
 // verify and update paths stay allocation-free. A tree belongs to one
@@ -112,10 +194,8 @@ type treeScratch struct {
 	nodeIdx []int              // path node index per level
 	slot    []int              // path slot per level
 	ovf     []bool             // Update overflow markers per level
-	jobs    []crypt.NodeMACJob // batched verify jobs, one per level
-	macs    []uint64           // batched verify results, one per level
-	flat    []uint64           // effective counters of the whole path
-	eff     []uint64           // effective counters of a single node
+	jobs    []crypt.NodeMACJob // batched verify jobs
+	macs    []uint64           // batched verify results
 	cs      crypt.Scratch
 }
 
@@ -129,17 +209,12 @@ func (t *Tree) ensureScratch() {
 	t.scr.nodeIdx = make([]int, L)
 	t.scr.slot = make([]int, L)
 	t.scr.ovf = make([]bool, L)
-	t.scr.jobs = make([]crypt.NodeMACJob, L)
-	t.scr.macs = make([]uint64, L)
-	total, maxAr := 0, 0
-	for _, a := range t.geo.Arities {
-		total += a
-		if a > maxAr {
-			maxAr = a
-		}
+	batch := L
+	if batch < verifyAllChunk {
+		batch = verifyAllChunk
 	}
-	t.scr.flat = make([]uint64, 0, total)
-	t.scr.eff = make([]uint64, maxAr)
+	t.scr.jobs = make([]crypt.NodeMACJob, batch)
+	t.scr.macs = make([]uint64, batch)
 }
 
 // SetTrace attaches a trace probe counting functional node MAC
@@ -155,15 +230,8 @@ func New(geo Geometry, e *crypt.Engine, guaddr uint64) (*Tree, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Tree{geo: geo, levels: make([][]Node, geo.Levels())}
-	for l := range t.levels {
-		nodes := make([]Node, geo.NodesAtLevel(l))
-		for i := range nodes {
-			nodes[i].Local = make([]uint32, geo.Arities[l])
-		}
-		t.levels[l] = nodes
-	}
-	t.initDirty()
+	t := &Tree{geo: geo}
+	t.initPlanes()
 	t.RehashAll(e, guaddr)
 	return t, nil
 }
@@ -188,20 +256,54 @@ func (t *Tree) SetRootCounter(v uint64) { t.rootCtr = v }
 // the delegation" (§IV-B2), even when no data write happened in between.
 func (t *Tree) BumpRootCounter(e *crypt.Engine, guaddr uint64) {
 	t.rootCtr++
-	for i := range t.levels[0] {
+	for i, n := 0, t.geo.NodesAtLevel(0); i < n; i++ {
 		t.rehashNode(e, guaddr, 0, i)
 	}
 }
 
-// Node returns the node at (level, index) for inspection. The returned
-// pointer aliases tree state; tests use it to simulate tampering.
-func (t *Tree) Node(level, index int) *Node { return &t.levels[level][index] }
-
-// counter reports the effective counter of slot s in node (l, i).
-func (t *Tree) counter(l, i, s int) uint64 {
-	n := &t.levels[l][i]
-	return n.Global<<t.geo.localBits() | uint64(n.Local[s])
+// NodeRef is a view of one node in the arena. It replaces the old
+// *Node aliasing pointer: reads and writes go straight to the flat
+// planes. The setters deliberately bypass MAC maintenance and dirty
+// tracking — they model an attacker (or snapshot patcher) writing the
+// untrusted meta-zone behind the controller's back; tests use them to
+// simulate tampering.
+type NodeRef struct {
+	t     *Tree
+	level int
+	index int
 }
+
+// Node returns a view of the node at (level, index).
+func (t *Tree) Node(level, index int) NodeRef {
+	return NodeRef{t: t, level: level, index: index}
+}
+
+// Arity reports the node's slot count.
+func (n NodeRef) Arity() int { return n.t.geo.Arities[n.level] }
+
+// Global reads the node's global counter word.
+func (n NodeRef) Global() uint64 { return n.t.ctr[n.t.ctrOff(n.level, n.index)] }
+
+// SetGlobal overwrites the node's global counter word.
+func (n NodeRef) SetGlobal(v uint64) { n.t.ctr[n.t.ctrOff(n.level, n.index)] = v }
+
+// Local reads the raw local counter of slot s.
+func (n NodeRef) Local(s int) uint64 { return n.t.local(n.level, n.index, s) }
+
+// SetLocal overwrites the local counter of slot s (truncated to 16 bits,
+// the packed field width).
+func (n NodeRef) SetLocal(s int, v uint64) {
+	t := n.t
+	off := t.ctrOff(n.level, n.index) + 1 + s>>2
+	sh := uint(s&3) * 16
+	t.ctr[off] = t.ctr[off]&^(uint64(0xFFFF)<<sh) | (v&0xFFFF)<<sh
+}
+
+// MAC reads the node's stored MAC.
+func (n NodeRef) MAC() uint64 { return n.t.mac[n.t.levelBase[n.level]+n.index] }
+
+// SetMAC overwrites the node's stored MAC.
+func (n NodeRef) SetMAC(v uint64) { n.t.mac[n.t.levelBase[n.level]+n.index] = v }
 
 // LeafCounter reports the effective counter protecting the given line;
 // this is the counter the crypto engine mixes into the line's OTP and MAC.
@@ -217,6 +319,8 @@ func (t *Tree) LeafCounter(line int) uint64 {
 
 // parentCounter reports the counter covering node (l, i): the root counter
 // for level 0, otherwise the effective counter in the parent's slot.
+//
+//mmt:hotpath
 func (t *Tree) parentCounter(l, i int) uint64 {
 	if l == 0 {
 		return t.rootCtr
@@ -230,33 +334,63 @@ func (t *Tree) parentCounter(l, i int) uint64 {
 // preventing node splicing within one MMT.
 func nodeID(level, index int) uint32 { return uint32(level)<<24 | uint32(index)&0xFFFFFF }
 
-// effCountersInto writes the effective counters of all slots in (l, i)
-// into the scratch single-node buffer and returns it. The result is valid
-// until the next effCountersInto call.
-func (t *Tree) effCountersInto(l, i int) []uint64 {
-	//mmt:allow noalloc: scratch grows once per geometry change, then steady-state reuse
-	t.ensureScratch()
-	n := &t.levels[l][i]
-	out := t.scr.eff[:len(n.Local)]
-	hi := n.Global << t.geo.localBits()
-	for s, lc := range n.Local {
-		out[s] = hi | uint64(lc)
+// bind points the mask caches at (e, guaddr), flushing them if either
+// changed since the last use. Engines are compared by identity: a
+// re-created engine under the same key conservatively misses.
+//
+//mmt:hotpath
+func (t *Tree) bind(e *crypt.Engine, guaddr uint64) {
+	if t.bound && t.bindEng == e && t.bindGU == guaddr {
+		return
 	}
-	return out
+	for i := range t.maskOK {
+		t.maskOK[i] = 0
+	}
+	for i := range t.baseOK {
+		t.baseOK[i] = 0
+	}
+	t.bindEng, t.bindGU, t.bound = e, guaddr, true
+}
+
+// nodeMask returns the MAC mask of node (l, i) at parent counter pc,
+// serving it from the per-node cache when the key matches. Callers must
+// have bound (e, guaddr) first. The value is always exactly
+// AES-mask(guaddr, nodeID, pc) — the cache changes cost, never output.
+//
+//mmt:hotpath
+func (t *Tree) nodeMask(e *crypt.Engine, guaddr uint64, l, i int, pc uint64) uint64 {
+	idx := t.levelBase[l] + i
+	w, m := idx>>6, uint64(1)<<(uint(idx)&63)
+	if t.maskOK[w]&m != 0 && t.maskCtr[idx] == pc {
+		return t.maskVal[idx]
+	}
+	base := t.maskBase[idx*16 : idx*16+16]
+	if t.baseOK[w]&m == 0 {
+		e.MaskBaseInto(guaddr, nodeID(l, i), crypt.DomainNodeMAC, base, &t.scr.cs)
+		t.baseOK[w] |= m
+	}
+	v := e.MaskFromBase(base, pc, &t.scr.cs)
+	t.maskVal[idx] = v
+	t.maskCtr[idx] = pc
+	t.maskOK[w] |= m
+	return v
 }
 
 // rehashNode recomputes the MAC of node (l, i).
 func (t *Tree) rehashNode(e *crypt.Engine, guaddr uint64, l, i int) {
 	t.probe.Count(trace.CtrTreeNodeRehashes, 1)
 	t.markDirty(l, i)
-	t.levels[l][i].MAC = e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
+	t.bind(e, guaddr)
+	pc := t.parentCounter(l, i)
+	h := e.NodeHash(pc, uint64(t.geo.Arities[l]), t.packed(l, i))
+	t.mac[t.levelBase[l]+i] = h ^ t.nodeMask(e, guaddr, l, i, pc)
 }
 
 // RehashAll recomputes every node MAC bottom-up. Used after bulk
 // initialisation or after SetRootCounter.
 func (t *Tree) RehashAll(e *crypt.Engine, guaddr uint64) {
 	for l := t.geo.Levels() - 1; l >= 0; l-- {
-		for i := range t.levels[l] {
+		for i, n := 0, t.geo.NodesAtLevel(l); i < n; i++ {
 			t.rehashNode(e, guaddr, l, i)
 		}
 	}
@@ -267,57 +401,43 @@ func (t *Tree) RehashAll(e *crypt.Engine, guaddr uint64) {
 // wrong key/address.
 var ErrIntegrity = errors.New("tree: integrity check failed")
 
-// verifyNode checks the MAC of node (l, i). The comparison goes through
-// crypt.TagEqual: the stored MAC is attacker-controlled (it lives in the
-// untrusted meta-zone or arrived in a closure), and a variable-time
-// compare would leak how many tag bytes of a forgery were right.
-func (t *Tree) verifyNode(e *crypt.Engine, guaddr uint64, l, i int) error {
-	t.probe.Count(trace.CtrTreeNodeVerifies, 1)
-	want := e.NodeMACBuf(guaddr, nodeID(l, i), t.parentCounter(l, i), t.effCountersInto(l, i), &t.scr.cs)
-	if !crypt.TagEqual(t.levels[l][i].MAC, want) {
-		t.probe.Count(trace.CtrTreeNodeVerifyFails, 1)
-		return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
-	}
-	return nil
-}
-
 // VerifyPath checks node MACs from the leaf covering line up to the root
 // counter — the integrity-tree engine's read-path check ("checks hashes
 // stored in tree nodes recursively up to the MMT root", §V-A2).
 //
 // The expected MACs of the whole path are computed in one
-// crypt.NodeMACBatch (the batched GF Horner kernel) before any comparison;
-// computing a MAC is pure, so doing the upper levels' work eagerly cannot
-// change behaviour. Comparisons — and the per-node verify trace counts —
-// then run leaf to root exactly like the serial loop, stopping at the
-// first mismatch, so traces and errors are identical to the unbatched
-// implementation in both success and failure.
+// crypt.NodeHashBatch (the batched GF Horner kernel over the arena
+// sub-slices, no copying) plus cached per-node masks before any
+// comparison; computing a MAC is pure, so doing the upper levels' work
+// eagerly cannot change behaviour. Comparisons — and the per-node verify
+// trace counts — then run leaf to root exactly like the serial loop,
+// stopping at the first mismatch, so traces and errors are identical to
+// the unbatched implementation in both success and failure.
 //mmt:hotpath
 func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
 	//mmt:allow noalloc: scratch grows once per geometry change, then steady-state reuse
 	t.ensureScratch()
+	t.bind(e, guaddr)
 	s := &t.scr
 	t.geo.pathInto(line, s.nodeIdx, s.slot)
 	L := t.geo.Levels()
-	flat := s.flat[:0]
+	jobs := s.jobs[:L]
 	for l := 0; l < L; l++ {
 		i := s.nodeIdx[l]
-		n := &t.levels[l][i]
-		start := len(flat)
-		hi := n.Global << t.geo.localBits()
-		for _, lc := range n.Local {
-			flat = append(flat, hi|uint64(lc))
-		}
-		s.jobs[l] = crypt.NodeMACJob{
+		jobs[l] = crypt.NodeMACJob{
 			NodeID:        nodeID(l, i),
 			ParentCounter: t.parentCounter(l, i),
-			Counters:      flat[start:len(flat):len(flat)],
+			Arity:         uint64(t.geo.Arities[l]),
+			Packed:        t.packed(l, i),
 		}
 	}
-	e.NodeMACBatch(guaddr, s.jobs, s.macs, &s.cs)
+	e.NodeHashBatch(jobs, s.macs, &s.cs)
+	for l := 0; l < L; l++ {
+		s.macs[l] ^= t.nodeMask(e, guaddr, l, s.nodeIdx[l], jobs[l].ParentCounter)
+	}
 	for l := L - 1; l >= 0; l-- {
 		t.probe.Count(trace.CtrTreeNodeVerifies, 1)
-		if !crypt.TagEqual(t.levels[l][s.nodeIdx[l]].MAC, s.macs[l]) {
+		if !crypt.TagEqual(t.mac[t.levelBase[l]+s.nodeIdx[l]], s.macs[l]) {
 			t.probe.Count(trace.CtrTreeNodeVerifyFails, 1)
 			return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, s.nodeIdx[l])
 		}
@@ -326,12 +446,38 @@ func (t *Tree) VerifyPath(e *crypt.Engine, guaddr uint64, line int) error {
 }
 
 // VerifyAll checks every node MAC; the closure-delegation engine runs this
-// after unsealing a transferred root.
+// after unsealing a transferred root. Each level is verified in hash
+// batches of up to verifyAllChunk nodes — a whole level shares one pass of
+// lock-step Horner chains — with comparisons, trace counts and first-error
+// semantics identical to the old per-node walk in (level, index) order.
 func (t *Tree) VerifyAll(e *crypt.Engine, guaddr uint64) error {
-	for l := range t.levels {
-		for i := range t.levels[l] {
-			if err := t.verifyNode(e, guaddr, l, i); err != nil {
-				return err
+	t.ensureScratch()
+	t.bind(e, guaddr)
+	s := &t.scr
+	for l := 0; l < t.geo.Levels(); l++ {
+		n := t.geo.NodesAtLevel(l)
+		for start := 0; start < n; start += verifyAllChunk {
+			end := start + verifyAllChunk
+			if end > n {
+				end = n
+			}
+			jobs := s.jobs[:end-start]
+			for i := start; i < end; i++ {
+				jobs[i-start] = crypt.NodeMACJob{
+					NodeID:        nodeID(l, i),
+					ParentCounter: t.parentCounter(l, i),
+					Arity:         uint64(t.geo.Arities[l]),
+					Packed:        t.packed(l, i),
+				}
+			}
+			e.NodeHashBatch(jobs, s.macs, &s.cs)
+			for i := start; i < end; i++ {
+				t.probe.Count(trace.CtrTreeNodeVerifies, 1)
+				want := s.macs[i-start] ^ t.nodeMask(e, guaddr, l, i, jobs[i-start].ParentCounter)
+				if !crypt.TagEqual(t.mac[t.levelBase[l]+i], want) {
+					t.probe.Count(trace.CtrTreeNodeVerifyFails, 1)
+					return fmt.Errorf("%w: node level %d index %d", ErrIntegrity, l, i)
+				}
 			}
 		}
 	}
@@ -365,7 +511,7 @@ func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
 	t.geo.pathInto(line, nodeIdx, slot)
 	L := t.geo.Levels()
 	res := UpdateResult{}
-	maxLocal := uint32(1)<<t.geo.localBits() - 1
+	maxLocal := uint64(1)<<t.geo.localBits() - 1
 
 	// Bump every counter on the path first (leaf to root), tracking
 	// overflow, then rehash: MACs depend on parent counters, so they must
@@ -375,16 +521,20 @@ func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
 		overflowAt[l] = false
 	}
 	for l := L - 1; l >= 0; l-- {
-		n := &t.levels[l][nodeIdx[l]]
-		if n.Local[slot[l]] == maxLocal {
-			n.Global++
-			for s := range n.Local {
-				n.Local[s] = 0
+		off := t.ctrOff(l, nodeIdx[l])
+		w := off + 1 + slot[l]>>2
+		sh := uint(slot[l]&3) * 16
+		if t.ctr[w]>>sh&0xFFFF == maxLocal {
+			t.ctr[off]++ // global counter
+			for k := off + 1; k < off+t.ctrStride[l]; k++ {
+				t.ctr[k] = 0
 			}
 			overflowAt[l] = true
 			res.Overflowed = true
 		} else {
-			n.Local[slot[l]]++
+			// The field is below maxLocal <= 0xFFFF, so the add never
+			// carries into the neighbouring packed field.
+			t.ctr[w] += 1 << sh
 		}
 	}
 	t.rootCtr++
@@ -424,23 +574,63 @@ func (t *Tree) Update(e *crypt.Engine, guaddr uint64, line int) UpdateResult {
 	return res
 }
 
+// appendNode appends node (l, i)'s serialized record to dst: global u64,
+// locals u16 in slot order, MAC u64, all little endian. Because the
+// packed in-word field order is little-endian too, the locals are emitted
+// by streaming each arena word's LE bytes and truncating the final
+// partial word — the serialized format is unchanged from the per-node
+// layout of earlier versions.
+func (t *Tree) appendNode(dst []byte, l, i int) []byte {
+	off := t.ctrOff(l, i)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], t.ctr[off])
+	dst = append(dst, buf[:]...)
+	rem := 2 * t.geo.Arities[l] // local bytes still to emit
+	for k := off + 1; rem > 0; k++ {
+		binary.LittleEndian.PutUint64(buf[:], t.ctr[k])
+		n := rem
+		if n > 8 {
+			n = 8
+		}
+		dst = append(dst, buf[:n]...)
+		rem -= n
+	}
+	binary.LittleEndian.PutUint64(buf[:], t.mac[t.levelBase[l]+i])
+	return append(dst, buf[:]...)
+}
+
+// setNodeFromBytes decodes one serialized node record into the arena.
+// Unused high fields of a trailing partial word are zeroed — an invariant
+// every arena record maintains so hashes and re-serialization agree.
+func (t *Tree) setNodeFromBytes(l, i int, b []byte) {
+	off := t.ctrOff(l, i)
+	t.ctr[off] = binary.LittleEndian.Uint64(b)
+	pos := 8
+	rem := 2 * t.geo.Arities[l]
+	for k := off + 1; k < off+t.ctrStride[l]; k++ {
+		var w uint64
+		n := rem
+		if n > 8 {
+			n = 8
+		}
+		for j := 0; j < n; j++ {
+			w |= uint64(b[pos+j]) << (8 * uint(j))
+		}
+		t.ctr[k] = w
+		pos += n
+		rem -= n
+	}
+	t.mac[t.levelBase[l]+i] = binary.LittleEndian.Uint64(b[pos:])
+}
+
 // Serialize encodes all tree nodes (not the root counter — that travels
 // sealed inside the MMT root) in the meta-zone layout: per node, global
 // counter, locals, MAC, little endian, levels top-down.
 func (t *Tree) Serialize() []byte {
 	out := make([]byte, 0, t.geo.NodesSize())
-	var buf [8]byte
-	for l := range t.levels {
-		for i := range t.levels[l] {
-			n := &t.levels[l][i]
-			binary.LittleEndian.PutUint64(buf[:], n.Global)
-			out = append(out, buf[:]...)
-			for _, lc := range n.Local {
-				binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
-				out = append(out, buf[:2]...)
-			}
-			binary.LittleEndian.PutUint64(buf[:], n.MAC)
-			out = append(out, buf[:]...)
+	for l := 0; l < t.geo.Levels(); l++ {
+		for i, n := 0, t.geo.NodesAtLevel(l); i < n; i++ {
+			out = t.appendNode(out, l, i)
 		}
 	}
 	return out
@@ -456,25 +646,16 @@ func Deserialize(geo Geometry, data []byte) (*Tree, error) {
 	if len(data) != geo.NodesSize() {
 		return nil, fmt.Errorf("tree: serialized size %d, want %d", len(data), geo.NodesSize())
 	}
-	t := &Tree{geo: geo, levels: make([][]Node, geo.Levels())}
+	t := &Tree{geo: geo}
+	t.initPlanes()
 	off := 0
 	for l := 0; l < geo.Levels(); l++ {
-		nodes := make([]Node, geo.NodesAtLevel(l))
-		for i := range nodes {
-			n := &nodes[i]
-			n.Global = binary.LittleEndian.Uint64(data[off:])
-			off += 8
-			n.Local = make([]uint32, geo.Arities[l])
-			for s := range n.Local {
-				n.Local[s] = uint32(binary.LittleEndian.Uint16(data[off:]))
-				off += 2
-			}
-			n.MAC = binary.LittleEndian.Uint64(data[off:])
-			off += 8
+		size := geo.NodeSize(l)
+		for i, n := 0, geo.NodesAtLevel(l); i < n; i++ {
+			t.setNodeFromBytes(l, i, data[off:off+size])
+			off += size
 		}
-		t.levels[l] = nodes
 	}
-	t.initDirty()
 	return t, nil
 }
 
@@ -483,51 +664,29 @@ func Deserialize(geo Geometry, data []byte) (*Tree, error) {
 // endian) — to dst and returns the extended slice. This is the unit record
 // of the mmt-store/v1 dirty-node stream.
 func (t *Tree) AppendNode(dst []byte, l, i int) []byte {
-	n := &t.levels[l][i]
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], n.Global)
-	dst = append(dst, buf[:]...)
-	for _, lc := range n.Local {
-		binary.LittleEndian.PutUint16(buf[:2], uint16(lc))
-		dst = append(dst, buf[:2]...)
-	}
-	binary.LittleEndian.PutUint64(buf[:], n.MAC)
-	return append(dst, buf[:]...)
+	return t.appendNode(dst, l, i)
 }
 
 // SetNodeFromBytes overwrites node (l, i) from its serialized form. Used
 // by snapshot recovery when patching a node delta into a reloaded tree;
 // callers re-verify with VerifyAll afterwards.
 func (t *Tree) SetNodeFromBytes(l, i int, b []byte) error {
-	if l < 0 || l >= t.geo.Levels() || i < 0 || i >= len(t.levels[l]) {
+	if l < 0 || l >= t.geo.Levels() || i < 0 || i >= t.geo.NodesAtLevel(l) {
 		return fmt.Errorf("tree: node (%d,%d) out of range", l, i)
 	}
 	if len(b) != t.geo.NodeSize(l) {
 		return fmt.Errorf("tree: node bytes %d, want %d", len(b), t.geo.NodeSize(l))
 	}
-	n := &t.levels[l][i]
-	n.Global = binary.LittleEndian.Uint64(b)
-	off := 8
-	for s := range n.Local {
-		n.Local[s] = uint32(binary.LittleEndian.Uint16(b[off:]))
-		off += 2
-	}
-	n.MAC = binary.LittleEndian.Uint64(b[off:])
+	t.setNodeFromBytes(l, i, b)
 	return nil
 }
 
 // Clone deep-copies the tree (used for read-only ownership-copy mode).
 func (t *Tree) Clone() *Tree {
-	c := &Tree{geo: t.geo, rootCtr: t.rootCtr, levels: make([][]Node, len(t.levels)), probe: t.probe}
-	for l := range t.levels {
-		nodes := make([]Node, len(t.levels[l]))
-		for i := range nodes {
-			src := &t.levels[l][i]
-			nodes[i] = Node{Global: src.Global, Local: append([]uint32(nil), src.Local...), MAC: src.MAC}
-		}
-		c.levels[l] = nodes
-	}
-	c.initDirty()
+	c := &Tree{geo: t.geo, rootCtr: t.rootCtr, probe: t.probe}
+	c.initPlanes()
+	copy(c.ctr, t.ctr)
+	copy(c.mac, t.mac)
 	c.MarkAllDirty() // the clone has never been checkpointed
 	return c
 }

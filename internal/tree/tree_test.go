@@ -87,7 +87,8 @@ func TestTamperCounterDetected(t *testing.T) {
 	e := testEngine()
 	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Update(e, guaddr, 0)
-	tr.Node(2, 0).Local[0]++ // attacker bumps a leaf counter in the meta-zone
+	n := tr.Node(2, 0) // attacker bumps a leaf counter in the meta-zone
+	n.SetLocal(0, n.Local(0)+1)
 	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tampered counter not detected: %v", err)
 	}
@@ -96,7 +97,7 @@ func TestTamperCounterDetected(t *testing.T) {
 func TestTamperGlobalCounterDetected(t *testing.T) {
 	e := testEngine()
 	tr := mustNew(smallGeo(), e, guaddr)
-	tr.Node(1, 0).Global = 42
+	tr.Node(1, 0).SetGlobal(42)
 	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tampered global counter not detected: %v", err)
 	}
@@ -105,7 +106,8 @@ func TestTamperGlobalCounterDetected(t *testing.T) {
 func TestTamperMACDetected(t *testing.T) {
 	e := testEngine()
 	tr := mustNew(smallGeo(), e, guaddr)
-	tr.Node(0, 0).MAC ^= 1
+	n := tr.Node(0, 0)
+	n.SetMAC(n.MAC() ^ 1)
 	if err := tr.VerifyAll(e, guaddr); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("tampered MAC not detected: %v", err)
 	}
@@ -118,15 +120,13 @@ func TestReplayedNodeDetected(t *testing.T) {
 	e := testEngine()
 	tr := mustNew(smallGeo(), e, guaddr)
 	tr.Update(e, guaddr, 0)
-	saved := *tr.Node(2, 0)
-	savedLocals := append([]uint32(nil), tr.Node(2, 0).Local...)
+	saved := tr.AppendNode(nil, 2, 0) // recorded node bytes (counters+MAC)
 
 	tr.Update(e, guaddr, 0) // legitimate second write
 
-	n := tr.Node(2, 0)
-	n.Global = saved.Global
-	copy(n.Local, savedLocals)
-	n.MAC = saved.MAC
+	if err := tr.SetNodeFromBytes(2, 0, saved); err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.VerifyPath(e, guaddr, 0); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("replayed stale node not detected: %v", err)
 	}
@@ -340,4 +340,28 @@ func BenchmarkVerifyPath3Level(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchVerifyPath measures VerifyPath over a cycling line set for an
+// arbitrary geometry. Heights 5 and 7 use narrow interior arities: the
+// paper geometry at those heights would cover gigabytes of data, and the
+// benchmark measures path length, not fan-out.
+func benchVerifyPath(b *testing.B, geo Geometry) {
+	b.Helper()
+	e := testEngine()
+	tr := mustNew(geo, e, guaddr)
+	lines := tr.Geometry().Lines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.VerifyPath(e, guaddr, i%lines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyPath(b *testing.B) {
+	b.Run("h3", func(b *testing.B) { benchVerifyPath(b, ForLevels(3)) })
+	b.Run("h5", func(b *testing.B) { benchVerifyPath(b, Geometry{Arities: []int{4, 4, 4, 4, 64}}) })
+	b.Run("h7", func(b *testing.B) { benchVerifyPath(b, Geometry{Arities: []int{2, 2, 2, 2, 2, 2, 64}}) })
 }

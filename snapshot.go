@@ -894,6 +894,7 @@ func (c *Cluster) appendDeltas(m *snapModel) error {
 			}
 			tr := ctl.Tree(r)
 			var nodeErr error
+			var nodeBuf []byte // scratch: nw.bytes copies, so one buffer serves every dirty node
 			tr.DirtyNodes(func(level, index int) {
 				if nodeErr != nil {
 					return
@@ -903,7 +904,8 @@ func (c *Cluster) appendDeltas(m *snapModel) error {
 				nw.u32(uint32(r))
 				nw.u32(uint32(level))
 				nw.u32(uint32(index))
-				nw.bytes(tr.AppendNode(nil, level, index))
+				nodeBuf = tr.AppendNode(nodeBuf[:0], level, index)
+				nw.bytes(nodeBuf)
 				nodeErr = c.ckpt.Append(store.Record{Type: recNode, Payload: nw.buf})
 			})
 			if nodeErr != nil {
