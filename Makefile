@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo causal-demo perfdiff baselines profiles snapshot-demo crash-sim
+.PHONY: build test race vet lint vet-json allow-prune bench bench-smoke check trace-demo par-demo stat-demo series-demo causal-demo perfdiff baselines profiles snapshot-demo crash-sim
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,10 @@ race:
 vet:
 	$(GO) vet ./...
 
-# mmt-vet: the project's own eleven-analyzer suite (simclock,
+# mmt-vet: the project's own twelve-analyzer suite (simclock,
 # cryptocompare, checkverify, nopanic, maporder, parclock, eventkind,
-# noalloc, lockorder, phasecharge, tracectx) plus the //mmt:allow
-# suppression audit. Non-zero exit on any finding.
+# noalloc, lockorder, phasecharge, tracectx, samplerwindow) plus the
+# //mmt:allow suppression audit. Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mmt-vet ./...
 
@@ -74,6 +74,17 @@ stat-demo:
 	$(GO) run ./cmd/mmt-stat .bench/hist.json .bench/events.jsonl
 	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -out .bench
 	$(GO) run ./cmd/mmt-stat .bench/BENCH_fig11.json
+
+# series-demo: the time-series pipeline end to end — run the fig11 sweep
+# with windowed sampling on, validate both the sidecar (with its series
+# summary section) and the mmt-series/v1 artifact — including the exact
+# evicted+deltas==totals sum — with mmt-tracecheck, then render the
+# per-machine sparklines with mmt-stat.
+series-demo:
+	mkdir -p .bench
+	$(GO) run ./cmd/mmt-bench -fig 11 -accesses 2000 -series -out .bench
+	$(GO) run ./cmd/mmt-tracecheck .bench/BENCH_fig11.json .bench/BENCH_fig11.series.json
+	$(GO) run ./cmd/mmt-stat .bench/BENCH_fig11.series.json
 
 # causal-demo: the causal-tracing pipeline end to end — export the
 # causal span trees (mmt-causal/v1) from a quickstart run, validate the

@@ -135,6 +135,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	accesses := flag.Int("accesses", 0, "trace length for fig11/ablation (default 200000)")
 	fig := flag.String("fig", "", "figure number(s): write BENCH_fig<N>.json metrics sidecar(s) and exit")
+	series := flag.Bool("series", false, "with -fig: also write BENCH_fig<N>.series.json (mmt-series/v1) for figures that sample (fig 11)")
 	out := flag.String("out", ".", "output directory for -fig sidecars")
 	parallel := flag.Int("parallel", 1, "worker goroutines for figure sweeps (results are byte-identical at any setting)")
 	wallclock := flag.Bool("wallclock", false, "write the BENCH_wallclock.json host-speed sidecar and exit")
@@ -195,7 +196,7 @@ func main() {
 	}
 
 	if *fig != "" {
-		if err := writeSidecars(*fig, *out, *accesses); err != nil {
+		if err := writeSidecars(*fig, *out, *accesses, *series); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -228,11 +229,22 @@ func profilePath(dir, name string) string {
 	return filepath.Join(dir, name)
 }
 
-// writeSidecars emits BENCH_fig<N>.json for each requested figure.
-func writeSidecars(figs, dir string, accesses int) error {
+// writeSidecars emits BENCH_fig<N>.json for each requested figure and,
+// with -series, the BENCH_fig<N>.series.json mmt-series/v1 companion
+// for figures that sample (both from the same run).
+func writeSidecars(figs, dir string, accesses int, series bool) error {
 	for _, f := range strings.Split(figs, ",") {
 		f = strings.TrimSpace(f)
-		sc, err := bench.SidecarForFigure(f, accesses)
+		var (
+			sc         *bench.Sidecar
+			seriesData []byte
+			err        error
+		)
+		if series {
+			sc, seriesData, err = bench.SeriesForFigure(f, accesses)
+		} else {
+			sc, err = bench.SidecarForFigure(f, accesses)
+		}
 		if err != nil {
 			return err
 		}
@@ -249,6 +261,17 @@ func writeSidecars(figs, dir string, accesses int) error {
 		}
 		fmt.Printf("wrote %s (%d totals, %d traced procs, phase sum %.1f cycles)\n",
 			path, len(sc.Totals), len(sc.Procs), float64(sc.PhaseSumCycles))
+		if series {
+			if seriesData == nil {
+				fmt.Printf("fig %s does not sample; no series sidecar\n", f)
+				continue
+			}
+			spath := filepath.Join(dir, "BENCH_fig"+f+".series.json")
+			if err := os.WriteFile(spath, seriesData, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d procs)\n", spath, len(sc.Series.Procs))
+		}
 	}
 	return nil
 }

@@ -31,6 +31,12 @@ type perfDoc struct {
 	// only when their kinds match.
 	Kind    string
 	Metrics []metric // extraction order: deterministic, baseline-driven
+	// HasSeries records whether the sidecar carries the windowed-series
+	// summary section. The section appears when the figure runs with
+	// sampling on, so baseline and candidate gaining/losing it means the
+	// two were produced by different schema generations — a shape
+	// mismatch, not a perf delta.
+	HasSeries bool
 }
 
 // sidecarDoc mirrors the subset of internal/bench.Sidecar the diff reads.
@@ -58,6 +64,7 @@ type sidecarDoc struct {
 		Value float64 `json:"value"`
 		Unit  string  `json:"unit"`
 	} `json:"metrics"` // wallclock sidecar shape
+	Series json.RawMessage `json:"series"` // presence gates as shape
 }
 
 // comparableUnit reports whether a unit is lower-is-better and therefore
@@ -85,6 +92,7 @@ func extract(data []byte) (*perfDoc, error) {
 		}
 	case d.Schema == "" && d.Figure != "":
 		doc.Kind = "fig" + d.Figure
+		doc.HasSeries = len(d.Series) > 0 && string(d.Series) != "null"
 		for _, t := range d.Totals {
 			if comparableUnit(t.Unit) {
 				doc.Metrics = append(doc.Metrics, metric{Name: "total/" + t.Name, Value: t.Value, Unit: t.Unit})
@@ -144,6 +152,15 @@ type errMismatch struct{ msg string }
 
 func (e *errMismatch) Error() string { return e.msg }
 
+// side names which document carries the series section in the mismatch
+// message.
+func side(candidateHas bool) string {
+	if candidateHas {
+		return "the candidate"
+	}
+	return "the baseline"
+}
+
 // diffDocs compares each candidate against the baseline. The baseline
 // defines the metric set: a metric missing from a candidate is a shape
 // mismatch; extra candidate metrics are ignored (they gate once the
@@ -153,6 +170,9 @@ func diffDocs(threshold float64, basePath string, base *perfDoc, candPaths []str
 	for i, cand := range cands {
 		if cand.Kind != base.Kind {
 			return nil, &errMismatch{fmt.Sprintf("%s: document kind %q does not match baseline %q", candPaths[i], cand.Kind, base.Kind)}
+		}
+		if cand.HasSeries != base.HasSeries {
+			return nil, &errMismatch{fmt.Sprintf("%s: series section present in %s but not the other — schema generations differ (regenerate baselines / bump the schema)", candPaths[i], side(cand.HasSeries))}
 		}
 		byName := make(map[string]metric, len(cand.Metrics))
 		for _, m := range cand.Metrics {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -82,6 +84,43 @@ func TestMissingMetricIsMismatch(t *testing.T) {
 	var mm *errMismatch
 	if !errors.As(err, &mm) {
 		t.Fatalf("want shape mismatch, got %v", err)
+	}
+}
+
+// A sidecar gaining (or losing) the windowed-series section relative to
+// the baseline is a schema-generation change: fatal mismatch in both
+// directions, never a silent pass.
+func TestSeriesSectionGate(t *testing.T) {
+	base, err := os.ReadFile(fixture("base_fig11.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(base, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["series"] = map[string]interface{}{
+		"schema": "mmt-series/v1", "window_cycles": 16384, "max_samples": 64,
+		"procs": []interface{}{},
+	}
+	withSeries, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "with_series_fig11.json")
+	if err := os.WriteFile(p, withSeries, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mm *errMismatch
+	if _, err := run(0.05, fixture("base_fig11.json"), []string{p}); !errors.As(err, &mm) {
+		t.Fatalf("candidate gained series: want shape mismatch, got %v", err)
+	}
+	if _, err := run(0.05, p, []string{fixture("base_fig11.json")}); !errors.As(err, &mm) {
+		t.Fatalf("candidate lost series: want shape mismatch, got %v", err)
+	}
+	// Both sides carrying the section compares normally.
+	if _, err := run(0.05, p, []string{p}); err != nil {
+		t.Fatalf("matched series sections must diff cleanly: %v", err)
 	}
 }
 

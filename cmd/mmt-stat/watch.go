@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Watch mode: poll a live cluster's /debug/mmt/metrics OpenMetrics
+// exposition and render the rate of change between successive scrapes.
+// The exposition carries cumulative counters off the *simulated* clocks,
+// so the rates here are "simulated cycles (or events) per host second" —
+// a live progress meter for a long run, not a simulated-time quantity.
+// This command is host-side tooling; unlike the simulation packages it
+// may read the wall clock.
+
+// scrapeMetrics parses an OpenMetrics text page into metric -> value,
+// keyed by the full sample name including its label set. Comment lines
+// (#) and the EOF terminator are skipped; histogram buckets keep their
+// le label and stay individually diffable.
+func scrapeMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("malformed metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metric %q: %v", line[:cut], err)
+		}
+		out[line[:cut]] = v
+	}
+	return out, sc.Err()
+}
+
+// watchMetrics scrapes every interval and prints the metrics that moved
+// since the previous scrape, with their per-second rate. count bounds
+// the number of scrapes (0 = until interrupted). The first scrape only
+// seeds the baseline.
+func watchMetrics(w io.Writer, addr string, interval time.Duration, count int) error {
+	url := "http://" + addr + "/debug/mmt/metrics"
+	var prev map[string]float64
+	var prevAt time.Time
+	for i := 0; count == 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		data, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		cur, err := scrapeMetrics(strings.NewReader(string(data)))
+		if err != nil {
+			return err
+		}
+		if prev == nil {
+			fmt.Fprintf(w, "watching %s every %v: %d metrics (baseline scrape)\n", url, interval, len(cur))
+			prev, prevAt = cur, now
+			continue
+		}
+		elapsed := now.Sub(prevAt).Seconds()
+		type delta struct {
+			name string
+			d    float64
+		}
+		var moved []delta
+		for name, v := range cur {
+			if d := v - prev[name]; d != 0 {
+				moved = append(moved, delta{name, d})
+			}
+		}
+		sort.Slice(moved, func(a, b int) bool { return moved[a].name < moved[b].name })
+		fmt.Fprintf(w, "-- %s (+%.1fs): %d metrics moved\n", now.Format("15:04:05"), elapsed, len(moved))
+		if len(moved) > 0 {
+			rows := [][]string{{"metric", "delta", "rate/s"}}
+			for _, m := range moved {
+				rows = append(rows, []string{m.name, cyc(m.d), fmt.Sprintf("%.1f", m.d/elapsed)})
+			}
+			table(w, rows)
+		}
+		prev, prevAt = cur, now
+	}
+	return nil
+}

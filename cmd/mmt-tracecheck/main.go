@@ -27,6 +27,14 @@
 //     construction), child intervals nest inside their parent, each
 //     trace's total_cycles equals the sum of its span cycles, and the
 //     critical path is a real root-to-leaf chain.
+//   - Time-series exports (from TraceSink.WriteSeriesJSON or `mmt-bench
+//     -fig 11 -series`): schema "mmt-series/v1", per-machine per-window
+//     delta samples from the simulated-clock sampler. Validated
+//     exactly: window labels strictly increase, the ring bound holds,
+//     label names come from the enum tables, and per key the evicted
+//     aggregate plus the retained deltas (summed left to right in
+//     float64) equal the cumulative totals bit for bit — the sampler's
+//     exact-delta construction makes tolerance unnecessary.
 //
 // The file kind is detected from the JSON shape (array = Chrome trace;
 // object with a "schema" field = that schema; other object = metrics
@@ -96,6 +104,8 @@ func checkFile(path string) error {
 				return checkManifest(data)
 			case "mmt-causal/v1":
 				return checkCausal(data)
+			case "mmt-series/v1":
+				return checkSeries(data)
 			case "":
 				return checkSidecar(data)
 			default:
@@ -200,6 +210,18 @@ type sidecar struct {
 		CriticalPathLen int      `json:"critical_path_len"`
 		CriticalUs      *float64 `json:"critical_elapsed_us"`
 	} `json:"migrations"`
+	Series *struct {
+		Schema       string  `json:"schema"`
+		WindowCycles *uint64 `json:"window_cycles"`
+		MaxSamples   *int    `json:"max_samples"`
+		Procs        []struct {
+			Proc       string   `json:"proc"`
+			Windows    *uint64  `json:"windows"`
+			Evicted    *uint64  `json:"evicted_windows"`
+			LastWindow *uint64  `json:"last_window"`
+			Cycles     *float64 `json:"cycles"`
+		} `json:"procs"`
+	} `json:"series"`
 }
 
 func checkSidecar(data []byte) error {
@@ -266,6 +288,39 @@ func checkSidecar(data []byte) error {
 		want := totals["migration-send-cycles"] + totals["migration-recv-cycles"]
 		if math.Abs(sum-want) > 1e-9*math.Max(math.Abs(sum), math.Abs(want)) {
 			return fmt.Errorf("migration trace cycles sum to %.6f, want send+recv totals %.6f", sum, want)
+		}
+	}
+	if ss := sc.Series; ss != nil {
+		if ss.Schema != "mmt-series/v1" {
+			return fmt.Errorf("series: unknown schema %q (want mmt-series/v1)", ss.Schema)
+		}
+		if ss.WindowCycles == nil || ss.MaxSamples == nil {
+			return fmt.Errorf("series: window_cycles and max_samples are required")
+		}
+		if w := *ss.WindowCycles; w == 0 || w&(w-1) != 0 {
+			return fmt.Errorf("series: window_cycles %d is not a power of two", w)
+		}
+		if *ss.MaxSamples < 1 {
+			return fmt.Errorf("series: max_samples %d must be >= 1", *ss.MaxSamples)
+		}
+		lastProc := ""
+		for i, p := range ss.Procs {
+			if p.Proc == "" {
+				return fmt.Errorf("series proc %d: empty name", i)
+			}
+			if lastProc != "" && p.Proc <= lastProc {
+				return fmt.Errorf("series procs not in name order: %q after %q", p.Proc, lastProc)
+			}
+			lastProc = p.Proc
+			if p.Windows == nil || p.Evicted == nil || p.LastWindow == nil || p.Cycles == nil {
+				return fmt.Errorf("series proc %q: windows, evicted_windows, last_window and cycles are required", p.Proc)
+			}
+			if *p.Windows < *p.Evicted {
+				return fmt.Errorf("series proc %q: %d windows cannot include %d evicted", p.Proc, *p.Windows, *p.Evicted)
+			}
+			if *p.Cycles < 0 || math.IsNaN(*p.Cycles) || math.IsInf(*p.Cycles, 0) {
+				return fmt.Errorf("series proc %q: cycles %v out of range", p.Proc, *p.Cycles)
+			}
 		}
 	}
 	return nil
@@ -417,6 +472,231 @@ var validEventKinds = map[string]bool{
 	"delegation-ack": true, "cap-destroy": true,
 }
 
+// validPhases, validCounters and validSeverities mirror internal/trace's
+// remaining name tables (same keep-in-sync contract as validOps above).
+var validPhases = map[string]bool{
+	"data-access": true, "root-mount": true, "tree-walk": true,
+	"mac": true, "tree-update": true, "reencrypt": true,
+	"memcpy": true, "encrypt": true, "decrypt": true, "dma": true,
+	"delegation": true, "connect": true, "send": true, "recv": true,
+	"app-compute": true, "wire": true,
+}
+
+var validCounters = map[string]bool{
+	"tree-node-walks": true, "mac-verifies": true, "mac-updates": true,
+	"node-cache-hits": true, "node-cache-misses": true, "root-mounts": true,
+	"reencrypt-lines": true, "tree-node-verifies": true,
+	"tree-node-verify-fails": true, "tree-node-rehashes": true,
+	"closures-sent": true, "closures-accepted": true, "closures-rejected": true,
+	"closure-encode-bytes": true, "closure-decode-bytes": true,
+	"wire-msgs-data": true, "wire-msgs-closure": true, "wire-msgs-control": true,
+	"wire-bytes-data": true, "wire-bytes-closure": true, "wire-bytes-control": true,
+}
+
+var validSeverities = map[string]bool{
+	"info": true, "warn": true, "error": true,
+}
+
+// seriesSample and seriesExport mirror trace.WriteSeriesJSON's document.
+type seriesSample struct {
+	Window   *uint64            `json:"window"`
+	Counters map[string]uint64  `json:"counters"`
+	Cycles   map[string]float64 `json:"cycles"`
+	Ops      map[string]struct {
+		Count     *uint64  `json:"count"`
+		SumCycles *float64 `json:"sum_cycles"`
+	} `json:"ops"`
+}
+
+type seriesExport struct {
+	Schema       string  `json:"schema"`
+	WindowCycles *uint64 `json:"window_cycles"`
+	MaxSamples   *int    `json:"max_samples"`
+	Procs        []struct {
+		Proc           string         `json:"proc"`
+		EvictedWindows *uint64        `json:"evicted_windows"`
+		EvictedThrough *uint64        `json:"evicted_through"`
+		Evicted        *seriesSample  `json:"evicted"`
+		Samples        []seriesSample `json:"samples"`
+		Totals         *seriesSample  `json:"totals"`
+	} `json:"procs"`
+}
+
+// checkSeriesNames validates one sample's label names and non-zero
+// discipline (the exporter omits zero entries, so a zero here means a
+// stale or hand-edited document).
+func checkSeriesNames(d *seriesSample, what string, allowZero bool) error {
+	if d.Window == nil || d.Counters == nil || d.Cycles == nil || d.Ops == nil {
+		return fmt.Errorf("%s: window, counters, cycles and ops are required", what)
+	}
+	for k, v := range d.Counters {
+		if !validCounters[k] {
+			return fmt.Errorf("%s: unknown counter %q", what, k)
+		}
+		if v == 0 && !allowZero {
+			return fmt.Errorf("%s: zero counter %q must be omitted", what, k)
+		}
+	}
+	for k, v := range d.Cycles {
+		if !validPhases[k] {
+			return fmt.Errorf("%s: unknown phase %q", what, k)
+		}
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s: phase %q cycles %v out of range", what, k, v)
+		}
+		if v == 0 && !allowZero {
+			return fmt.Errorf("%s: zero phase %q must be omitted", what, k)
+		}
+	}
+	for k, v := range d.Ops {
+		if !validOps[k] {
+			return fmt.Errorf("%s: unknown operation %q", what, k)
+		}
+		if v.Count == nil || v.SumCycles == nil {
+			return fmt.Errorf("%s: op %q needs count and sum_cycles", what, k)
+		}
+		if *v.SumCycles < 0 || math.IsNaN(*v.SumCycles) || math.IsInf(*v.SumCycles, 0) {
+			return fmt.Errorf("%s: op %q sum_cycles %v out of range", what, k, *v.SumCycles)
+		}
+		if *v.Count == 0 && *v.SumCycles == 0 && !allowZero {
+			return fmt.Errorf("%s: zero op %q must be omitted", what, k)
+		}
+	}
+	return nil
+}
+
+// checkSeries validates the sampler invariants the exporter promises:
+// power-of-two window, name-ordered procs, strictly increasing window
+// labels, the ring bound (max_samples retained deltas plus at most one
+// synthesized tail), label names from the enum tables, and — the
+// load-bearing one — that per key the evicted aggregate plus the
+// retained deltas, summed left to right in float64, equal the
+// cumulative totals EXACTLY. The sampler constructs every delta so the
+// sum telescopes without rounding, so equality here is bit-for-bit.
+func checkSeries(data []byte) error {
+	var se seriesExport
+	if err := json.Unmarshal(data, &se); err != nil {
+		return fmt.Errorf("not a series export: %w", err)
+	}
+	if se.WindowCycles == nil || se.MaxSamples == nil {
+		return fmt.Errorf("window_cycles and max_samples are required")
+	}
+	w := *se.WindowCycles
+	if w == 0 || w&(w-1) != 0 {
+		return fmt.Errorf("window_cycles %d is not a power of two", w)
+	}
+	if *se.MaxSamples < 1 {
+		return fmt.Errorf("max_samples %d must be >= 1", *se.MaxSamples)
+	}
+	lastProc := ""
+	for _, p := range se.Procs {
+		at := func(format string, args ...interface{}) error {
+			return fmt.Errorf("proc %q: %s", p.Proc, fmt.Sprintf(format, args...))
+		}
+		if p.Proc == "" {
+			return fmt.Errorf("empty proc name")
+		}
+		if lastProc != "" && p.Proc <= lastProc {
+			return fmt.Errorf("procs not in name order: %q after %q", p.Proc, lastProc)
+		}
+		lastProc = p.Proc
+		if p.EvictedWindows == nil || p.EvictedThrough == nil || p.Totals == nil {
+			return at("evicted_windows, evicted_through and totals are required")
+		}
+		if (*p.EvictedWindows > 0) != (p.Evicted != nil) {
+			return at("evicted aggregate present iff evicted_windows > 0")
+		}
+		if len(p.Samples) == 0 && p.Evicted == nil {
+			return at("idle proc must be omitted")
+		}
+		if len(p.Samples) > *se.MaxSamples+1 {
+			return at("%d samples exceed the ring bound %d+1", len(p.Samples), *se.MaxSamples)
+		}
+
+		// Accumulate the exact left-to-right sum while walking the
+		// samples; compare against totals afterwards.
+		sumC := map[string]uint64{}
+		sumCy := map[string]float64{}
+		sumOpN := map[string]uint64{}
+		sumOpS := map[string]float64{}
+		fold := func(d *seriesSample) {
+			for k, v := range d.Counters {
+				sumC[k] += v
+			}
+			for k, v := range d.Cycles {
+				sumCy[k] += v
+			}
+			for k, v := range d.Ops {
+				sumOpN[k] += *v.Count
+				sumOpS[k] += *v.SumCycles
+			}
+		}
+		last := uint64(0)
+		if p.Evicted != nil {
+			if err := checkSeriesNames(p.Evicted, "evicted", true); err != nil {
+				return at("%v", err)
+			}
+			if *p.Evicted.Window != *p.EvictedThrough {
+				return at("evicted window %d != evicted_through %d", *p.Evicted.Window, *p.EvictedThrough)
+			}
+			last = *p.EvictedThrough
+			fold(p.Evicted)
+		}
+		for i := range p.Samples {
+			d := &p.Samples[i]
+			if err := checkSeriesNames(d, fmt.Sprintf("sample %d", i), false); err != nil {
+				return at("%v", err)
+			}
+			if (i > 0 || p.Evicted != nil) && *d.Window <= last {
+				return at("sample %d: window %d not after %d", i, *d.Window, last)
+			}
+			last = *d.Window
+			fold(d)
+		}
+		if err := checkSeriesNames(p.Totals, "totals", true); err != nil {
+			return at("%v", err)
+		}
+		if *p.Totals.Window != last {
+			return at("totals window %d != newest sample window %d", *p.Totals.Window, last)
+		}
+
+		// Exact equality in both key directions: a key missing from the
+		// sum means a total appeared from nowhere; a key missing from
+		// totals means deltas leaked.
+		for k, v := range sumC {
+			if tv := p.Totals.Counters[k]; tv != v {
+				return at("counter %q: deltas sum to %d, totals say %d", k, v, tv)
+			}
+		}
+		for k, v := range p.Totals.Counters {
+			if sumC[k] != v {
+				return at("counter %q: totals say %d, deltas sum to %d", k, v, sumC[k])
+			}
+		}
+		for k, v := range sumCy {
+			if tv := p.Totals.Cycles[k]; tv != v {
+				return at("phase %q: deltas sum to %v, totals say %v (must be exact)", k, v, tv)
+			}
+		}
+		for k, v := range p.Totals.Cycles {
+			if sumCy[k] != v {
+				return at("phase %q: totals say %v, deltas sum to %v (must be exact)", k, v, sumCy[k])
+			}
+		}
+		for k, v := range sumOpN {
+			if tv := p.Totals.Ops[k]; tv.Count == nil || *tv.Count != v || *tv.SumCycles != sumOpS[k] {
+				return at("op %q: delta sums do not match totals exactly", k)
+			}
+		}
+		for k := range p.Totals.Ops {
+			if _, ok := sumOpN[k]; !ok {
+				return at("op %q: in totals but absent from every delta", k)
+			}
+		}
+	}
+	return nil
+}
+
 // histExport mirrors trace.WriteHistJSON's document.
 type histExport struct {
 	Schema string `json:"schema"`
@@ -505,12 +785,19 @@ type eventsHeader struct {
 }
 
 type eventLine struct {
-	Seq    *uint64  `json:"seq"`
-	Proc   string   `json:"proc"`
-	Kind   string   `json:"kind"`
-	TimeUS *float64 `json:"time_us"`
-	Addr   string   `json:"addr"`
-	Detail *string  `json:"detail"`
+	Seq      *uint64  `json:"seq"`
+	Proc     string   `json:"proc"`
+	Kind     string   `json:"kind"`
+	Severity string   `json:"severity"`
+	Window   *uint64  `json:"window"`
+	TimeUS   *float64 `json:"time_us"`
+	Addr     string   `json:"addr"`
+	Detail   *string  `json:"detail"`
+	Flight   []struct {
+		Phase   string   `json:"phase"`
+		BeginUS *float64 `json:"begin_us"`
+		EndUS   *float64 `json:"end_us"`
+	} `json:"flight"`
 }
 
 func checkEvents(data []byte) error {
@@ -535,11 +822,25 @@ func checkEvents(data []byte) error {
 		if ev.Seq == nil || ev.TimeUS == nil || ev.Detail == nil {
 			return at("seq, time_us and detail are required")
 		}
+		if ev.Window == nil {
+			return at("missing sampler window index")
+		}
 		if ev.Proc == "" {
 			return at("empty proc")
 		}
 		if !validEventKinds[ev.Kind] {
 			return at("unknown event kind")
+		}
+		if !validSeverities[ev.Severity] {
+			return at("unknown severity %q", ev.Severity)
+		}
+		for i, fs := range ev.Flight {
+			if !validPhases[fs.Phase] {
+				return at("flight span %d: unknown phase %q", i, fs.Phase)
+			}
+			if fs.BeginUS == nil || fs.EndUS == nil || *fs.BeginUS < 0 || *fs.EndUS < *fs.BeginUS {
+				return at("flight span %d: bad interval", i)
+			}
 		}
 		if *ev.TimeUS < 0 {
 			return at("negative timestamp %v", *ev.TimeUS)

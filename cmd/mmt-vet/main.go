@@ -1,8 +1,9 @@
 // Command mmt-vet runs the repository's custom static-analysis suite:
-// eleven analyzers (simclock, cryptocompare, checkverify, nopanic,
+// twelve analyzers (simclock, cryptocompare, checkverify, nopanic,
 // maporder, parclock, eventkind, noalloc, lockorder, phasecharge,
-// tracectx) that machine-enforce the determinism, crypto-safety and
-// hot-path invariants every figure and security claim depends on. See
+// tracectx, samplerwindow) that machine-enforce the determinism,
+// crypto-safety and hot-path invariants every figure and security
+// claim depends on. See
 // internal/analyzers for the invariants and DESIGN.md §11 for the
 // rationale.
 //
@@ -14,7 +15,7 @@
 // Findings print as file:line:col: [analyzer] message; -json emits the
 // byte-stable mmt-vet/v1 document and -sarif a SARIF-lite 2.1.0 log
 // (both to stdout, or to -out with the human lines kept on stdout).
-// Every finding carries a stable diagnostic ID (MMT001…MMT011, MMT900
+// Every finding carries a stable diagnostic ID (MMT001…MMT012, MMT900
 // for the suppression audit) so CI baselines survive renames.
 //
 // -fix=allow-prune lists stale //mmt:allow comments — suppressions that

@@ -2,6 +2,7 @@ package mmt
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -34,6 +35,20 @@ func startDebugServer(addr string, sink *trace.Sink) (*debugServer, error) {
 	mux.HandleFunc("/debug/mmt/summary", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte(sink.Summary()))
+		fmt.Fprintf(w, "security events: %d recorded, %d dropped by the ring bound\n",
+			len(sink.SecEvents())+int(sink.EventsDropped()), sink.EventsDropped())
+	})
+	mux.HandleFunc("/debug/mmt/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		sink.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/debug/mmt/series", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := sink.SeriesConfigured(); !ok {
+			http.Error(w, "series sampling not enabled (WithSampling)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		sink.WriteSeriesJSON(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

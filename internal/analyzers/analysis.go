@@ -141,6 +141,7 @@ func All() []*Analyzer {
 		LockOrder,     // MMT009
 		PhaseCharge,   // MMT010
 		TraceCtx,      // MMT011
+		SamplerWindow, // MMT012
 	}
 }
 

@@ -1,0 +1,104 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// SamplerWindow requires compile-time sampler window sizes to be powers
+// of two. The windowed sampler derives window indices by shifting the
+// simulated cycle count (clock.go rounds an arbitrary size UP to the
+// next power of two), so a non-power-of-two constant silently samples on
+// a different boundary than the one written — and two subsystems
+// configured with 1000 and 1024 would agree at runtime while reading as
+// different in source. trace.Sink.EnableSeries rejects such sizes at
+// runtime; this rule moves the failure to vet time for the constant
+// sites, which is all of them in practice. Runtime-computed sizes stay
+// out of scope — the runtime validation owns those.
+var SamplerWindow = &Analyzer{
+	Name: "samplerwindow",
+	ID:   "MMT012",
+	Doc: "require constant sampler window sizes (trace.SeriesConfig.WindowCycles, " +
+		"(*sim.Clock).SetWindowHook) to be powers of two; other sizes are " +
+		"silently rounded or rejected at runtime",
+	Run: runSamplerWindow,
+}
+
+func runSamplerWindow(pass *Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkSeriesConfigLit(pass, n)
+			case *ast.CallExpr:
+				checkWindowHookCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSeriesConfigLit inspects trace.SeriesConfig composite literals
+// (directly or through an alias like mmt.SamplingConfig) for a constant
+// non-power-of-two WindowCycles element.
+func checkSeriesConfigLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "SeriesConfig" || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "mmt/internal/trace" {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "WindowCycles" {
+				continue
+			}
+			value = kv.Value
+		} else if i == 0 { // positional: WindowCycles is the first field
+			value = elt
+		} else {
+			continue
+		}
+		reportNonPow2(pass, value)
+	}
+}
+
+// checkWindowHookCall inspects (*sim.Clock).SetWindowHook call sites for
+// a constant non-power-of-two windowCycles argument.
+func checkWindowHookCall(pass *Pass, call *ast.CallExpr) {
+	fn := funcObj(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "SetWindowHook" || fn.Pkg() == nil ||
+		fn.Pkg().Path() != "mmt/internal/sim" || fn.Signature().Recv() == nil {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	reportNonPow2(pass, call.Args[0])
+}
+
+// reportNonPow2 flags expr when it is a compile-time constant that is
+// zero or not a power of two. Non-constant expressions pass — the
+// runtime validation in EnableSeries owns those.
+func reportNonPow2(pass *Pass, expr ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil {
+		return
+	}
+	w, exact := constant.Uint64Val(constant.ToInt(tv.Value))
+	if !exact || (w != 0 && w&(w-1) == 0) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "sampler window size %s must be a power of two "+
+		"(the sampler shifts, not divides; see trace.SeriesConfig)", tv.Value.ExactString())
+}

@@ -55,6 +55,10 @@ func TestTraceCtx(t *testing.T) {
 	analysistest.Run(t, analyzers.TraceCtx, "tracectx")
 }
 
+func TestSamplerWindow(t *testing.T) {
+	analysistest.Run(t, analyzers.SamplerWindow, "samplerwindow")
+}
+
 // TestDriverOnRealPackage smoke-tests the go-list driver end to end: the
 // shipped tree must be clean under the full suite for at least one real
 // package (the crypto core, which is also the most invariant-dense).

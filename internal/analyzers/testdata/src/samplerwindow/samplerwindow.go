@@ -1,0 +1,71 @@
+// Package samplerwindow exercises the samplerwindow analyzer: constant
+// sampler window sizes must be powers of two, at both configuration
+// sites — trace.SeriesConfig literals and (*sim.Clock).SetWindowHook.
+package samplerwindow
+
+import (
+	"mmt/internal/sim"
+	"mmt/internal/trace"
+)
+
+// powersOfTwo is the sanctioned shape: shift-friendly constants.
+func powersOfTwo(c *sim.Clock, hook func(uint64)) {
+	_ = trace.SeriesConfig{WindowCycles: 1 << 14}
+	_ = trace.SeriesConfig{WindowCycles: 4096, MaxSamples: 32}
+	c.SetWindowHook(65536, hook)
+}
+
+// namedConst: a named power-of-two constant is still compile-time.
+const goodWindow = 1 << 10
+
+func namedConst() {
+	_ = trace.SeriesConfig{WindowCycles: goodWindow}
+}
+
+// nonPow2Literal: the written boundary and the effective boundary
+// diverge — clock.go rounds 1000 up to 1024 silently.
+func nonPow2Literal() {
+	_ = trace.SeriesConfig{WindowCycles: 1000} // want "power of two"
+}
+
+// zeroWindow: zero disables nothing, it just fails EnableSeries.
+func zeroWindow() {
+	_ = trace.SeriesConfig{WindowCycles: 0, MaxSamples: 8} // want "power of two"
+}
+
+// positionalLit: the field need not be keyed to be checked.
+func positionalLit() {
+	_ = trace.SeriesConfig{1000, 8} // want "power of two"
+}
+
+// nonPow2Hook: the clock-side site has the same contract.
+func nonPow2Hook(c *sim.Clock, hook func(uint64)) {
+	c.SetWindowHook(1000, hook) // want "power of two"
+}
+
+// arithmeticConst: constant arithmetic is folded before the check.
+func arithmeticConst(c *sim.Clock, hook func(uint64)) {
+	c.SetWindowHook(1<<10+1, hook) // want "power of two"
+}
+
+// runtimeValue: non-constant sizes pass — EnableSeries validates them
+// at runtime where the value is actually known.
+func runtimeValue(c *sim.Clock, hook func(uint64), w uint64) {
+	_ = trace.SeriesConfig{WindowCycles: w}
+	c.SetWindowHook(w, hook)
+}
+
+// allowed demonstrates suppression for a justified odd constant.
+func allowed() {
+	//mmt:allow samplerwindow: fixture exercises the suppression path
+	_ = trace.SeriesConfig{WindowCycles: 1000}
+}
+
+// notTheClock: other SetWindowHook methods stay out of scope.
+type fake struct{}
+
+func (fake) SetWindowHook(w uint64, hook func(uint64)) {}
+
+func notTheClock(f fake, hook func(uint64)) {
+	f.SetWindowHook(1000, hook)
+}

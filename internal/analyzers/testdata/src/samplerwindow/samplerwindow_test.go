@@ -1,0 +1,12 @@
+package samplerwindow
+
+import (
+	"mmt/internal/trace"
+)
+
+// Test files are out of scope: a validation test may deliberately build
+// a bad config to assert EnableSeries rejects it, and the analyzer must
+// stay silent here.
+func testOnlyBadWindow() trace.SeriesConfig {
+	return trace.SeriesConfig{WindowCycles: 1000}
+}

@@ -77,6 +77,15 @@ func fig11Traced(accesses int, sink *trace.Sink) (*Fig11Result, sim.Cycles, erro
 		var cs *trace.Sink
 		if sink != nil {
 			cs = trace.NewSink()
+			// Cells inherit the root sink's sampling config: window
+			// indices come off the simulated clocks, so every worker
+			// records identical samples and the serial merge reproduces
+			// a single-sink run exactly.
+			if cfg, ok := sink.SeriesConfigured(); ok {
+				if err := cs.EnableSeries(cfg); err != nil {
+					return cellOut{}, err
+				}
+			}
 		}
 		over, mem, err := fig11Run(c.cfg, c.level, accesses, cs)
 		return cellOut{over, mem, cs}, err
@@ -147,7 +156,11 @@ func fig11Run(cfg workload.TraceConfig, level, accesses int, sink *trace.Sink) (
 		ctl.Access(line/geo.Lines(), line%geo.Lines(), w)
 	}
 	ctl.ResetStats()
-	ctl.SetTrace(sink.Probe(fmt.Sprintf("%s/L%d", cfg.Name, level)))
+	pr := sink.Probe(fmt.Sprintf("%s/L%d", cfg.Name, level))
+	ctl.SetTrace(pr)
+	if w, ok := sink.SeriesWindow(); ok {
+		ctl.Clock().SetWindowHook(w, pr.ObserveWindow)
+	}
 	for i := 0; i < accesses; i++ {
 		line, w := tr.Next()
 		ctl.Access(line/geo.Lines(), line%geo.Lines(), w)

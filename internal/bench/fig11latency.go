@@ -75,6 +75,11 @@ func fig11Latency(reads int, sink *trace.Sink) (*Fig11Latency, sim.Cycles, error
 		return nil, 0, err
 	}
 	ls := trace.NewSink()
+	if cfg, ok := sink.SeriesConfigured(); ok {
+		if err := ls.EnableSeries(cfg); err != nil {
+			return nil, 0, err
+		}
+	}
 	ctl := tb.sender.Controller()
 
 	// Deterministic reader stream over the reader working set.
@@ -89,7 +94,11 @@ func fig11Latency(reads int, sink *trace.Sink) (*Fig11Latency, sim.Cycles, error
 	}
 
 	// Pass 1: idle. Only the reader touches the controller.
-	ctl.SetTrace(ls.Probe("fig11-lat/idle"))
+	idle := ls.Probe("fig11-lat/idle")
+	ctl.SetTrace(idle)
+	if w, ok := ls.SeriesWindow(); ok {
+		ctl.Clock().SetWindowHook(w, idle.ObserveWindow)
+	}
 	for i := 0; i < reads; i++ {
 		ctl.Access(latReaderRegion, readerLine(i), false)
 	}
@@ -106,6 +115,13 @@ func fig11Latency(reads int, sink *trace.Sink) (*Fig11Latency, sim.Cycles, error
 	tb.receiver.Controller().SetTrace(rx)
 	tb.epR.SetTrace(rx)
 	tb.delegR.SetTrace(rx)
+	// Re-aim the machines' window hooks at the pass-2 processes: each
+	// process's samples are deltas of its own accumulators, so switching
+	// the sampled process mid-run stays exact per process.
+	if w, ok := ls.SeriesWindow(); ok {
+		ctl.Clock().SetWindowHook(w, busy.ObserveWindow)
+		tb.receiver.Controller().Clock().SetWindowHook(w, rx.ObserveWindow)
+	}
 
 	// Fixed burst interval: the migration (and therefore eviction-miss)
 	// fraction of the read stream is the same at any reads count, so the

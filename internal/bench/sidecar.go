@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -100,6 +101,33 @@ type Sidecar struct {
 	// Migrations is the per-migration causal breakdown, in trace-ID order
 	// (root process, then sequence).
 	Migrations []SidecarMigration `json:"migrations,omitempty"`
+	// Series summarizes the windowed time series when the figure ran
+	// with sampling on (the full artifact is the mmt-series/v1 sidecar
+	// companion; mmt-perfdiff treats gaining/losing this section as a
+	// fatal shape mismatch).
+	Series *SidecarSeries `json:"series,omitempty"`
+}
+
+// SidecarSeriesProc summarizes one process's window series.
+type SidecarSeriesProc struct {
+	Proc string `json:"proc"`
+	// Windows counts materialized samples (evicted + retained + tail);
+	// Evicted counts samples folded into the evicted aggregate.
+	Windows uint64 `json:"windows"`
+	Evicted uint64 `json:"evicted_windows"`
+	// LastWindow is the newest sample's window label.
+	LastWindow uint64 `json:"last_window"`
+	// Cycles is the series' cycle total (equals the process's phase-sum
+	// by the exact delta-sum contract).
+	Cycles sim.Cycles `json:"cycles"`
+}
+
+// SidecarSeries is the sidecar's series summary section.
+type SidecarSeries struct {
+	Schema       string              `json:"schema"` // trace.SeriesSchema
+	WindowCycles uint64              `json:"window_cycles"`
+	MaxSamples   int                 `json:"max_samples"`
+	Procs        []SidecarSeriesProc `json:"procs"`
 }
 
 // Check verifies the phase-sum invariant: when the figure reports a
@@ -196,6 +224,34 @@ func (sc *Sidecar) fillFromMetrics(m trace.Metrics) {
 	}
 }
 
+// fillSeries copies the series summary when sampling was on.
+func (sc *Sidecar) fillSeries(sink *trace.Sink) {
+	v, ok := sink.SeriesSnapshot()
+	if !ok {
+		return
+	}
+	ss := &SidecarSeries{Schema: trace.SeriesSchema, WindowCycles: v.WindowCycles, MaxSamples: v.MaxSamples}
+	for i := range v.Procs {
+		p := &v.Procs[i]
+		var cycles sim.Cycles
+		for _, c := range p.Totals.Cycles {
+			cycles += c
+		}
+		var last uint64
+		if n := len(p.Samples); n > 0 {
+			last = p.Samples[n-1].Window
+		}
+		ss.Procs = append(ss.Procs, SidecarSeriesProc{
+			Proc:       p.Proc,
+			Windows:    p.EvictedWindows + uint64(len(p.Samples)),
+			Evicted:    p.EvictedWindows,
+			LastWindow: last,
+			Cycles:     cycles,
+		})
+	}
+	sc.Series = ss
+}
+
 // fillMigrations appends the causal per-migration breakdown plus the
 // migration cycle totals. Only traces rooted in a send span count as
 // migrations (connect handshakes are excluded).
@@ -274,17 +330,34 @@ func sidecarFig10() (*Sidecar, error) {
 	return sc, nil
 }
 
+// fig11SeriesWindow is the fixed sampling window of the fig11 sidecar
+// run. A constant — never tuned per run — so the committed baseline's
+// series section stays byte-stable, and a power of two (mmt-vet MMT012).
+const fig11SeriesWindow = 1 << 14
+
 // sidecarFig11 traces the SPEC-like overhead sweep. Each (benchmark,
 // level) cell is its own trace process; the phase sum equals the summed
-// protected-memory cycles across all cells.
+// protected-memory cycles across all cells. The run samples with a
+// fixed window, so the sidecar carries the series summary and the
+// mmt-series/v1 artifact can be exported alongside (mmt-bench -series).
 func sidecarFig11(accesses int) (*Sidecar, error) {
+	sc, _, err := sidecarFig11Run(accesses)
+	return sc, err
+}
+
+// sidecarFig11Run is sidecarFig11 plus the run's sink, so callers can
+// export the full mmt-series/v1 artifact from the same run.
+func sidecarFig11Run(accesses int) (*Sidecar, *trace.Sink, error) {
 	if accesses <= 0 {
 		accesses = 20_000
 	}
 	sink := trace.NewSink()
+	if err := sink.EnableSeries(trace.SeriesConfig{WindowCycles: fig11SeriesWindow}); err != nil {
+		return nil, nil, err
+	}
 	res, protected, err := fig11Traced(accesses, sink)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sc := &Sidecar{
 		Figure:      "11",
@@ -305,7 +378,27 @@ func sidecarFig11(accesses int) (*Sidecar, error) {
 	m := sink.Snapshot()
 	sc.fillFromMetrics(m)
 	sc.fillMigrations(sink, m)
-	return sc, nil
+	sc.fillSeries(sink)
+	return sc, sink, nil
+}
+
+// SeriesForFigure runs the figure's traced experiment and returns both
+// its sidecar and, when the figure samples (fig 11 today), the
+// mmt-series/v1 artifact bytes from the same run (nil otherwise).
+func SeriesForFigure(fig string, accesses int) (*Sidecar, []byte, error) {
+	if fig != "11" {
+		sc, err := SidecarForFigure(fig, accesses)
+		return sc, nil, err
+	}
+	sc, sink, err := sidecarFig11Run(accesses)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteSeriesJSON(&buf); err != nil {
+		return nil, nil, err
+	}
+	return sc, buf.Bytes(), nil
 }
 
 // sidecarFig12 traces one representative WordCount point (256K input,

@@ -40,6 +40,14 @@ func (t Time) String() string {
 type Clock struct {
 	now  Time
 	freq float64 // cycles per second; 0 means unset (use DefaultFreqHz)
+
+	// Window sampling hook. When winHook is non-nil, every forward move
+	// of the clock checks whether it crossed into a new window of
+	// 2^winShift cycles and, if so, fires the hook once with the new
+	// window index. The hook must not advance this clock.
+	winShift uint
+	winHook  func(window uint64)
+	lastWin  uint64
 }
 
 // DefaultFreqHz is the processor frequency of the paper's Gem5
@@ -73,6 +81,9 @@ func (c *Clock) NowCycles() Cycles { return Cycles(float64(c.now) * c.Freq()) }
 func (c *Clock) Advance(d Time) {
 	if d > 0 {
 		c.now += d
+		if c.winHook != nil {
+			c.windowTick()
+		}
 	}
 }
 
@@ -80,6 +91,9 @@ func (c *Clock) Advance(d Time) {
 func (c *Clock) AdvanceCycles(n Cycles) {
 	if n > 0 {
 		c.now += Time(float64(n) / c.Freq())
+		if c.winHook != nil {
+			c.windowTick()
+		}
 	}
 }
 
@@ -89,15 +103,74 @@ func (c *Clock) AdvanceCycles(n Cycles) {
 func (c *Clock) SyncTo(t Time) {
 	if t > c.now {
 		c.now = t
+		if c.winHook != nil {
+			c.windowTick()
+		}
 	}
 }
 
 // Reset rewinds the clock to time zero. Benchmarks use it between trials.
-func (c *Clock) Reset() { c.now = 0 }
+// The sampling window position rewinds with it; the hook does not fire.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.lastWin = 0
+}
 
 // SetNow forces the clock to an absolute instant. Snapshot recovery uses
 // it to resume a reloaded node at exactly its saved simulated time.
-func (c *Clock) SetNow(t Time) { c.now = t }
+func (c *Clock) SetNow(t Time) {
+	forward := t > c.now
+	c.now = t
+	if forward && c.winHook != nil {
+		c.windowTick()
+	} else if !forward {
+		// A rewind repositions the window cursor silently so a later
+		// forward move does not re-announce windows already sampled.
+		c.lastWin = c.curWindow()
+	}
+}
+
+// SetWindowHook installs a sampling hook that fires whenever the clock
+// crosses into a new window of windowCycles simulated cycles. The window
+// size must be a power of two (mmt-vet MMT012 enforces this for
+// constants); other values are rounded up to the next power of two so
+// the window index stays a cheap shift. A nil hook uninstalls sampling.
+func (c *Clock) SetWindowHook(windowCycles uint64, hook func(window uint64)) {
+	if hook == nil {
+		c.winHook = nil
+		return
+	}
+	shift := uint(0)
+	for windowCycles > 1<<shift {
+		shift++
+	}
+	c.winShift = shift
+	c.winHook = hook
+	c.lastWin = c.curWindow()
+}
+
+// curWindow reports the window index of the current instant.
+func (c *Clock) curWindow() uint64 {
+	cyc := float64(c.NowCycles())
+	if cyc <= 0 {
+		return 0
+	}
+	return uint64(cyc) >> c.winShift
+}
+
+// windowTick fires the sampling hook if the last forward move crossed a
+// window boundary. It is the one dynamic call on the clock-advance path,
+// kept out of line (and out of MMT008's hot-path traversal) so that
+// advancing a clock with no hook stays a nil check.
+//
+//mmt:coldpath
+func (c *Clock) windowTick() {
+	w := c.curWindow()
+	if w > c.lastWin {
+		c.lastWin = w
+		c.winHook(w)
+	}
+}
 
 // CyclesToTime converts a cycle count to simulated seconds at freqHz.
 func CyclesToTime(n Cycles, freqHz float64) Time {

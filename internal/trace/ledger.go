@@ -87,6 +87,15 @@ type SecEvent struct {
 	Addr uint64
 	// Detail is a short constant tag chosen at the record site.
 	Detail string
+	// Window is the sampling window index current on the recording node
+	// when the event was recorded (0 when windowed sampling is off), so
+	// ledger entries — and any droppage between them — are localizable
+	// on the series timeline.
+	Window uint64
+	// Flight is the recording process's flight-recorder ring, frozen
+	// (copied oldest-first) at record time for kinds of severity >=
+	// SevWarn; nil otherwise.
+	Flight []FlightSpan
 }
 
 // DefaultEventCap is the default bound of the ledger ring buffer. It is
@@ -123,11 +132,18 @@ func (l *secLedger) record(ev SecEvent) {
 	}
 }
 
-// snapshot returns the retained events oldest-first.
+// snapshot returns the retained events oldest-first. Flight rings are
+// deep-copied so no mutable state is shared with the ledger (observers
+// may poison what they get back; see observability tests).
 func (l *secLedger) snapshot() []SecEvent {
 	out := make([]SecEvent, 0, len(l.buf))
 	out = append(out, l.buf[l.head:]...)
 	out = append(out, l.buf[:l.head]...)
+	for i := range out {
+		if len(out[i].Flight) > 0 {
+			out[i].Flight = append([]FlightSpan(nil), out[i].Flight...)
+		}
+	}
 	return out
 }
 
@@ -149,7 +165,14 @@ func (p *Probe) Event(kind EventKind, at sim.Time, addr uint64, detail string) {
 		return
 	}
 	p.sink.mu.Lock()
-	p.sink.ledger.record(SecEvent{Proc: p.proc.name, Kind: kind, Time: at, Addr: addr, Detail: detail})
+	ev := SecEvent{Proc: p.proc.name, Kind: kind, Time: at, Addr: addr, Detail: detail}
+	if ps := p.proc.series; ps != nil {
+		ev.Window = ps.curWindow
+	}
+	if kind.Severity() >= SevWarn {
+		ev.Flight = p.proc.flightSnapshot()
+	}
+	p.sink.ledger.record(ev)
 	p.sink.mu.Unlock()
 }
 

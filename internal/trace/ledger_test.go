@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -130,7 +131,7 @@ func TestLedgerMergeOrder(t *testing.T) {
 		t.Fatalf("merged = %d events, want %d", len(got), len(want))
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("merged[%d] = %+v, want %+v", i, got[i], want[i])
 		}
 	}

@@ -121,7 +121,28 @@ func writeSecEventLine(bw *errWriter, ev *SecEvent) {
 	bw.str(`{"seq":` + strconv.FormatUint(ev.Seq, 10) +
 		`,"proc":` + jsonString(ev.Proc) +
 		`,"kind":` + jsonString(ev.Kind.String()) +
+		`,"severity":` + jsonString(ev.Kind.Severity().String()) +
+		`,"window":` + strconv.FormatUint(ev.Window, 10) +
 		`,"time_us":` + usec(ev.Time) +
 		`,"addr":"0x` + strconv.FormatUint(ev.Addr, 16) + `"` +
-		`,"detail":` + jsonString(ev.Detail) + "}\n")
+		`,"detail":` + jsonString(ev.Detail))
+	if len(ev.Flight) > 0 {
+		bw.str(`,"flight":[`)
+		for i := range ev.Flight {
+			fs := &ev.Flight[i]
+			if i > 0 {
+				bw.str(",")
+			}
+			bw.str(`{"phase":` + jsonString(fs.Phase.String()) +
+				`,"begin_us":` + usec(fs.Begin) +
+				`,"end_us":` + usec(fs.End))
+			if fs.Trace.Valid() {
+				bw.str(`,"trace":` + jsonString(fs.Trace.String()) +
+					`,"span":` + strconv.FormatUint(uint64(fs.Span), 10))
+			}
+			bw.str("}")
+		}
+		bw.str("]")
+	}
+	bw.str("}\n")
 }

@@ -225,6 +225,13 @@ type procMetrics struct {
 	ops      [NumOps]Histogram
 	// causalSeq is the process's monotonic trace-ID counter (causal.go).
 	causalSeq uint64
+	// series is the windowed sampler state, allocated lazily on the
+	// first clock window tick (series.go); nil when sampling is off or
+	// the process's clock has not crossed a window yet.
+	series *procSeries
+	// flight is the flight-recorder ring of recent spans (series.go).
+	flight     []FlightSpan
+	flightHead int
 }
 
 // Sink aggregates trace data for one cluster or testbed. The zero value
@@ -239,6 +246,12 @@ type Sink struct {
 	// spanSeq allocates per-trace span IDs (1-based, parents before
 	// children — see causal.go).
 	spanSeq map[TraceID]uint32
+	// seriesOn/seriesCfg configure the windowed sampler (series.go).
+	seriesOn  bool
+	seriesCfg SeriesConfig
+	// flightCap bounds the per-process flight rings; 0 means
+	// DefaultFlightCap.
+	flightCap int
 }
 
 // NewSink returns an empty sink.
@@ -276,6 +289,9 @@ func (s *Sink) Reset() {
 		p.cycles = [NumPhases]sim.Cycles{}
 		p.ops = [NumOps]Histogram{}
 		p.causalSeq = 0
+		p.series = nil
+		p.flight = nil
+		p.flightHead = 0
 	}
 	s.events = nil
 	s.ledger.reset()
@@ -329,6 +345,10 @@ func (s *Sink) Merge(src *Sink) {
 		}
 		base[sp.name] = dst.causalSeq
 		dst.causalSeq += sp.causalSeq
+		s.mergeSeriesLocked(dst, sp)
+		for _, fs := range sp.flightSnapshot() {
+			dst.recordFlight(fs, s.flightCap)
+		}
 	}
 	for _, ev := range src.events {
 		if ev.Trace.Valid() {
@@ -413,6 +433,7 @@ func (p *Probe) Span(ph Phase, begin, end sim.Time) {
 	}
 	p.sink.mu.Lock()
 	p.sink.events = append(p.sink.events, Event{Proc: p.proc.name, Phase: ph, Begin: begin, End: end})
+	p.proc.recordFlight(FlightSpan{Phase: ph, Begin: begin, End: end}, p.sink.flightCap)
 	p.sink.mu.Unlock()
 }
 

@@ -45,9 +45,20 @@ func (c *Cluster) Events() []SecurityEvent {
 
 // EventsDropped reports how many ledger entries the bounded ring evicted
 // (0 without WithTracing). A nonzero value means Events returns only the
-// newest entries; sequence numbers show the gap.
+// newest entries; sequence numbers show the gap, and each event's Window
+// field localizes it on the sampling timeline when WithSampling is on.
 func (c *Cluster) EventsDropped() uint64 {
 	return c.set.trace.EventsDropped()
+}
+
+// Series returns a copied snapshot of the cluster's windowed time
+// series: per machine, the retained window deltas (plus the evicted
+// aggregate and a synthesized tail), whose sum equals the accumulator
+// totals exactly. The bool is false without WithSampling. Export the
+// same data as an mmt-series/v1 artifact with
+// TraceSink().WriteSeriesJSON, or scrape /debug/mmt/metrics.
+func (c *Cluster) Series() (SampleSeries, bool) {
+	return c.set.trace.SeriesSnapshot()
 }
 
 // BufferStats is a read-only snapshot of one buffer's protection state.

@@ -92,6 +92,14 @@ func newCluster(s settings) (*Cluster, error) {
 	if err := geo.Validate(); err != nil {
 		return nil, err
 	}
+	if s.series != nil {
+		if s.trace == nil {
+			return nil, fmt.Errorf("mmt: WithSampling requires WithTracing (the sampler records into the trace sink)")
+		}
+		if err := s.trace.EnableSeries(*s.series); err != nil {
+			return nil, err
+		}
+	}
 	mfr, err := attest.NewManufacturer()
 	if err != nil {
 		return nil, err
@@ -229,7 +237,13 @@ func (c *Cluster) buildMachine(name string, machine *attest.Machine) (*Machine, 
 	}
 	// One trace process per machine; Probe on a nil sink returns the
 	// disabled (nil) probe, so an untraced cluster stays allocation-free.
-	ctl.SetTrace(c.set.trace.Probe(name))
+	pr := c.set.trace.Probe(name)
+	ctl.SetTrace(pr)
+	// With sampling on, the machine's clock drives the windowed sampler:
+	// each window crossing snapshots this machine's accumulator deltas.
+	if w, ok := c.set.trace.SeriesWindow(); ok {
+		ctl.Clock().SetWindowHook(w, pr.ObserveWindow)
+	}
 	mon := monitor.New(machine, c.measurement, c.authority.PublicKey(), ctl)
 	if err := mon.Boot(c.authority); err != nil {
 		return nil, fmt.Errorf("mmt: attesting %q: %w", name, err)

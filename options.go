@@ -18,6 +18,7 @@ type settings struct {
 	regions    int
 	netLatency sim.Time
 	trace      *trace.Sink
+	series     *trace.SeriesConfig
 	debugAddr  string
 	storePath  string
 	set        uint32 // bitmask of set* flags for the options applied
@@ -34,6 +35,7 @@ const (
 	setTracing
 	setDebugServer
 	setStore
+	setSampling
 )
 
 // structuralSettings are the options a snapshot pins: geometry and the
@@ -154,13 +156,39 @@ func WithTracing(sink *TraceSink) Option {
 	}
 }
 
+// WithSampling switches on the deterministic time-series sampler for
+// the cluster's trace sink: every machine's clock samples its phase
+// cycles, counters and per-op histogram deltas once per window of
+// windowCycles simulated cycles into a bounded per-machine ring.
+// windowCycles must be a power of two. Requires WithTracing; read the
+// series back via TraceSink.WriteSeriesJSON / SeriesSnapshot, or scrape
+// the OpenMetrics exposition at /debug/mmt/metrics when a debug server
+// is attached. cfg.MaxSamples zero means DefaultSeriesCap.
+func WithSampling(cfg SamplingConfig) Option {
+	if cfg.WindowCycles == 0 || cfg.WindowCycles&(cfg.WindowCycles-1) != 0 {
+		return optionErr(fmt.Errorf("mmt: WithSampling: window of %d cycles is not a power of two", cfg.WindowCycles))
+	}
+	if cfg.MaxSamples < 0 {
+		return optionErr(fmt.Errorf("mmt: WithSampling: negative MaxSamples %d", cfg.MaxSamples))
+	}
+	return func(s *settings) error {
+		c := cfg
+		s.series = &c
+		s.set |= setSampling
+		return nil
+	}
+}
+
 // WithDebugServer starts a read-only HTTP introspection endpoint on addr
 // (e.g. "localhost:6070", or "127.0.0.1:0" to pick a free port — read it
 // back with Cluster.DebugAddr). The server exposes:
 //
 //	/debug/mmt/hist     per-operation latency histograms (mmt-hist/v1)
 //	/debug/mmt/events   the security-event ledger (mmt-events/v1 JSONL)
-//	/debug/mmt/summary  the compact text summary
+//	/debug/mmt/summary  the compact text summary (plus ledger droppage)
+//	/debug/mmt/metrics  OpenMetrics text exposition (scrapeable; includes
+//	                    the time series when WithSampling is on)
+//	/debug/mmt/series   the mmt-series/v1 artifact (404 without sampling)
 //	/debug/vars         expvar-style metrics JSON
 //	/debug/pprof/       the standard Go profiling endpoints
 //
@@ -251,10 +279,33 @@ type (
 )
 
 // SecurityEvent is one cycle-stamped entry of the bounded security-event
-// ledger (returned by Cluster.Events); SecurityEventKind classifies it.
+// ledger (returned by Cluster.Events); SecurityEventKind classifies it;
+// Severity ranks kinds (info/warn/error) and selects which events carry
+// a frozen FlightSpan ring of the recording machine's recent spans.
 type (
 	SecurityEvent     = trace.SecEvent
 	SecurityEventKind = trace.EventKind
+	Severity          = trace.Severity
+	FlightSpan        = trace.FlightSpan
+)
+
+// Severity re-exports for SecurityEventKind.Severity.
+const (
+	SevInfo  = trace.SevInfo
+	SevWarn  = trace.SevWarn
+	SevError = trace.SevError
+)
+
+// SamplingConfig configures the windowed time-series sampler
+// (WithSampling); SampleSeries is its copied snapshot (returned by
+// TraceSink.SeriesSnapshot), made of per-machine ProcSeries whose
+// SeriesSample window deltas sum exactly to the end-of-run accumulator
+// totals.
+type (
+	SamplingConfig = trace.SeriesConfig
+	SampleSeries   = trace.SeriesView
+	ProcSeries     = trace.ProcSeries
+	SeriesSample   = trace.SeriesSample
 )
 
 // Security-event kind re-exports for Cluster.Events.
